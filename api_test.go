@@ -1,0 +1,140 @@
+package systemr_test
+
+import (
+	"strings"
+	"testing"
+
+	"systemr"
+)
+
+func TestPublicAPIErrors(t *testing.T) {
+	db := systemr.Open(systemr.Config{})
+	cases := []struct{ stmt, frag string }{
+		{"SELECT x FROM nope", "does not exist"},
+		{"FROB TABLE x", "expected a statement"},
+		{"INSERT INTO nope VALUES (1)", "does not exist"},
+		{"CREATE TABLE t (a INTEGER); CREATE TABLE u (a INTEGER)", "unexpected"},
+		{"INSERT INTO t VALUES (a)", ""}, // t doesn't exist yet either way
+	}
+	for _, c := range cases {
+		_, err := db.Exec(c.stmt)
+		if err == nil {
+			t.Fatalf("%q should fail", c.stmt)
+		}
+		if c.frag != "" && !strings.Contains(err.Error(), c.frag) {
+			t.Fatalf("%q: error %q lacks %q", c.stmt, err, c.frag)
+		}
+	}
+	db.MustExec("CREATE TABLE t (a INTEGER)")
+	if _, err := db.Exec("INSERT INTO t VALUES (a)"); err == nil ||
+		!strings.Contains(err.Error(), "constant expressions") {
+		t.Fatalf("non-constant VALUES: %v", err)
+	}
+	if _, err := db.Query("INSERT INTO t VALUES (1)"); err == nil ||
+		!strings.Contains(err.Error(), "not a query") {
+		t.Fatalf("Query on DML: %v", err)
+	}
+	// EXPLAIN now covers DML; DDL remains unsupported.
+	if _, err := db.Exec("EXPLAIN CREATE TABLE z (a INTEGER)"); err == nil {
+		t.Fatal("EXPLAIN DDL must fail")
+	}
+}
+
+func TestInsertConstantArithmetic(t *testing.T) {
+	db := systemr.Open(systemr.Config{})
+	db.MustExec("CREATE TABLE t (a INTEGER, b FLOAT)")
+	db.MustExec("INSERT INTO t VALUES (2 * 3 + 1, -(1.5 + 1))")
+	res, err := db.Query("SELECT a, b FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].(int64) != 7 || res.Rows[0][1].(float64) != -2.5 {
+		t.Fatalf("constant folding: %v", res.Rows[0])
+	}
+}
+
+func TestFormatResult(t *testing.T) {
+	db := systemr.Open(systemr.Config{})
+	db.MustExec("CREATE TABLE t (name VARCHAR, n INTEGER)")
+	db.MustExec("INSERT INTO t VALUES ('long-name-here', 1), ('x', NULL)")
+	res, _ := db.Query("SELECT NAME, N FROM t")
+	out := systemr.FormatResult(res)
+	for _, frag := range []string{"NAME", "long-name-here", "NULL", "(2 rows)"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("formatted output lacks %q:\n%s", frag, out)
+		}
+	}
+	ddl := db.MustExec("CREATE TABLE u (a INTEGER)")
+	if !strings.Contains(systemr.FormatResult(ddl), "OK") {
+		t.Fatal("DDL result format")
+	}
+}
+
+func TestTablesListing(t *testing.T) {
+	db := systemr.Open(systemr.Config{})
+	db.MustExec("CREATE TABLE z (a INTEGER)")
+	db.MustExec("CREATE TABLE a (x VARCHAR)")
+	db.MustExec("CREATE UNIQUE CLUSTERED INDEX a_x ON a (x)")
+	db.MustExec("UPDATE STATISTICS")
+	out := db.Tables()
+	if !strings.Contains(out, "A (X VARCHAR)") || !strings.Contains(out, "Z (A INTEGER)") {
+		t.Fatalf("listing:\n%s", out)
+	}
+	if strings.Index(out, "A (") > strings.Index(out, "Z (") {
+		t.Fatal("tables must list sorted")
+	}
+	if !strings.Contains(out, "UNIQUE CLUSTERED") {
+		t.Fatalf("index flags missing:\n%s", out)
+	}
+}
+
+func TestMustExecPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustExec must panic on error")
+		}
+	}()
+	systemr.Open(systemr.Config{}).MustExec("SELECT broken")
+}
+
+func TestExecStatsCost(t *testing.T) {
+	s := systemr.ExecStats{PageFetches: 10, PagesWritten: 5, RSICalls: 300}
+	if got := s.Cost(0.1); got != 45 {
+		t.Fatalf("cost = %v", got)
+	}
+}
+
+// TestWeightingFactorChangesChoice: with a huge W (CPU-dominant), plans that
+// save RSI calls win even at more page fetches; with W=~0 (I/O only), the
+// page-light plan wins. Both must run correctly.
+func TestWeightingFactorChangesChoice(t *testing.T) {
+	for _, w := range []float64{0.000001, 5} {
+		db := systemr.Open(systemr.Config{W: w})
+		db.MustExec("CREATE TABLE t (a INTEGER, b INTEGER)")
+		for i := 0; i < 500; i++ {
+			db.MustExec("INSERT INTO t VALUES (" +
+				strings.Repeat("", 0) + itoa(i%50) + ", " + itoa(i) + ")")
+		}
+		db.MustExec("CREATE INDEX t_a ON t (a)")
+		db.MustExec("UPDATE STATISTICS")
+		res, err := db.Query("SELECT b FROM t WHERE a = 7")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 10 {
+			t.Fatalf("W=%v: %d rows", w, len(res.Rows))
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	digits := ""
+	for n > 0 {
+		digits = string(rune('0'+n%10)) + digits
+		n /= 10
+	}
+	return digits
+}

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSpearman(t *testing.T) {
+	perfect := []variantPlan{{est: 1, meas: 10}, {est: 2, meas: 20}, {est: 3, meas: 30}}
+	if got := spearman(perfect); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("perfect agreement: %v", got)
+	}
+	inverted := []variantPlan{{est: 1, meas: 30}, {est: 2, meas: 20}, {est: 3, meas: 10}}
+	if got := spearman(inverted); math.Abs(got+1) > 1e-9 {
+		t.Fatalf("perfect inversion: %v", got)
+	}
+	if got := spearman([]variantPlan{{est: 1, meas: 1}}); got != 1 {
+		t.Fatalf("degenerate: %v", got)
+	}
+}
+
+func TestChainQueryShape(t *testing.T) {
+	q := chainQuery(3)
+	if q != "SELECT T1.V FROM T1, T2, T3 WHERE T1.K = T2.K AND T2.K = T3.K" {
+		t.Fatalf("chain query: %s", q)
+	}
+	if chainQuery(1) != "SELECT T1.V FROM T1" {
+		t.Fatalf("single: %s", chainQuery(1))
+	}
+}
+
+func TestIndentLines(t *testing.T) {
+	if got := indentLines("a\nb\n", "> "); got != "> a\n> b\n" {
+		t.Fatalf("indent: %q", got)
+	}
+}

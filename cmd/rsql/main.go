@@ -1,0 +1,90 @@
+// Command rsql is an interactive SQL shell over the systemr engine — the
+// "on-line casual-user-oriented terminal interface" of the paper's
+// introduction. Statements end with ';'. Shell commands:
+//
+//	\d          list tables, indexes, and statistics
+//	\stats      measured cost of the last statement
+//	\load emp   load the EMP/DEPT/JOB example database
+//	\dump       print a SQL script recreating the database
+//	\q          quit
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"systemr"
+	"systemr/internal/workload"
+)
+
+func main() {
+	run(os.Stdin, os.Stdout)
+}
+
+// run drives the shell loop; factored out of main for testing.
+func run(input io.Reader, out io.Writer) {
+	db := systemr.Open(systemr.Config{})
+	in := bufio.NewScanner(input)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	fmt.Fprintln(out, "systemr — System R access path selection, reproduced.")
+	fmt.Fprintln(out, "Statements end with ';'.  \\d tables  \\stats cost  \\load emp  \\dump script  \\q quit")
+
+	var buf strings.Builder
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Fprint(out, "sql> ")
+		} else {
+			fmt.Fprint(out, "...> ")
+		}
+	}
+	prompt()
+	for in.Scan() {
+		line := in.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
+			switch {
+			case trimmed == "\\q":
+				return
+			case trimmed == "\\d":
+				fmt.Fprint(out, db.Tables())
+			case trimmed == "\\stats":
+				s := db.LastStats()
+				fmt.Fprintf(out, "page fetches: %d  pages written: %d  RSI calls: %d  rows: %d  cost: %.2f\n",
+					s.PageFetches, s.PagesWritten, s.RSICalls, s.Rows, s.Cost(0.033))
+			case trimmed == "\\load emp":
+				db = workload.NewEmpDB(workload.EmpConfig{Emps: 2000, Depts: 50, Jobs: 10})
+				fmt.Fprintln(out, "loaded EMP (2000), DEPT (50), JOB (10) with indexes and statistics")
+			case trimmed == "\\dump":
+				if err := db.DumpSQL(out); err != nil {
+					fmt.Fprintln(out, "error:", err)
+				}
+			default:
+				fmt.Fprintln(out, "unknown command:", trimmed)
+			}
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteString("\n")
+		if !strings.Contains(line, ";") {
+			prompt()
+			continue
+		}
+		stmt := buf.String()
+		buf.Reset()
+		start := time.Now()
+		res, err := db.Exec(stmt)
+		elapsed := time.Since(start)
+		if err != nil {
+			fmt.Fprintln(out, "error:", err)
+		} else {
+			fmt.Fprint(out, systemr.FormatResult(res))
+			fmt.Fprintf(out, "time: %v\n", elapsed)
+		}
+		prompt()
+	}
+}

@@ -1,0 +1,74 @@
+package systemr_test
+
+import (
+	"testing"
+)
+
+func TestCursorStreaming(t *testing.T) {
+	db := newEmpDeptJobDB(t)
+	stmt, err := db.Prepare("SELECT NAME, SAL FROM EMP WHERE DNO = 3 ORDER BY SAL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := stmt.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Columns()) != 2 {
+		t.Fatalf("columns: %v", rows.Columns())
+	}
+	count := 0
+	prev := -1.0
+	for {
+		row, ok, err := rows.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		count++
+		sal := row[1].(float64)
+		if sal < prev {
+			t.Fatal("cursor rows out of order")
+		}
+		prev = sal
+	}
+	if count != 10 {
+		t.Fatalf("streamed %d rows", count)
+	}
+	rows.Close() // idempotent after drain
+
+	// Early close releases locks: a writer must be able to proceed.
+	rows, err = stmt.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := rows.Next(); !ok {
+		t.Fatal("expected at least one row")
+	}
+	rows.Close()
+	if _, err := db.Exec("INSERT INTO EMP VALUES ('W', 3, 5, 1.0)"); err != nil {
+		t.Fatalf("write after cursor close: %v", err)
+	}
+
+	// Re-open still works (plans are reusable).
+	rows, err = stmt.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		_, ok, err := rows.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != 11 {
+		t.Fatalf("after insert: %d rows", n)
+	}
+}

@@ -1,0 +1,125 @@
+package systemr
+
+// SQL script export: DumpSQL writes a statement script that recreates the
+// database's schema, indexes, and data on a fresh instance — persistence at
+// the SQL level (the storage engine itself is an in-memory simulation; see
+// DESIGN.md).
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"systemr/internal/lock"
+	"systemr/internal/storage"
+	"systemr/internal/value"
+)
+
+// DumpSQL writes CREATE TABLE / CREATE INDEX / INSERT / UPDATE STATISTICS
+// statements reproducing the current database. System catalogs are skipped
+// (they regenerate). Tables dump in name order; rows in physical order.
+func (db *DB) DumpSQL(w io.Writer) error {
+	tables := db.cat.Tables()
+	sort.Slice(tables, func(i, j int) bool { return tables[i].Name < tables[j].Name })
+	reqs := []lock.Request{{Table: catalogLock, Mode: lock.Shared}}
+	for _, t := range tables {
+		reqs = append(reqs, lock.Request{Table: t.Name, Mode: lock.Shared})
+	}
+	held := db.locks.Acquire(reqs)
+	defer held.Release()
+
+	bw := bufio.NewWriter(w)
+
+	for _, t := range tables {
+		if t.System {
+			continue
+		}
+		cols := make([]string, len(t.Columns))
+		for i, c := range t.Columns {
+			cols[i] = c.Name + " " + c.Type.String()
+		}
+		fmt.Fprintf(bw, "CREATE TABLE %s (%s);\n", t.Name, strings.Join(cols, ", "))
+		for _, pid := range t.Segment.Pages() {
+			page := db.disk.Page(pid)
+			for s := uint16(0); s < page.NumSlots(); s++ {
+				rec, rel, ok := page.Record(s)
+				if !ok || rel != t.ID {
+					continue
+				}
+				row, err := storage.DecodeRow(rec)
+				if err != nil {
+					return fmt.Errorf("systemr: dumping %s: %w", t.Name, err)
+				}
+				fmt.Fprintf(bw, "INSERT INTO %s VALUES (%s);\n", t.Name, sqlRow(row))
+			}
+		}
+		for _, ix := range t.Indexes {
+			kind := "INDEX"
+			if ix.Clustered {
+				kind = "CLUSTERED " + kind
+			}
+			if ix.Unique {
+				kind = "UNIQUE " + kind
+			}
+			fmt.Fprintf(bw, "CREATE %s %s ON %s (%s);\n",
+				kind, ix.Name, t.Name, strings.Join(ix.ColumnNames(), ", "))
+		}
+	}
+	fmt.Fprintln(bw, "UPDATE STATISTICS;")
+	return bw.Flush()
+}
+
+func sqlRow(row value.Row) string {
+	parts := make([]string, len(row))
+	for i, v := range row {
+		parts[i] = v.SQL()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// RunScript executes a multi-statement SQL script (statements separated by
+// ';'), stopping at the first error. Line comments (--) are honored by the
+// lexer. It returns the number of statements executed.
+func (db *DB) RunScript(r io.Reader) (int, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, stmt := range splitStatements(string(data)) {
+		if strings.TrimSpace(stmt) == "" {
+			continue
+		}
+		if _, err := db.Exec(stmt); err != nil {
+			return n, fmt.Errorf("systemr: script statement %d: %w", n+1, err)
+		}
+		n++
+	}
+	return n, nil
+}
+
+// splitStatements splits on ';' outside string literals.
+func splitStatements(script string) []string {
+	var out []string
+	var cur strings.Builder
+	inString := false
+	for i := 0; i < len(script); i++ {
+		c := script[i]
+		switch {
+		case c == '\'':
+			inString = !inString
+			cur.WriteByte(c)
+		case c == ';' && !inString:
+			out = append(out, cur.String())
+			cur.Reset()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if strings.TrimSpace(cur.String()) != "" {
+		out = append(out, cur.String())
+	}
+	return out
+}

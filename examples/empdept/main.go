@@ -1,0 +1,62 @@
+// The paper's Figure 1 walkthrough: the EMP/DEPT/JOB clerk query, the
+// optimizer's search tree (Figures 2-6), the chosen plan, and the measured
+// cost against the no-optimizer baseline.
+package main
+
+import (
+	"fmt"
+
+	"systemr/internal/core"
+	"systemr/internal/sem"
+	"systemr/internal/sql"
+	"systemr/internal/workload"
+)
+
+func main() {
+	db := workload.NewEmpDB(workload.EmpConfig{Emps: 1500, Depts: 40, Jobs: 8, Seed: 7})
+
+	fmt.Println("Figure 1 query:")
+	fmt.Println(workload.Figure1Query)
+	fmt.Println()
+
+	// Re-plan with the search-tree tracer attached — the machine is doing
+	// exactly what Figures 2-6 of the paper illustrate.
+	stmt, err := sql.Parse(workload.Figure1Query)
+	if err != nil {
+		panic(err)
+	}
+	blk, err := sem.Analyze(stmt.(*sql.SelectStmt), db.Catalog())
+	if err != nil {
+		panic(err)
+	}
+	tr := &core.Trace{}
+	cfg := db.OptimizerConfig()
+	cfg.Trace = tr
+	q, err := core.New(db.Catalog(), cfg).Optimize(blk)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(tr.Render())
+	fmt.Println()
+	fmt.Println("Chosen plan:")
+	fmt.Print(q.Explain())
+
+	// Execute through the public API and report the paper's cost terms.
+	res, err := db.Query(workload.Figure1Query)
+	if err != nil {
+		panic(err)
+	}
+	st := db.LastStats()
+	fmt.Printf("\n%d clerks in Denver departments; measured %d page fetches, %d RSI calls (cost %.1f)\n",
+		len(res.Rows), st.PageFetches, st.RSICalls, st.Cost(core.DefaultW))
+
+	// The same database and query without access path selection.
+	naive := workload.NewEmpDB(workload.EmpConfig{Emps: 1500, Depts: 40, Jobs: 8, Seed: 7, Naive: true})
+	if _, err := naive.Query(workload.Figure1Query); err != nil {
+		panic(err)
+	}
+	nst := naive.LastStats()
+	fmt.Printf("Naive baseline: %d page fetches, %d RSI calls (cost %.1f) — %.0fx more expensive\n",
+		nst.PageFetches, nst.RSICalls, nst.Cost(core.DefaultW),
+		nst.Cost(core.DefaultW)/st.Cost(core.DefaultW))
+}

@@ -1,0 +1,60 @@
+// Quickstart: create tables and indexes, load data, run queries, and read
+// the optimizer's chosen access paths with EXPLAIN.
+package main
+
+import (
+	"fmt"
+
+	"systemr"
+)
+
+func main() {
+	db := systemr.Open(systemr.Config{})
+
+	// Schema: the paper's employees-and-departments world.
+	db.MustExec("CREATE TABLE EMP (NAME VARCHAR, DNO INTEGER, JOB VARCHAR, SAL FLOAT)")
+	db.MustExec("CREATE TABLE DEPT (DNO INTEGER, DNAME VARCHAR, LOC VARCHAR)")
+	db.MustExec("CREATE INDEX EMP_DNO ON EMP (DNO)")
+	db.MustExec("CREATE UNIQUE INDEX DEPT_DNO ON DEPT (DNO)")
+
+	// Data.
+	depts := []string{"ENGINEERING", "SALES", "SUPPORT"}
+	locs := []string{"DENVER", "SAN JOSE", "TUCSON"}
+	for i, d := range depts {
+		db.MustExec(fmt.Sprintf("INSERT INTO DEPT VALUES (%d, '%s', '%s')", i+1, d, locs[i]))
+	}
+	for i := 0; i < 300; i++ {
+		job := []string{"CLERK", "ENGINEER", "MANAGER"}[i%3]
+		db.MustExec(fmt.Sprintf("INSERT INTO EMP VALUES ('EMP%03d', %d, '%s', %d.0)",
+			i, i%3+1, job, 20000+i*100))
+	}
+
+	// The optimizer reads statistics gathered by UPDATE STATISTICS — run it
+	// after loading, exactly as System R's users did.
+	db.MustExec("UPDATE STATISTICS")
+
+	// A selective query: the optimizer probes the EMP_DNO index.
+	res, err := db.Query(`SELECT NAME, SAL FROM EMP WHERE DNO = 2 AND SAL > 40000 ORDER BY SAL DESC`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("High earners in department 2:")
+	fmt.Print(systemr.FormatResult(res))
+
+	stats := db.LastStats()
+	fmt.Printf("\nMeasured: %d page fetches, %d RSI calls\n\n", stats.PageFetches, stats.RSICalls)
+
+	// EXPLAIN shows the chosen access path with the paper's cost terms.
+	plan, err := db.Explain("SELECT NAME, DNAME FROM EMP, DEPT WHERE EMP.DNO = DEPT.DNO AND LOC = 'DENVER'")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("Join plan chosen by access path selection:")
+	fmt.Print(plan)
+
+	// DML flows through the same machinery.
+	r := db.MustExec("UPDATE EMP SET SAL = SAL * 1.1 WHERE JOB = 'CLERK'")
+	fmt.Printf("\nGave %d clerks a raise.\n", r.Affected)
+	r = db.MustExec("DELETE FROM EMP WHERE SAL < 21000")
+	fmt.Printf("Deleted %d underpaid rows.\n", r.Affected)
+}

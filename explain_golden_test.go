@@ -1,0 +1,46 @@
+package systemr_test
+
+import (
+	"strings"
+	"testing"
+
+	"systemr"
+)
+
+// TestExplainGolden pins the full EXPLAIN text for a small deterministic
+// database — a regression net over plan shape, cost arithmetic, and the
+// printer. If an intentional optimizer change shifts this plan, update the
+// expectation alongside the change.
+func TestExplainGolden(t *testing.T) {
+	db := systemr.Open(systemr.Config{BufferPages: 16})
+	db.MustExec("CREATE TABLE A (K INTEGER, V INTEGER)")
+	db.MustExec("CREATE TABLE B (K INTEGER, W INTEGER)")
+	for i := 0; i < 40; i++ {
+		db.MustExec("INSERT INTO A VALUES (" + itoa(i%8) + ", " + itoa(i) + ")")
+	}
+	for i := 0; i < 16; i++ {
+		db.MustExec("INSERT INTO B VALUES (" + itoa(i%8) + ", " + itoa(100+i) + ")")
+	}
+	db.MustExec("CREATE INDEX A_K ON A (K)")
+	db.MustExec("CREATE UNIQUE INDEX B_W ON B (W)")
+	db.MustExec("UPDATE STATISTICS")
+
+	got, err := db.Explain("SELECT A.V FROM A, B WHERE A.K = B.K AND B.W = 105")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// B is a single-page relation, so the segment scan beats the unique
+	// index probe (1 page vs 1 index page + 1 data page) — exactly what
+	// Table 2 prescribes.
+	want := strings.Join([]string{
+		"QUERY BLOCK (main)",
+		"  PROJECT A.V  {cost: pages=1.2 rsi=6.0, rows=5.0}",
+		"    NLJOIN bind: $1=outer[1.0]  {cost: pages=1.2 rsi=6.0, rows=5.0}",
+		"      SEGSCAN B sarg: (c1 = 105)  {cost: pages=1.0 rsi=1.0, rows=1.0}",
+		"      INDEXSCAN A via A_K(K) key:[$1 .. $1] sarg: (c0 = $1)  {cost: pages=0.2 rsi=5.0, rows=5.0}",
+		"",
+	}, "\n")
+	if got != want {
+		t.Fatalf("golden plan drifted.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

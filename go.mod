@@ -1,0 +1,3 @@
+module systemr
+
+go 1.22

@@ -1,0 +1,93 @@
+package systemr_test
+
+import (
+	"strings"
+	"testing"
+
+	"systemr/internal/core"
+	"systemr/internal/sem"
+	"systemr/internal/sql"
+	"systemr/internal/testutil"
+)
+
+func TestHavingBasics(t *testing.T) {
+	db := newEmpDeptJobDB(t)
+	// Every DNO has exactly 10 employees; filter on an aggregate.
+	res, err := db.Query("SELECT DNO, COUNT(*) FROM EMP WHERE SAL > 11000 GROUP BY DNO HAVING COUNT(*) >= 10 ORDER BY DNO")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rows {
+		if r[1].(int64) < 10 {
+			t.Fatalf("HAVING leaked group: %v", r)
+		}
+	}
+	// AVG filter with arithmetic.
+	res, err = db.Query("SELECT DNO, AVG(SAL) FROM EMP GROUP BY DNO HAVING AVG(SAL) > 11400 AND COUNT(*) > 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rows {
+		if r[1].(float64) <= 11400 {
+			t.Fatalf("avg filter leaked: %v", r)
+		}
+	}
+	// Scalar aggregate with HAVING over the single group.
+	res, err = db.Query("SELECT COUNT(*) FROM EMP HAVING COUNT(*) > 1000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Fatalf("scalar group should be filtered: %v", res.Rows)
+	}
+}
+
+func TestHavingErrors(t *testing.T) {
+	db := newEmpDeptJobDB(t)
+	if _, err := db.Query("SELECT NAME FROM EMP HAVING COUNT(*) > 1 GROUP BY NAME"); err == nil {
+		t.Fatal("HAVING before GROUP BY must not parse")
+	}
+	if _, err := db.Query("SELECT NAME FROM EMP HAVING NAME = 'X'"); err == nil ||
+		!strings.Contains(err.Error(), "HAVING requires") {
+		t.Fatalf("HAVING without aggregation: %v", err)
+	}
+	if _, err := db.Query("SELECT DNO, COUNT(*) FROM EMP GROUP BY DNO HAVING SAL > 1"); err == nil ||
+		!strings.Contains(err.Error(), "GROUP BY") {
+		t.Fatalf("non-grouped column in HAVING: %v", err)
+	}
+}
+
+// TestHavingDifferential cross-checks HAVING queries against the reference
+// evaluator under all ablations.
+func TestHavingDifferential(t *testing.T) {
+	db := newEmpDeptJobDB(t)
+	queries := []string{
+		"SELECT DNO, COUNT(*) FROM EMP GROUP BY DNO HAVING COUNT(*) > 9",
+		"SELECT JOB, MIN(SAL), MAX(SAL) FROM EMP GROUP BY JOB HAVING MAX(SAL) - MIN(SAL) > 1000",
+		"SELECT LOC, COUNT(*) FROM EMP, DEPT WHERE EMP.DNO = DEPT.DNO GROUP BY LOC HAVING COUNT(*) BETWEEN 50 AND 150",
+		"SELECT DNO, COUNT(*) FROM EMP GROUP BY DNO HAVING NOT COUNT(*) = 10",
+		"SELECT DNO, AVG(SAL) FROM EMP GROUP BY DNO HAVING DNO IN (1, 2, 3) ORDER BY DNO DESC",
+	}
+	for _, query := range queries {
+		st, err := sql.Parse(query)
+		if err != nil {
+			t.Fatalf("parse %q: %v", query, err)
+		}
+		blk, err := sem.Analyze(st.(*sql.SelectStmt), db.Catalog())
+		if err != nil {
+			t.Fatalf("analyze %q: %v", query, err)
+		}
+		want, err := testutil.RunBlock(db.Catalog().Disk(), blk)
+		if err != nil {
+			t.Fatalf("reference %q: %v", query, err)
+		}
+		for name, cfg := range ablations(db.OptimizerConfig()) {
+			got, _ := runPlanned(t, db, query, cfg)
+			if !testutil.SameMultiset(got, want) {
+				q, _ := core.New(db.Catalog(), cfg).Optimize(blk)
+				t.Fatalf("config %s: mismatch for %q: want %d rows, got %d\nplan:\n%s",
+					name, query, len(want), len(got), q.Explain())
+			}
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package systemr_test
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestHostVariables: '?' placeholders bound at Run/Open time — the paper's
+// compiled-program model with program-supplied values.
+func TestHostVariables(t *testing.T) {
+	db := newEmpDeptJobDB(t)
+	stmt, err := db.Prepare("SELECT NAME FROM EMP WHERE DNO = ? AND SAL > ? ORDER BY NAME")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The DNO placeholder becomes a deferred index key.
+	if !strings.Contains(stmt.Explain(), "EMP_DNO") {
+		t.Fatalf("host-variable equality should probe the index:\n%s", stmt.Explain())
+	}
+	res, err := stmt.Run(7, 0.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 10 {
+		t.Fatalf("DNO=7: %d rows", len(res.Rows))
+	}
+	// Same plan, different binding.
+	res, err = stmt.Run(8, 999999.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Fatalf("impossible salary: %d rows", len(res.Rows))
+	}
+	// Repeated variable positions are distinct placeholders.
+	stmt2, err := db.Prepare("SELECT NAME FROM EMP WHERE SAL BETWEEN ? AND ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = stmt2.Run(10000.0, 10050.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rows {
+		_ = r
+	}
+
+	// Argument-count mismatch is an error.
+	if _, err := stmt.Run(7); err == nil || !strings.Contains(err.Error(), "host variable") {
+		t.Fatalf("arity mismatch: %v", err)
+	}
+	if _, err := stmt.Run(7, 0.0, 3); err == nil {
+		t.Fatal("too many args must fail")
+	}
+	// Unsupported type.
+	if _, err := stmt.Run([]byte("x"), 0.0); err == nil {
+		t.Fatal("unsupported arg type must fail")
+	}
+	// Direct Query of a '?' statement fails cleanly (no args channel).
+	if _, err := db.Query("SELECT NAME FROM EMP WHERE DNO = ?"); err == nil {
+		t.Fatal("unbound host variable must fail")
+	}
+}
+
+// TestHostVariableInSubquery: a '?' inside a nested block flows through as a
+// pass-through parameter.
+func TestHostVariableInSubquery(t *testing.T) {
+	db := newEmpDeptJobDB(t)
+	stmt, err := db.Prepare(
+		"SELECT NAME FROM EMP WHERE DNO IN (SELECT DNO FROM DEPT WHERE LOC = ?) AND JOB = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := stmt.Run("DENVER", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for e := 0; e < 300; e += 4 { // JOB=5 employees
+		if (e%30+1)%3 == 0 { // Denver departments
+			want++
+		}
+	}
+	if len(res.Rows) != want {
+		t.Fatalf("got %d rows, want %d", len(res.Rows), want)
+	}
+	// Rebind without re-optimizing.
+	res, err = stmt.Run("TUCSON", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("rebinding should find Tucson typists")
+	}
+	// Streaming with args.
+	rows, err := stmt.Open("DENVER", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	n := 0
+	for {
+		_, ok, err := rows.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != want {
+		t.Fatalf("cursor streamed %d, want %d", n, want)
+	}
+}
+
+// TestHostVariableSameIndexReused: the same '?' appearing once but referenced
+// from multiple spots... each '?' is positional; two '?' are two variables.
+func TestHostVariablePositional(t *testing.T) {
+	db := newEmpDeptJobDB(t)
+	stmt, err := db.Prepare("SELECT COUNT(*) FROM EMP WHERE DNO = ? OR JOB = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := stmt.Run(3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].(int64) == 0 {
+		t.Fatal("expected matches")
+	}
+}

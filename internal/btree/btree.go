@@ -1,0 +1,395 @@
+// Package btree implements the B-tree indexes of the Research Storage System
+// (Section 3): indexes "are implemented as B-trees, whose leaves are pages
+// containing sets of (key, identifiers of tuples which contain that key)",
+// with leaf pages chained together so that sequential NEXTs never touch upper
+// levels of the tree.
+//
+// Nodes are Go structs, but every node is registered as a page with the
+// simulated disk and every node visit during a scan is routed through the
+// buffer pool, so NINDX (index page count) and measured index page fetches
+// behave exactly as the paper's on-disk trees do. See DESIGN.md,
+// "Substitutions".
+package btree
+
+import (
+	"fmt"
+
+	"systemr/internal/storage"
+	"systemr/internal/value"
+)
+
+// Entry is one (key, tuple identifier) pair stored in a leaf.
+type Entry struct {
+	Key value.Row
+	TID storage.TID
+}
+
+// compareEntries orders entries by key, breaking ties by TID so duplicate
+// keys have a deterministic total order (required for exact-once deletion).
+func compareEntries(a, b Entry) int {
+	if c := value.CompareKey(a.Key, b.Key); c != 0 {
+		return c
+	}
+	switch {
+	case a.TID.Less(b.TID):
+		return -1
+	case b.TID.Less(a.TID):
+		return 1
+	}
+	return 0
+}
+
+// ComparePrefix compares a full key against a (possibly shorter) prefix,
+// looking only at the prefix's columns. It returns 0 when the full key's
+// leading columns equal the prefix — the matching rule behind the paper's
+// "initial substring of the set of columns of the index key".
+func ComparePrefix(full value.Row, prefix []value.Value) int {
+	for i := range prefix {
+		if i >= len(full) {
+			return -1
+		}
+		if c := value.Compare(full[i], prefix[i]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+type node struct {
+	pageID   storage.PageID
+	leaf     bool
+	entries  []Entry // leaf only
+	keys     []Entry // internal: keys[i] is the smallest entry under children[i+1]
+	children []*node // internal only
+	next     *node   // leaf chain
+	prev     *node
+}
+
+// Config tunes node fan-out. Small orders are useful in tests to force deep
+// trees; the default approximates 4K pages of ~20-byte entries.
+type Config struct {
+	// Order is the maximum number of entries (leaf) or children (internal)
+	// per node. Minimum 4.
+	Order int
+}
+
+// DefaultOrder approximates how many (key, TID) pairs fit a 4K index page.
+const DefaultOrder = 200
+
+// BTree is a B+-tree from composite keys to tuple identifiers.
+type BTree struct {
+	disk    *storage.Disk
+	order   int
+	root    *node
+	height  int
+	entries int
+	nodes   int
+	// firstLeaf anchors the leaf chain for full scans.
+	firstLeaf *node
+}
+
+// New creates an empty tree whose nodes are registered as pages on disk.
+func New(disk *storage.Disk, cfg Config) *BTree {
+	order := cfg.Order
+	if order == 0 {
+		order = DefaultOrder
+	}
+	if order < 4 {
+		order = 4
+	}
+	t := &BTree{disk: disk, order: order, height: 1}
+	t.root = t.newNode(true)
+	t.firstLeaf = t.root
+	return t
+}
+
+func (t *BTree) newNode(leaf bool) *node {
+	t.nodes++
+	return &node{pageID: t.disk.AllocVirtual(), leaf: leaf}
+}
+
+// Len returns the number of stored entries.
+func (t *BTree) Len() int { return t.entries }
+
+// NumPages returns NINDX: the number of index pages (nodes).
+func (t *BTree) NumPages() int { return t.nodes }
+
+// Height returns the number of levels (1 = just a root leaf).
+func (t *BTree) Height() int { return t.height }
+
+// Insert adds a (key, tid) pair. Duplicate keys are allowed; duplicate
+// (key, tid) pairs are rejected.
+func (t *BTree) Insert(key value.Row, tid storage.TID) bool {
+	e := Entry{Key: key.Clone(), TID: tid}
+	mid, right, dup := t.insert(t.root, e)
+	if dup {
+		return false
+	}
+	if right != nil {
+		newRoot := t.newNode(false)
+		newRoot.children = []*node{t.root, right}
+		newRoot.keys = []Entry{mid}
+		t.root = newRoot
+		t.height++
+	}
+	t.entries++
+	return true
+}
+
+// insert descends into n; on split it returns the separator entry and the
+// new right sibling.
+func (t *BTree) insert(n *node, e Entry) (sep Entry, right *node, dup bool) {
+	if n.leaf {
+		i := lowerBound(n.entries, e)
+		if i < len(n.entries) && compareEntries(n.entries[i], e) == 0 {
+			return Entry{}, nil, true
+		}
+		n.entries = append(n.entries, Entry{})
+		copy(n.entries[i+1:], n.entries[i:])
+		n.entries[i] = e
+		if len(n.entries) <= t.order {
+			return Entry{}, nil, false
+		}
+		// Split leaf.
+		mid := len(n.entries) / 2
+		r := t.newNode(true)
+		r.entries = append(r.entries, n.entries[mid:]...)
+		n.entries = n.entries[:mid:mid]
+		r.next = n.next
+		if r.next != nil {
+			r.next.prev = r
+		}
+		r.prev = n
+		n.next = r
+		return r.entries[0], r, false
+	}
+	ci := childIndex(n.keys, e)
+	sep, rchild, dup := t.insert(n.children[ci], e)
+	if dup || rchild == nil {
+		return Entry{}, nil, dup
+	}
+	n.keys = append(n.keys, Entry{})
+	copy(n.keys[ci+1:], n.keys[ci:])
+	n.keys[ci] = sep
+	n.children = append(n.children, nil)
+	copy(n.children[ci+2:], n.children[ci+1:])
+	n.children[ci+1] = rchild
+	if len(n.children) <= t.order {
+		return Entry{}, nil, false
+	}
+	// Split internal node: middle key moves up.
+	midK := len(n.keys) / 2
+	up := n.keys[midK]
+	r := t.newNode(false)
+	r.keys = append(r.keys, n.keys[midK+1:]...)
+	r.children = append(r.children, n.children[midK+1:]...)
+	n.keys = n.keys[:midK:midK]
+	n.children = n.children[: midK+1 : midK+1]
+	return up, r, false
+}
+
+// lowerBound returns the first index i with entries[i] >= e.
+func lowerBound(entries []Entry, e Entry) int {
+	lo, hi := 0, len(entries)
+	for lo < hi {
+		m := (lo + hi) / 2
+		if compareEntries(entries[m], e) < 0 {
+			lo = m + 1
+		} else {
+			hi = m
+		}
+	}
+	return lo
+}
+
+// childIndex picks the child to descend into for entry e.
+func childIndex(keys []Entry, e Entry) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		m := (lo + hi) / 2
+		if compareEntries(keys[m], e) <= 0 {
+			lo = m + 1
+		} else {
+			hi = m
+		}
+	}
+	return lo
+}
+
+// Delete removes the exact (key, tid) pair, reporting whether it was found.
+// Underflowing nodes are not rebalanced (a documented simplification: the
+// paper's workloads are load-then-query); empty leaves are unlinked from the
+// chain lazily by iteration.
+func (t *BTree) Delete(key value.Row, tid storage.TID) bool {
+	e := Entry{Key: key, TID: tid}
+	n := t.root
+	for !n.leaf {
+		n = n.children[childIndex(n.keys, e)]
+	}
+	i := lowerBound(n.entries, e)
+	if i >= len(n.entries) || compareEntries(n.entries[i], e) != 0 {
+		return false
+	}
+	n.entries = append(n.entries[:i], n.entries[i+1:]...)
+	t.entries--
+	return true
+}
+
+// seekLeaf descends to the leaf that may contain the first entry with
+// key-prefix >= prefix, touching every node on the way through pool.
+func (t *BTree) seekLeaf(pool *storage.BufferPool, prefix []value.Value) (*node, int) {
+	n := t.root
+	probe := Entry{Key: value.Row(prefix)}
+	for {
+		if pool != nil {
+			pool.Touch(n.pageID)
+		}
+		if n.leaf {
+			break
+		}
+		// Descend left of the first separator whose prefix-compare is >= 0 so
+		// that duplicates of the boundary key in the left subtree are found.
+		ci := len(n.keys)
+		for i, k := range n.keys {
+			if ComparePrefix(k.Key, prefix) >= 0 {
+				ci = i
+				break
+			}
+		}
+		n = n.children[ci]
+	}
+	_ = probe
+	i := 0
+	for i < len(n.entries) && ComparePrefix(n.entries[i].Key, prefix) < 0 {
+		i++
+	}
+	return n, i
+}
+
+// Iterator walks leaf entries in key order, accounting one page touch per
+// leaf visited (the chained-leaf property: NEXTs never re-touch upper
+// levels).
+type Iterator struct {
+	pool *storage.BufferPool
+	n    *node
+	i    int
+}
+
+// Seek returns an iterator positioned at the first entry whose key has
+// prefix >= the given prefix (nil or empty prefix = the first entry).
+func (t *BTree) Seek(pool *storage.BufferPool, prefix []value.Value) *Iterator {
+	if len(prefix) == 0 {
+		n := t.firstLeaf
+		if pool != nil {
+			// Locating the first leaf still costs a root-to-leaf descent.
+			for d, c := 0, t.root; d < t.height; d++ {
+				pool.Touch(c.pageID)
+				if !c.leaf {
+					c = c.children[0]
+				}
+			}
+		}
+		it := &Iterator{pool: pool, n: n, i: 0}
+		it.skipEmpty(false)
+		return it
+	}
+	n, i := t.seekLeaf(pool, prefix)
+	it := &Iterator{pool: pool, n: n, i: i}
+	it.skipEmpty(true)
+	return it
+}
+
+// skipEmpty advances past exhausted leaves. touched reports whether the
+// current leaf was already accounted.
+func (it *Iterator) skipEmpty(touched bool) {
+	for it.n != nil && it.i >= len(it.n.entries) {
+		it.n = it.n.next
+		it.i = 0
+		touched = false
+	}
+	if it.n != nil && !touched && it.pool != nil {
+		it.pool.Touch(it.n.pageID)
+	}
+}
+
+// Next returns the entry under the cursor and advances. ok is false at end.
+func (it *Iterator) Next() (Entry, bool) {
+	if it.n == nil || it.i >= len(it.n.entries) {
+		return Entry{}, false
+	}
+	e := it.n.entries[it.i]
+	it.i++
+	if it.i >= len(it.n.entries) {
+		it.n = it.n.next
+		it.i = 0
+		if it.n != nil && it.pool != nil {
+			it.pool.Touch(it.n.pageID)
+		}
+		it.skipEmpty(true)
+	}
+	return e, true
+}
+
+// Stats scans the tree (without I/O accounting) and returns the statistics
+// Section 4 keeps per index: ICARD (distinct full keys), the distinct count
+// of the leading key column (used for "1/ICARD(column index)" selectivities
+// on the major column), NINDX (pages), and the minimum and maximum value of
+// the first key column, which feed the linear-interpolation selectivity of
+// Table 1.
+func (t *BTree) Stats() (icard, icardLead, nindx int, low, high value.Value) {
+	nindx = t.nodes
+	var prev value.Row
+	first := true
+	for n := t.firstLeaf; n != nil; n = n.next {
+		for _, e := range n.entries {
+			if first {
+				low = e.Key[0]
+				icard = 1
+				icardLead = 1
+				prev = e.Key
+				first = false
+				continue
+			}
+			if value.CompareKey(e.Key, prev) != 0 {
+				icard++
+				if value.Compare(e.Key[0], prev[0]) != 0 {
+					icardLead++
+				}
+				prev = e.Key
+			}
+		}
+	}
+	if !first {
+		// Highest first-column value: last entry of last non-empty leaf.
+		for n := t.firstLeaf; n != nil; n = n.next {
+			if len(n.entries) > 0 {
+				high = n.entries[len(n.entries)-1].Key[0]
+			}
+		}
+	}
+	return icard, icardLead, nindx, low, high
+}
+
+// Validate checks structural invariants: sorted leaves, correct entry count,
+// consistent leaf chain. Tests call it after randomized workloads.
+func (t *BTree) Validate() error {
+	count := 0
+	var prev *Entry
+	for n := t.firstLeaf; n != nil; n = n.next {
+		for i := range n.entries {
+			e := &n.entries[i]
+			if prev != nil && compareEntries(*prev, *e) >= 0 {
+				return fmt.Errorf("btree: leaf entries out of order: %v !< %v", prev.Key, e.Key)
+			}
+			prev = e
+			count++
+		}
+		if n.next != nil && n.next.prev != n {
+			return fmt.Errorf("btree: broken leaf chain at page %d", n.pageID)
+		}
+	}
+	if count != t.entries {
+		return fmt.Errorf("btree: entry count %d != leaf total %d", t.entries, count)
+	}
+	return nil
+}

@@ -1,0 +1,232 @@
+package catalog
+
+import (
+	"strings"
+	"testing"
+
+	"systemr/internal/storage"
+	"systemr/internal/value"
+)
+
+func newCat() *Catalog { return New(storage.NewDisk()) }
+
+func cols(names ...string) []Column {
+	out := make([]Column, len(names))
+	for i, n := range names {
+		out[i] = Column{Name: n, Type: value.KindInt}
+	}
+	return out
+}
+
+func insertRows(t *testing.T, tab *Table, rows []value.Row) {
+	t.Helper()
+	for _, r := range rows {
+		if _, err := tab.Segment.Insert(tab.ID, storage.EncodeRow(r)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCreateTableValidation(t *testing.T) {
+	c := newCat()
+	if _, err := c.CreateTable("T", cols("A", "B"), ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateTable("t", cols("A"), ""); err == nil {
+		t.Fatal("duplicate table (case-insensitive) must fail")
+	}
+	if _, err := c.CreateTable("U", nil, ""); err == nil {
+		t.Fatal("zero columns must fail")
+	}
+	if _, err := c.CreateTable("V", cols("A", "a"), ""); err == nil {
+		t.Fatal("duplicate column must fail")
+	}
+	tab, ok := c.Table("t")
+	if !ok || tab.Name != "T" {
+		t.Fatal("case-insensitive lookup failed")
+	}
+	if tab.ColumnIndex("b") != 1 || tab.ColumnIndex("Z") != -1 {
+		t.Fatal("ColumnIndex broken")
+	}
+}
+
+func TestDropTable(t *testing.T) {
+	c := newCat()
+	c.CreateTable("T", cols("A"), "")
+	if err := c.DropTable("T"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Table("T"); ok {
+		t.Fatal("table still visible after drop")
+	}
+	if err := c.DropTable("T"); err == nil {
+		t.Fatal("double drop must fail")
+	}
+}
+
+func TestSharedSegments(t *testing.T) {
+	c := newCat()
+	a, _ := c.CreateTable("A", cols("X"), "SEG1")
+	b, _ := c.CreateTable("B", cols("X"), "seg1")
+	d, _ := c.CreateTable("D", cols("X"), "")
+	if a.Segment != b.Segment {
+		t.Fatal("same-named segments (case-insensitive) must be shared")
+	}
+	if a.Segment == d.Segment {
+		t.Fatal("private segment must be distinct")
+	}
+}
+
+func TestCreateIndexAndBulkLoad(t *testing.T) {
+	c := newCat()
+	tab, _ := c.CreateTable("T", cols("A", "B"), "")
+	rows := []value.Row{
+		{value.NewInt(3), value.NewInt(30)},
+		{value.NewInt(1), value.NewInt(10)},
+		{value.NewInt(2), value.NewInt(20)},
+	}
+	insertRows(t, tab, rows)
+	ix, err := c.CreateIndex("T_A", "T", []string{"A"}, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Tree.Len() != 3 {
+		t.Fatalf("bulk load inserted %d entries", ix.Tree.Len())
+	}
+	it := ix.Tree.Seek(nil, nil)
+	prev := int64(-1)
+	for {
+		e, ok := it.Next()
+		if !ok {
+			break
+		}
+		if e.Key[0].Int <= prev {
+			t.Fatal("index not sorted")
+		}
+		prev = e.Key[0].Int
+	}
+	if _, err := c.CreateIndex("T_A", "T", []string{"A"}, false, false); err == nil {
+		t.Fatal("duplicate index name must fail")
+	}
+	if _, err := c.CreateIndex("T_Z", "T", []string{"Z"}, false, false); err == nil {
+		t.Fatal("unknown column must fail")
+	}
+	if _, err := c.CreateIndex("U_A", "U", []string{"A"}, false, false); err == nil {
+		t.Fatal("unknown table must fail")
+	}
+}
+
+func TestUniqueIndexViolationOnBuild(t *testing.T) {
+	c := newCat()
+	tab, _ := c.CreateTable("T", cols("A"), "")
+	insertRows(t, tab, []value.Row{{value.NewInt(1)}, {value.NewInt(1)}})
+	if _, err := c.CreateIndex("T_A", "T", []string{"A"}, true, false); err == nil {
+		t.Fatal("unique index over duplicate data must fail")
+	} else if !strings.Contains(err.Error(), "duplicate key") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestSingleClusteredIndex(t *testing.T) {
+	c := newCat()
+	c.CreateTable("T", cols("A", "B"), "")
+	if _, err := c.CreateIndex("T_A", "T", []string{"A"}, false, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateIndex("T_B", "T", []string{"B"}, false, true); err == nil {
+		t.Fatal("second clustered index must fail")
+	}
+	tab, _ := c.Table("T")
+	if tab.ClusteredIndex() == nil || tab.ClusteredIndex().Name != "T_A" {
+		t.Fatal("ClusteredIndex lookup broken")
+	}
+}
+
+func TestUpdateStatistics(t *testing.T) {
+	c := newCat()
+	tab, _ := c.CreateTable("T", []Column{{Name: "A", Type: value.KindInt}, {Name: "PAD", Type: value.KindString}}, "")
+	pad := strings.Repeat("x", 500)
+	var rows []value.Row
+	for i := 0; i < 40; i++ {
+		rows = append(rows, value.Row{value.NewInt(int64(i % 8)), value.NewString(pad)})
+	}
+	insertRows(t, tab, rows)
+	c.CreateIndex("T_A", "T", []string{"A"}, false, false)
+	c.UpdateStatistics()
+
+	st := tab.Stats
+	if !st.HasStats || st.NCard != 40 {
+		t.Fatalf("NCARD: %+v", st)
+	}
+	// ~510 bytes per record (+slot) → 8 per page → 5 pages.
+	if st.TCard < 5 || st.TCard > 7 {
+		t.Fatalf("TCARD=%d", st.TCard)
+	}
+	if st.P != 1.0 {
+		t.Fatalf("P=%f for a private segment", st.P)
+	}
+	ist := tab.Indexes[0].Stats
+	if ist.ICard != 8 || ist.ICardLead != 8 {
+		t.Fatalf("ICARD=%d lead=%d", ist.ICard, ist.ICardLead)
+	}
+	if ist.Low.Int != 0 || ist.High.Int != 7 {
+		t.Fatalf("key range [%v, %v]", ist.Low, ist.High)
+	}
+	if ist.NIndx < 1 {
+		t.Fatalf("NINDX=%d", ist.NIndx)
+	}
+}
+
+func TestUpdateStatisticsSharedSegmentP(t *testing.T) {
+	c := newCat()
+	a, _ := c.CreateTable("A", []Column{{Name: "PAD", Type: value.KindString}}, "S")
+	b, _ := c.CreateTable("B", []Column{{Name: "PAD", Type: value.KindString}}, "S")
+	pad := value.Row{value.NewString(strings.Repeat("y", 1000))}
+	for i := 0; i < 12; i++ {
+		insertRows(t, a, []value.Row{pad})
+	}
+	a.Segment.InterleaveBreak()
+	for i := 0; i < 12; i++ {
+		insertRows(t, b, []value.Row{pad})
+	}
+	c.UpdateStatistics()
+	if a.Stats.P >= 1.0 || b.Stats.P >= 1.0 {
+		t.Fatalf("shared segment should give P < 1: A=%f B=%f", a.Stats.P, b.Stats.P)
+	}
+	if p := a.Stats.P + b.Stats.P; p < 0.99 || p > 1.01 {
+		t.Fatalf("P fractions should sum to 1 without shared pages, got %f", p)
+	}
+}
+
+func TestStatDefaults(t *testing.T) {
+	var rs RelStats
+	if rs.EffNCard() != DefaultNCard || rs.EffTCard() != DefaultTCard || rs.EffP() != DefaultP {
+		t.Fatal("relation defaults wrong")
+	}
+	var is IndexStats
+	if is.EffICard() != DefaultICard || is.EffICardLead() != DefaultICard || is.EffNIndx() != 1 {
+		t.Fatal("index defaults wrong")
+	}
+	rs = RelStats{HasStats: true, NCard: 5, TCard: 2, P: 0.5}
+	if rs.EffNCard() != 5 || rs.EffTCard() != 2 || rs.EffP() != 0.5 {
+		t.Fatal("real statistics not passed through")
+	}
+}
+
+func TestIndexKeyFor(t *testing.T) {
+	c := newCat()
+	tab, _ := c.CreateTable("T", cols("A", "B", "C"), "")
+	ix, _ := c.CreateIndex("T_CA", "T", []string{"C", "A"}, false, false)
+	key := ix.KeyFor(value.Row{value.NewInt(1), value.NewInt(2), value.NewInt(3)})
+	if key[0].Int != 3 || key[1].Int != 1 {
+		t.Fatalf("KeyFor = %v", key)
+	}
+	names := ix.ColumnNames()
+	if names[0] != "C" || names[1] != "A" {
+		t.Fatalf("ColumnNames = %v", names)
+	}
+	_ = tab
+	if _, ok := c.Index("t_ca"); !ok {
+		t.Fatal("index lookup by name failed")
+	}
+}

@@ -1,0 +1,75 @@
+package core
+
+// Final plan assembly: wrap the chosen join-tree solution with aggregation,
+// projection, and duplicate elimination. The join search already guaranteed
+// the input ordering that GROUP BY / ORDER BY require (or inserted the final
+// sort), so these wrappers are pure streaming operators.
+
+import (
+	"math"
+
+	"systemr/internal/plan"
+)
+
+func (o *Optimizer) assemble(best *solution) plan.Node {
+	blk := o.blk
+	node := best.node
+	est := node.Est()
+
+	var top plan.Node
+	if blk.HasAgg {
+		groups := o.estimateGroups(est.Rows)
+		ga := &plan.GroupAgg{
+			Input:     node,
+			GroupCols: blk.GroupBy,
+			Aggs:      blk.Aggs,
+			Having:    blk.Having,
+			OutExprs:  blk.Select,
+			OutNames:  blk.SelectNames,
+		}
+		// Each HAVING conjunct filters groups; Table 1 has no entry for
+		// aggregate predicates, so the open-ended default applies.
+		for range blk.Having {
+			groups = math.Max(1, groups/3)
+		}
+		// Aggregation CPU is not part of the paper's cost model (it counts
+		// RSI calls, which all happen below); the estimate passes the input
+		// cost through with the grouped output cardinality.
+		ga.SetEst(plan.Estimate{Cost: est.Cost, Rows: groups})
+		top = ga
+	} else {
+		pr := &plan.Project{Input: node, Exprs: blk.Select, OutNames: blk.SelectNames}
+		pr.SetEst(plan.Estimate{Cost: est.Cost, Rows: est.Rows})
+		top = pr
+	}
+
+	if blk.Distinct {
+		d := &plan.Distinct{Input: top}
+		d.SetEst(plan.Estimate{Cost: top.Est().Cost, Rows: top.Est().Rows})
+		top = d
+	}
+	return top
+}
+
+// estimateGroups predicts the number of groups: the product of the group
+// columns' index cardinalities when known, capped by the input cardinality;
+// with no statistics a tenth of the input is assumed.
+func (o *Optimizer) estimateGroups(rows float64) float64 {
+	if len(o.blk.GroupBy) == 0 {
+		return 1 // scalar aggregate
+	}
+	g := 1.0
+	known := true
+	for _, c := range o.blk.GroupBy {
+		ic := o.icardOf(c)
+		if ic <= 0 {
+			known = false
+			break
+		}
+		g *= ic
+	}
+	if !known {
+		g = rows / 10
+	}
+	return math.Max(1, math.Min(g, rows))
+}

@@ -1,0 +1,117 @@
+package core
+
+// Baseline planner for the evaluation harness: the plan a system without an
+// optimizer would run — segment scans everywhere, FROM-order left-deep
+// nested-loop joins, every predicate evaluated as a residual filter above
+// the scans (nothing pushed into RSS search arguments, no index use, no
+// interesting orders). Comparing its measured cost against the optimizer's
+// chosen plan quantifies what access path selection buys.
+
+import (
+	"math"
+
+	"systemr/internal/plan"
+	"systemr/internal/sem"
+)
+
+// NaivePlan builds the unoptimized plan for a block (and, recursively, for
+// its nested blocks).
+func NaivePlan(o *Optimizer, blk *sem.Block) (*plan.Query, error) {
+	// Nested blocks first, naively as well.
+	subPlans := make([]*plan.SubPlan, 0, len(blk.Subqueries))
+	subInfo := make(map[*sem.Subquery]subStats, len(blk.Subqueries))
+	for _, sub := range blk.Subqueries {
+		sp, err := NaivePlan(o, sub.Block)
+		if err != nil {
+			return nil, err
+		}
+		relProd := 1.0
+		for _, r := range sub.Block.Rels {
+			relProd *= r.Table.Stats.EffNCard()
+		}
+		subPlan := &plan.SubPlan{Sub: sub, Query: sp}
+		subPlans = append(subPlans, subPlan)
+		subInfo[sub] = subStats{plan: subPlan, qcard: sp.Root.Est().Rows, relProd: relProd}
+	}
+
+	// Reuse the optimizer's per-block state for selectivities, equivalence
+	// classes, and the required-order computation (estimates only; the plan
+	// shape below ignores them).
+	o.blk = blk
+	o.nextParam = blk.NumParams
+	o.subInfo = subInfo
+	o.classes = newOrderClasses()
+	for _, f := range blk.Factors {
+		if f.EquiJoin != nil {
+			o.classes.union(f.EquiJoin.Left, f.EquiJoin.Right)
+		}
+	}
+	o.factors = make([]*factorInfo, len(blk.Factors))
+	for i, f := range blk.Factors {
+		rels := f.Rels
+		if rels == 0 {
+			rels = rels.Set(0)
+		}
+		o.factors[i] = &factorInfo{f: f, sel: o.selectivity(f.Expr), rels: rels}
+	}
+
+	node := o.naiveScan(0)
+	covered := sem.RelSet(0).Set(0)
+	for r := 1; r < len(blk.Rels); r++ {
+		inner := o.naiveScan(r)
+		next := covered.Set(r)
+		var residual []sem.Expr
+		var rOnly sem.RelSet
+		rOnly = rOnly.Set(r)
+		for _, fi := range o.factors {
+			if next.Contains(fi.rels) && !covered.Contains(fi.rels) && !rOnly.Contains(fi.rels) {
+				residual = append(residual, fi.f.Expr)
+			}
+		}
+		join := &plan.NLJoin{Outer: node, Inner: inner, Residual: residual}
+		join.SetEst(plan.Estimate{
+			Cost: node.Est().Cost.Add(inner.Est().Cost.Scale(math.Max(1, node.Est().Rows))),
+			Rows: o.cardOf(next),
+		})
+		node = join
+		covered = next
+	}
+
+	if req := o.requiredOrder(); len(req) > 0 {
+		full := covered
+		sc := o.sortCost(node.Est().Rows, o.setWidth(full))
+		sortNode := &plan.Sort{Input: node, Keys: o.sortKeysFor(req, full)}
+		sortNode.SetEst(plan.Estimate{Cost: node.Est().Cost.Add(sc), Rows: node.Est().Rows})
+		node = sortNode
+	}
+	root := o.assemble(&solution{set: covered, node: node, cost: node.Est().Cost})
+	return &plan.Query{
+		Block:     blk,
+		Root:      root,
+		Subs:      subPlans,
+		NumParams: o.nextParam,
+		OutNames:  blk.SelectNames,
+	}, nil
+}
+
+// naiveScan is a segment scan with every local factor as a residual filter.
+func (o *Optimizer) naiveScan(rel int) plan.Node {
+	t := o.blk.Rels[rel].Table
+	var single sem.RelSet
+	single = single.Set(rel)
+	var residual []sem.Expr
+	selAll := 1.0
+	for _, fi := range o.factors {
+		if fi.rels == single {
+			residual = append(residual, fi.f.Expr)
+			selAll *= fi.sel
+		}
+	}
+	st := t.Stats
+	node := &plan.SegScan{Table: t, RelIdx: rel, RelName: o.blk.Rels[rel].Name, Residual: residual}
+	node.SetEst(plan.Estimate{
+		Cost: plan.Cost{Pages: st.EffTCard() / st.EffP(), RSI: st.EffNCard()},
+		Rows: st.EffNCard() * selAll,
+	})
+	return node
+}

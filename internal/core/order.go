@@ -1,0 +1,238 @@
+package core
+
+// Interesting orders and order-equivalence classes (Sections 4 and 5).
+//
+// "We say that a tuple order is an interesting order if that order is one
+// specified by the query block's GROUP BY or ORDER BY clauses"; for joins,
+// "every join column defines an interesting order", and columns related by
+// equi-join predicates are folded into equivalence classes ("if there is a
+// join predicate E.DNO = D.DNO and another join predicate D.DNO = F.DNO then
+// all three of these columns belong to the same order equivalence class") so
+// that only the best solution per class is kept.
+
+import (
+	"fmt"
+	"strings"
+
+	"systemr/internal/sem"
+)
+
+// orderClasses is a union-find over column identities.
+type orderClasses struct {
+	parent map[sem.ColumnID]sem.ColumnID
+}
+
+func newOrderClasses() *orderClasses {
+	return &orderClasses{parent: make(map[sem.ColumnID]sem.ColumnID)}
+}
+
+func (oc *orderClasses) find(c sem.ColumnID) sem.ColumnID {
+	p, ok := oc.parent[c]
+	if !ok || p == c {
+		return c
+	}
+	root := oc.find(p)
+	oc.parent[c] = root
+	return root
+}
+
+func (oc *orderClasses) union(a, b sem.ColumnID) {
+	// Register both columns so class members can be enumerated later (see
+	// representative).
+	if _, ok := oc.parent[a]; !ok {
+		oc.parent[a] = a
+	}
+	if _, ok := oc.parent[b]; !ok {
+		oc.parent[b] = b
+	}
+	ra, rb := oc.find(a), oc.find(b)
+	if ra != rb {
+		oc.parent[ra] = rb
+	}
+}
+
+// same reports whether two columns are in one equivalence class.
+func (oc *orderClasses) same(a, b sem.ColumnID) bool { return oc.find(a) == oc.find(b) }
+
+// orderEl is one element of a produced or required tuple ordering: a
+// concrete column and a direction. Equivalence between columns equated by
+// join predicates is applied per relation subset (see canonical): two
+// columns are interchangeable only once the equating predicate has actually
+// been applied, so a Cartesian composite ordered on T3.K does not pass for
+// T0.K order merely because a not-yet-applied predicate equates them.
+type orderEl struct {
+	class sem.ColumnID // the concrete column producing/required at this position
+	desc  bool
+}
+
+// order is a tuple ordering, major element first. nil/empty = unordered.
+type order []orderEl
+
+// key canonicalizes an order for use as a map key.
+func (o order) key() string {
+	if len(o) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, el := range o {
+		d := "a"
+		if el.desc {
+			d = "d"
+		}
+		fmt.Fprintf(&b, "%d.%d%s;", el.class.Rel, el.class.Col, d)
+	}
+	return b.String()
+}
+
+// satisfies reports whether a produced ordering satisfies a required one:
+// the requirement must be a prefix of the production.
+func (o order) satisfies(req order) bool {
+	if len(req) > len(o) {
+		return false
+	}
+	for i, el := range req {
+		if o[i] != el {
+			return false
+		}
+	}
+	return true
+}
+
+// canonical rewrites an order's columns to their equivalence-class roots
+// under the given (subset-relative) classes, making orders comparable and
+// keyable within one subset of relations.
+func canonical(ord order, oc *orderClasses) order {
+	if len(ord) == 0 {
+		return ord
+	}
+	out := make(order, len(ord))
+	for i, el := range ord {
+		out[i] = orderEl{class: oc.find(el.class), desc: el.desc}
+	}
+	return out
+}
+
+// classesFor builds the order-equivalence classes valid within a subset:
+// only equi-join predicates fully contained in the subset (i.e. already
+// applied) equate their columns.
+func (o *Optimizer) classesFor(s sem.RelSet) *orderClasses {
+	oc := newOrderClasses()
+	for _, fi := range o.factors {
+		if fi.f.EquiJoin != nil && s.Contains(fi.rels) {
+			oc.union(fi.f.EquiJoin.Left, fi.f.EquiJoin.Right)
+		}
+	}
+	return oc
+}
+
+// requiredOrder returns the ordering the final solution must deliver for the
+// block's GROUP BY / ORDER BY, or nil. For grouped blocks with ORDER BY the
+// ORDER BY keys (⊆ GROUP BY, enforced by sem) come first and the remaining
+// group columns follow, so one sort serves both clauses.
+func (o *Optimizer) requiredOrder() order {
+	blk := o.blk
+	switch {
+	case len(blk.GroupBy) > 0:
+		var out order
+		seen := map[sem.ColumnID]bool{}
+		for _, k := range blk.OrderBy {
+			el := orderEl{class: k.Col, desc: k.Desc}
+			if !seen[el.class] {
+				seen[el.class] = true
+				out = append(out, el)
+			}
+		}
+		for _, c := range blk.GroupBy {
+			if !seen[c] {
+				seen[c] = true
+				out = append(out, orderEl{class: c})
+			}
+		}
+		return out
+	case len(blk.OrderBy) > 0:
+		var out order
+		seen := map[sem.ColumnID]bool{}
+		for _, k := range blk.OrderBy {
+			el := orderEl{class: k.Col, desc: k.Desc}
+			if !seen[el.class] {
+				seen[el.class] = true
+				out = append(out, el)
+			}
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+// interestingOrders lists every ordering worth remembering during the
+// search: the block's required order and each join column's single-column
+// ascending order.
+func (o *Optimizer) interestingOrders() []order {
+	var out []order
+	seen := map[string]bool{}
+	add := func(ord order) {
+		if len(ord) == 0 {
+			return
+		}
+		k := ord.key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, ord)
+		}
+	}
+	add(o.requiredOrder())
+	for _, fi := range o.factors {
+		if fi.f.EquiJoin != nil {
+			// Both sides are interesting: which column physically provides
+			// the order depends on the join direction chosen later.
+			add(order{orderEl{class: fi.f.EquiJoin.Left}})
+			add(order{orderEl{class: fi.f.EquiJoin.Right}})
+		}
+	}
+	if o.cfg.DisableInterestingOrders {
+		return nil
+	}
+	return out
+}
+
+// indexOrder is the ordering produced by scanning an index of relation rel:
+// its key columns, ascending.
+func (o *Optimizer) indexOrder(rel int, colIdxs []int) order {
+	out := make(order, len(colIdxs))
+	for i, c := range colIdxs {
+		out[i] = orderEl{class: sem.ColumnID{Rel: rel, Col: c}}
+	}
+	return out
+}
+
+// sortKeysFor converts a required order into concrete sort keys, choosing
+// for each class a representative column available in the given relation
+// set.
+func (o *Optimizer) sortKeysFor(req order, s sem.RelSet) []sem.OrderKey {
+	keys := make([]sem.OrderKey, 0, len(req))
+	for _, el := range req {
+		col, ok := o.representative(el.class, s)
+		if !ok {
+			// The class has no column inside s; skip (cannot happen for
+			// correctly derived requirements).
+			continue
+		}
+		keys = append(keys, sem.OrderKey{Col: col, Desc: el.desc})
+	}
+	return keys
+}
+
+// representative picks a column of the equivalence class that lives in s.
+func (o *Optimizer) representative(class sem.ColumnID, s sem.RelSet) (sem.ColumnID, bool) {
+	if s.Has(class.Rel) {
+		return class, true
+	}
+	// Any member of the class inside s will do: scan the known columns.
+	for c := range o.classes.parent {
+		if s.Has(c.Rel) && o.classes.find(c) == class {
+			return c, true
+		}
+	}
+	return sem.ColumnID{}, false
+}

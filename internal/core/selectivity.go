@@ -1,0 +1,275 @@
+package core
+
+// Selectivity factors — a verbatim implementation of TABLE 1 of the paper.
+// F very roughly corresponds to the expected fraction of tuples satisfying
+// the predicate; "we assume that a lack of statistics implies that the
+// relation is small, so an arbitrary factor is chosen."
+
+import (
+	"math"
+
+	"systemr/internal/catalog"
+	"systemr/internal/sem"
+)
+
+// Default factors of Table 1.
+const (
+	// defEq: "column = value ... F = 1/10 otherwise".
+	defEq = 1.0 / 10
+	// defRange: "column > value ... F = 1/3 otherwise". "There is no
+	// significance to this number, other than ... it is less selective than
+	// the guesses for equal predicates ... and less than 1/2."
+	defRange = 1.0 / 3
+	// defBetween: "column BETWEEN ... F = 1/4 otherwise".
+	defBetween = 1.0 / 4
+	// defUnknown is used for predicate shapes Table 1 does not cover
+	// (arithmetic over columns, etc.); like defRange it stays below 1/2
+	// ("we hypothesize that few queries use predicates that are satisfied by
+	// more than half the tuples").
+	defUnknown = 1.0 / 3
+	// inListCap: IN-list selectivity "is allowed to be no more than 1/2".
+	inListCap = 1.0 / 2
+)
+
+// selectivity assigns F to one boolean factor's expression.
+func (o *Optimizer) selectivity(e sem.Expr) float64 {
+	switch x := e.(type) {
+	case *sem.Bin:
+		switch {
+		case x.Op == sem.OpAnd:
+			// (pred1) AND (pred2): F1*F2 — "assumes column values are
+			// independent".
+			return clamp01(o.selectivity(x.L) * o.selectivity(x.R))
+		case x.Op == sem.OpOr:
+			// (pred1) OR (pred2): F1 + F2 - F1*F2.
+			f1, f2 := o.selectivity(x.L), o.selectivity(x.R)
+			return clamp01(f1 + f2 - f1*f2)
+		case x.Op.IsComparison():
+			return o.comparisonSel(x)
+		default:
+			return defUnknown
+		}
+	case *sem.Not:
+		// NOT pred: F = 1 - F(pred).
+		return clamp01(1 - o.selectivity(x.E))
+	case *sem.Between:
+		return o.betweenSel(x)
+	case *sem.InList:
+		return o.inListSel(x)
+	case *sem.InSub:
+		return o.inSubSel(x)
+	default:
+		return defUnknown
+	}
+}
+
+func clamp01(f float64) float64 {
+	if math.IsNaN(f) || f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// colStats finds statistics for a column: the first analyzed index whose
+// leading key column is the given column.
+func (o *Optimizer) colStats(id sem.ColumnID) *catalog.IndexStats {
+	t := o.blk.Rels[id.Rel].Table
+	for _, ix := range t.Indexes {
+		if ix.ColIdxs[0] == id.Col {
+			return &ix.Stats
+		}
+	}
+	return nil
+}
+
+// icardOf returns the distinct-value count for a column if an index supplies
+// one, else 0.
+func (o *Optimizer) icardOf(id sem.ColumnID) float64 {
+	if st := o.colStats(id); st != nil && st.HasStats {
+		return st.EffICardLead()
+	}
+	return 0
+}
+
+func (o *Optimizer) comparisonSel(x *sem.Bin) float64 {
+	lcol, lIsCol := x.L.(*sem.Col)
+	rcol, rIsCol := x.R.(*sem.Col)
+	switch {
+	case lIsCol && rIsCol:
+		return o.colColSel(x.Op, lcol, rcol)
+	case lIsCol:
+		return o.colValueSel(x.Op, lcol, x.R)
+	case rIsCol:
+		return o.colValueSel(flipCmp(x.Op), rcol, x.L)
+	default:
+		// Neither side is a bare column (arithmetic over columns, constants):
+		// Table 1 has no entry; use the unknown default, except constant-only
+		// comparisons which fold exactly.
+		if lc, ok := x.L.(*sem.Const); ok {
+			if rc, ok := x.R.(*sem.Const); ok {
+				if x.Op.CmpOp().Apply(lc.Val, rc.Val) {
+					return 1
+				}
+				return 0
+			}
+		}
+		if x.Op == sem.OpEq {
+			return defEq
+		}
+		return defUnknown
+	}
+}
+
+func flipCmp(op sem.BinOp) sem.BinOp {
+	switch op {
+	case sem.OpLt:
+		return sem.OpGt
+	case sem.OpLe:
+		return sem.OpGe
+	case sem.OpGt:
+		return sem.OpLt
+	case sem.OpGe:
+		return sem.OpLe
+	}
+	return op
+}
+
+// colColSel: "column1 = column2":
+//
+//	F = 1/MAX(ICARD(column1 index), ICARD(column2 index)) with both indexes
+//	("assumes that each key value in the index with the smaller cardinality
+//	has a matching value in the other index"),
+//	F = 1/ICARD(column-i index) with one index, F = 1/10 otherwise.
+//
+// Non-equality column comparisons fall back to the open-ended default.
+func (o *Optimizer) colColSel(op sem.BinOp, l, r *sem.Col) float64 {
+	if op != sem.OpEq && op != sem.OpNe {
+		return defRange
+	}
+	eq := func() float64 {
+		li, ri := o.icardOf(l.ID), o.icardOf(r.ID)
+		switch {
+		case li > 0 && ri > 0:
+			return 1 / math.Max(li, ri)
+		case li > 0:
+			return 1 / li
+		case ri > 0:
+			return 1 / ri
+		default:
+			return defEq
+		}
+	}()
+	if op == sem.OpNe {
+		return clamp01(1 - eq)
+	}
+	return eq
+}
+
+// colValueSel covers "column op value" where value is a constant, parameter,
+// or subquery result.
+func (o *Optimizer) colValueSel(op sem.BinOp, col *sem.Col, other sem.Expr) float64 {
+	st := o.colStats(col.ID)
+	switch op {
+	case sem.OpEq:
+		// F = 1/ICARD(column index) if there is an index on column — "assumes
+		// an even distribution of tuples among the index key values".
+		if st != nil && st.HasStats {
+			return 1 / st.EffICardLead()
+		}
+		return defEq
+	case sem.OpNe:
+		if st != nil && st.HasStats {
+			return clamp01(1 - 1/st.EffICardLead())
+		}
+		return clamp01(1 - defEq)
+	default:
+		// Open-ended comparison: linear interpolation when the column is
+		// arithmetic and the value is known at access path selection time.
+		c, isConst := other.(*sem.Const)
+		if !isConst || st == nil || !st.HasStats {
+			return defRange
+		}
+		if !col.Typ.Arithmetic() || !c.Val.Kind.Arithmetic() {
+			return defRange
+		}
+		high, low := st.High.AsFloat(), st.Low.AsFloat()
+		if !st.High.Kind.Arithmetic() || !st.Low.Kind.Arithmetic() || high <= low {
+			return defRange
+		}
+		v := c.Val.AsFloat()
+		switch op {
+		case sem.OpGt, sem.OpGe:
+			return clamp01((high - v) / (high - low))
+		default: // OpLt, OpLe
+			return clamp01((v - low) / (high - low))
+		}
+	}
+}
+
+// betweenSel: "column BETWEEN value1 AND value2":
+//
+//	F = (value2 - value1) / (high key - low key)
+//
+// when the column is arithmetic and both values are known, else 1/4.
+func (o *Optimizer) betweenSel(x *sem.Between) float64 {
+	f := func() float64 {
+		col, ok := x.E.(*sem.Col)
+		if !ok {
+			return defBetween
+		}
+		lo, loOK := x.Lo.(*sem.Const)
+		hi, hiOK := x.Hi.(*sem.Const)
+		st := o.colStats(col.ID)
+		if !loOK || !hiOK || st == nil || !st.HasStats ||
+			!col.Typ.Arithmetic() || !lo.Val.Kind.Arithmetic() || !hi.Val.Kind.Arithmetic() {
+			return defBetween
+		}
+		high, low := st.High.AsFloat(), st.Low.AsFloat()
+		if !st.High.Kind.Arithmetic() || !st.Low.Kind.Arithmetic() || high <= low {
+			return defBetween
+		}
+		return clamp01((hi.Val.AsFloat() - lo.Val.AsFloat()) / (high - low))
+	}()
+	if x.Negated {
+		return clamp01(1 - f)
+	}
+	return f
+}
+
+// inListSel: "column IN (list of values)":
+//
+//	F = (number of items in list) * (selectivity factor for column = value),
+//
+// allowed to be no more than 1/2.
+func (o *Optimizer) inListSel(x *sem.InList) float64 {
+	eq := defEq
+	if col, ok := x.E.(*sem.Col); ok {
+		if st := o.colStats(col.ID); st != nil && st.HasStats {
+			eq = 1 / st.EffICardLead()
+		}
+	}
+	f := math.Min(float64(len(x.List))*eq, inListCap)
+	if x.Negated {
+		return clamp01(1 - f)
+	}
+	return clamp01(f)
+}
+
+// inSubSel: "columnA IN subquery":
+//
+//	F = (expected cardinality of the subquery result) /
+//	    (product of the cardinalities of all the relations in the
+//	     subquery's FROM-list).
+func (o *Optimizer) inSubSel(x *sem.InSub) float64 {
+	f := defUnknown
+	if st, ok := o.subInfo[x.Sub]; ok && st.relProd > 0 {
+		f = clamp01(st.qcard / st.relProd)
+	}
+	if x.Negated {
+		return clamp01(1 - f)
+	}
+	return f
+}

@@ -1,0 +1,137 @@
+package exec
+
+// Tuple location for DELETE and UPDATE: "Retrieval for data manipulation
+// (UPDATE, DELETE) is treated similarly" (Section 1) — the WHERE clause is
+// analyzed as a single-relation query block and the optimizer's chosen
+// access path (index probe or segment scan, with SARGs) locates the affected
+// tuples. Targets are fully collected before any mutation, which also avoids
+// re-visiting tuples the statement itself moves (the Halloween problem).
+
+import (
+	"fmt"
+
+	"systemr/internal/plan"
+	"systemr/internal/rss"
+	"systemr/internal/sem"
+	"systemr/internal/storage"
+	"systemr/internal/value"
+)
+
+// CollectTIDs drives the access path of a planned single-relation block and
+// returns the TIDs and images of every tuple satisfying all of the block's
+// boolean factors.
+func CollectTIDs(rt *Runtime, q *plan.Query) ([]storage.TID, []value.Row, error) {
+	if len(q.Block.Rels) != 1 {
+		return nil, nil, fmt.Errorf("exec: CollectTIDs requires a single-relation block, got %d relations", len(q.Block.Rels))
+	}
+	evals := 0
+	ctx := newBlockCtx(rt, q, &evals)
+
+	// Locate the access path under the wrapper nodes. DML blocks have no
+	// aggregation; the plan is Project(scan), possibly with a sort the DML
+	// caller does not need.
+	n := q.Root
+walk:
+	for {
+		switch x := n.(type) {
+		case *plan.Project:
+			n = x.Input
+		case *plan.Sort:
+			n = x.Input
+		case *plan.Distinct:
+			n = x.Input
+		default:
+			break walk
+		}
+	}
+
+	var scan rss.Scan
+	var relIdx int
+	var residual []sem.Expr
+	switch leaf := n.(type) {
+	case *plan.SegScan:
+		sargs, err := ctx.resolveSargs(nil, leaf.Sargs)
+		if err != nil {
+			return nil, nil, err
+		}
+		scan = &rss.SegmentScan{Table: leaf.Table, Pool: rt.Pool, Sargs: sargs}
+		relIdx, residual = leaf.RelIdx, leaf.Residual
+	case *plan.IndexScan:
+		lo, hi, empty, err := ctx.resolveKeyBounds(leaf)
+		if err != nil {
+			return nil, nil, err
+		}
+		if empty {
+			return nil, nil, nil
+		}
+		sargs, err := ctx.resolveSargs(nil, leaf.Sargs)
+		if err != nil {
+			return nil, nil, err
+		}
+		scan = &rss.IndexScan{
+			Index: leaf.Index, Pool: rt.Pool,
+			Lo: lo, LoInc: leaf.LoInc, Hi: hi, HiInc: leaf.HiInc,
+			Sargs: sargs,
+		}
+		relIdx, residual = leaf.RelIdx, leaf.Residual
+	default:
+		return nil, nil, fmt.Errorf("exec: unexpected DML access path %T", n)
+	}
+
+	if err := scan.Open(); err != nil {
+		return nil, nil, err
+	}
+	defer scan.Close()
+	var tids []storage.TID
+	var rows []value.Row
+	c := make(comp, 1)
+	for {
+		row, tid, ok, err := scan.Next()
+		if err != nil {
+			return nil, nil, err
+		}
+		if !ok {
+			return tids, rows, nil
+		}
+		c[relIdx] = row
+		keep, err := ctx.applyResidual(c, residual)
+		if err != nil {
+			return nil, nil, err
+		}
+		if keep {
+			tids = append(tids, tid)
+			rows = append(rows, row)
+		}
+	}
+}
+
+// resolveKeyBounds evaluates an index scan's start/stop bounds, reporting
+// empty=true when a bound is NULL (nothing can match).
+func (ctx *blockCtx) resolveKeyBounds(leaf *plan.IndexScan) (lo, hi []value.Value, empty bool, err error) {
+	conv := func(bs []sem.Bound) ([]value.Value, bool, error) {
+		if len(bs) == 0 {
+			return nil, false, nil
+		}
+		out := make([]value.Value, len(bs))
+		for i, b := range bs {
+			v, err := ctx.resolveBound(nil, b)
+			if err != nil {
+				return nil, false, err
+			}
+			if v.IsNull() {
+				return nil, true, nil
+			}
+			out[i] = v
+		}
+		return out, false, nil
+	}
+	lo, emptyLo, err := conv(leaf.Lo)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	hi, emptyHi, err := conv(leaf.Hi)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	return lo, hi, emptyLo || emptyHi, nil
+}

@@ -1,0 +1,728 @@
+package exec
+
+import (
+	"fmt"
+
+	"systemr/internal/plan"
+	"systemr/internal/rss"
+	"systemr/internal/sem"
+	"systemr/internal/storage"
+	"systemr/internal/value"
+	"systemr/internal/xsort"
+)
+
+// Runtime carries the shared execution environment: the buffer pool through
+// which all page accesses flow (and which therefore measures PAGE FETCHES
+// and RSI CALLS) and the simulated disk for temporary lists.
+type Runtime struct {
+	Pool *storage.BufferPool
+	Disk *storage.Disk
+}
+
+// Stats summarizes one statement's measured execution.
+type Stats struct {
+	IO            storage.IOStatsSnapshot
+	SubqueryEvals int
+	Rows          int
+}
+
+// RunQuery executes a planned query block and returns the output rows. The
+// plan must not contain host variables (use RunQueryArgs).
+func RunQuery(rt *Runtime, q *plan.Query) ([]value.Row, *Stats, error) {
+	return RunQueryArgs(rt, q, nil)
+}
+
+// RunQueryArgs executes a planned query block with host-variable values
+// bound positionally (the paper's program-supplied values at execution
+// time).
+func RunQueryArgs(rt *Runtime, q *plan.Query, args []value.Value) ([]value.Row, *Stats, error) {
+	before := rt.Pool.Stats().Snapshot()
+	evals := 0
+	ctx := newBlockCtx(rt, q, &evals)
+	if err := bindHostArgs(ctx, q, args); err != nil {
+		return nil, nil, err
+	}
+	rows, err := ctx.run()
+	if err != nil {
+		return nil, nil, err
+	}
+	after := rt.Pool.Stats().Snapshot()
+	return rows, &Stats{IO: after.Sub(before), SubqueryEvals: evals, Rows: len(rows)}, nil
+}
+
+// bindHostArgs validates the argument count against the block's host
+// variables and fills the corresponding parameter slots.
+func bindHostArgs(ctx *blockCtx, q *plan.Query, args []value.Value) error {
+	nHost := 0
+	for idx := range q.Block.HostRefs {
+		if idx+1 > nHost {
+			nHost = idx + 1
+		}
+	}
+	if len(args) != nHost {
+		return fmt.Errorf("exec: statement has %d host variable(s), %d argument(s) supplied", nHost, len(args))
+	}
+	for idx, slot := range q.Block.HostRefs {
+		ctx.params[slot] = args[idx]
+	}
+	return nil
+}
+
+// blockCtx is the runtime state of one executing query block instance.
+type blockCtx struct {
+	rt      *Runtime
+	q       *plan.Query
+	params  []value.Value
+	subs    map[*sem.Subquery]*subState
+	aggVals []value.Value
+	evals   *int // shared subquery-evaluation counter
+}
+
+func newBlockCtx(rt *Runtime, q *plan.Query, evals *int) *blockCtx {
+	ctx := &blockCtx{
+		rt:     rt,
+		q:      q,
+		params: make([]value.Value, q.NumParams),
+		subs:   make(map[*sem.Subquery]*subState, len(q.Subs)),
+		evals:  evals,
+	}
+	for _, sp := range q.Subs {
+		ctx.subs[sp.Sub] = &subState{sp: sp}
+	}
+	return ctx
+}
+
+// run drives the block's plan to completion.
+func (ctx *blockCtx) run() ([]value.Row, error) {
+	it, err := ctx.buildFlat(ctx.q.Root)
+	if err != nil {
+		return nil, err
+	}
+	if err := it.open(); err != nil {
+		return nil, err
+	}
+	defer it.close()
+	var out []value.Row
+	for {
+		row, ok, err := it.next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, row)
+	}
+}
+
+// compIter produces composite rows.
+type compIter interface {
+	open() error
+	next() (comp, bool, error)
+	close() error
+}
+
+// flatIter produces final output rows.
+type flatIter interface {
+	open() error
+	next() (value.Row, bool, error)
+	close() error
+}
+
+// buildFlat constructs the output stage of the plan.
+func (ctx *blockCtx) buildFlat(n plan.Node) (flatIter, error) {
+	switch x := n.(type) {
+	case *plan.Distinct:
+		in, err := ctx.buildFlat(x.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &distinctIter{input: in}, nil
+	case *plan.Project:
+		in, err := ctx.buildComp(x.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &projectIter{ctx: ctx, input: in, exprs: x.Exprs}, nil
+	case *plan.GroupAgg:
+		in, err := ctx.buildComp(x.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &groupAggIter{ctx: ctx, input: in, node: x}, nil
+	default:
+		return nil, fmt.Errorf("exec: node %T cannot produce output rows", n)
+	}
+}
+
+// buildComp constructs the composite-row portion of the plan.
+func (ctx *blockCtx) buildComp(n plan.Node) (compIter, error) {
+	switch x := n.(type) {
+	case *plan.SegScan:
+		return &segScanIter{ctx: ctx, node: x}, nil
+	case *plan.IndexScan:
+		return &indexScanIter{ctx: ctx, node: x}, nil
+	case *plan.NLJoin:
+		outer, err := ctx.buildComp(x.Outer)
+		if err != nil {
+			return nil, err
+		}
+		return &nlJoinIter{ctx: ctx, node: x, outer: outer}, nil
+	case *plan.MergeJoin:
+		outer, err := ctx.buildComp(x.Outer)
+		if err != nil {
+			return nil, err
+		}
+		inner, err := ctx.buildComp(x.Inner)
+		if err != nil {
+			return nil, err
+		}
+		return &mergeJoinIter{ctx: ctx, node: x, outer: outer, inner: inner}, nil
+	case *plan.Sort:
+		in, err := ctx.buildComp(x.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &sortIter{ctx: ctx, input: in, keys: x.Keys}, nil
+	default:
+		return nil, fmt.Errorf("exec: unsupported composite node %T", n)
+	}
+}
+
+func (ctx *blockCtx) numRels() int { return len(ctx.q.Block.Rels) }
+
+// resolveSargs converts plan-level search arguments into concrete RSS SARGs,
+// evaluating parameter and subquery bounds now (scan-open time).
+func (ctx *blockCtx) resolveSargs(c comp, sargs []sem.SargDNF) (rss.SargSet, error) {
+	if len(sargs) == 0 {
+		return nil, nil
+	}
+	out := make(rss.SargSet, 0, len(sargs))
+	for _, dnf := range sargs {
+		sarg := rss.Sarg{Disjuncts: make([][]rss.SargTerm, 0, len(dnf))}
+		for _, conjv := range dnf {
+			conj := make([]rss.SargTerm, 0, len(conjv))
+			for _, t := range conjv {
+				v, err := ctx.resolveBound(c, t.Val)
+				if err != nil {
+					return nil, err
+				}
+				conj = append(conj, rss.SargTerm{Col: t.Col.Col, Op: t.Op, Val: v})
+			}
+			sarg.Disjuncts = append(sarg.Disjuncts, conj)
+		}
+		out = append(out, sarg)
+	}
+	return out, nil
+}
+
+// applyResidual evaluates the residual predicates attached to a node.
+func (ctx *blockCtx) applyResidual(c comp, exprs []sem.Expr) (bool, error) {
+	for _, e := range exprs {
+		ok, err := ctx.evalBool(c, e)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// ---- Scans ----
+
+type segScanIter struct {
+	ctx  *blockCtx
+	node *plan.SegScan
+	scan *rss.SegmentScan
+}
+
+func (it *segScanIter) open() error {
+	sargs, err := it.ctx.resolveSargs(nil, it.node.Sargs)
+	if err != nil {
+		return err
+	}
+	it.scan = &rss.SegmentScan{Table: it.node.Table, Pool: it.ctx.rt.Pool, Sargs: sargs}
+	return it.scan.Open()
+}
+
+func (it *segScanIter) next() (comp, bool, error) {
+	for {
+		row, _, ok, err := it.scan.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		c := make(comp, it.ctx.numRels())
+		c[it.node.RelIdx] = row
+		keep, err := it.ctx.applyResidual(c, it.node.Residual)
+		if err != nil {
+			return nil, false, err
+		}
+		if keep {
+			return c, true, nil
+		}
+	}
+}
+
+func (it *segScanIter) close() error {
+	if it.scan != nil {
+		return it.scan.Close()
+	}
+	return nil
+}
+
+type indexScanIter struct {
+	ctx   *blockCtx
+	node  *plan.IndexScan
+	scan  *rss.IndexScan
+	empty bool
+}
+
+func (it *indexScanIter) open() error {
+	// A NULL key bound can match nothing (comparisons with NULL are false):
+	// the scan is empty.
+	lo, hi, empty, err := it.ctx.resolveKeyBounds(it.node)
+	if err != nil {
+		return err
+	}
+	it.empty = empty
+	sargs, err := it.ctx.resolveSargs(nil, it.node.Sargs)
+	if err != nil {
+		return err
+	}
+	if it.empty {
+		return nil
+	}
+	it.scan = &rss.IndexScan{
+		Index: it.node.Index, Pool: it.ctx.rt.Pool,
+		Lo: lo, LoInc: it.node.LoInc, Hi: hi, HiInc: it.node.HiInc,
+		Sargs: sargs,
+	}
+	return it.scan.Open()
+}
+
+func (it *indexScanIter) next() (comp, bool, error) {
+	if it.empty {
+		return nil, false, nil
+	}
+	for {
+		row, _, ok, err := it.scan.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		c := make(comp, it.ctx.numRels())
+		c[it.node.RelIdx] = row
+		keep, err := it.ctx.applyResidual(c, it.node.Residual)
+		if err != nil {
+			return nil, false, err
+		}
+		if keep {
+			return c, true, nil
+		}
+	}
+}
+
+func (it *indexScanIter) close() error {
+	if it.scan != nil {
+		return it.scan.Close()
+	}
+	return nil
+}
+
+// ---- Nested-loop join ----
+
+type nlJoinIter struct {
+	ctx      *blockCtx
+	node     *plan.NLJoin
+	outer    compIter
+	curOuter comp
+	inner    compIter
+}
+
+func (it *nlJoinIter) open() error {
+	it.curOuter = nil
+	it.inner = nil
+	return it.outer.open()
+}
+
+func (it *nlJoinIter) next() (comp, bool, error) {
+	for {
+		if it.curOuter == nil {
+			oc, ok, err := it.outer.next()
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			it.curOuter = oc
+			// Bind the outer tuple's join values into the parameters the
+			// inner scan's start/stop keys and SARGs reference, then
+			// (re-)open the inner scan — one inner scan per outer tuple, as
+			// the nested-loops cost formula assumes.
+			for _, b := range it.node.Binds {
+				row := oc[b.From.Rel]
+				if row == nil {
+					return nil, false, fmt.Errorf("exec: nested-loop bind from missing relation %d", b.From.Rel)
+				}
+				it.ctx.params[b.Param] = row[b.From.Col]
+			}
+			inner, err := it.ctx.buildComp(it.node.Inner)
+			if err != nil {
+				return nil, false, err
+			}
+			if err := inner.open(); err != nil {
+				return nil, false, err
+			}
+			if it.inner != nil {
+				it.inner.close()
+			}
+			it.inner = inner
+		}
+		ic, ok, err := it.inner.next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			it.curOuter = nil
+			continue
+		}
+		c := mergeComp(it.curOuter, ic)
+		keep, err := it.ctx.applyResidual(c, it.node.Residual)
+		if err != nil {
+			return nil, false, err
+		}
+		if keep {
+			return c, true, nil
+		}
+	}
+}
+
+func (it *nlJoinIter) close() error {
+	if it.inner != nil {
+		it.inner.close()
+	}
+	return it.outer.close()
+}
+
+// ---- Merging-scans join ----
+
+// mergeJoinIter synchronizes two scans ordered on the join columns,
+// remembering the current inner join group so it is never rescanned
+// ("remembering where matching join groups are located", Section 5).
+type mergeJoinIter struct {
+	ctx   *blockCtx
+	node  *plan.MergeJoin
+	outer compIter
+	inner compIter
+
+	curOuter  comp
+	group     []comp
+	groupKey  value.Value
+	haveGroup bool
+	gi        int
+	lookahead comp
+	innerDone bool
+}
+
+func (it *mergeJoinIter) open() error {
+	it.curOuter, it.group, it.haveGroup, it.gi = nil, nil, false, 0
+	it.lookahead, it.innerDone = nil, false
+	if err := it.outer.open(); err != nil {
+		return err
+	}
+	return it.inner.open()
+}
+
+func (it *mergeJoinIter) innerNext() (comp, bool, error) {
+	if it.lookahead != nil {
+		c := it.lookahead
+		it.lookahead = nil
+		return c, true, nil
+	}
+	if it.innerDone {
+		return nil, false, nil
+	}
+	c, ok, err := it.inner.next()
+	if err != nil {
+		return nil, false, err
+	}
+	if !ok {
+		it.innerDone = true
+		return nil, false, nil
+	}
+	return c, true, nil
+}
+
+// loadGroup positions the inner group at the first key >= key and buffers
+// all inner rows equal to it.
+func (it *mergeJoinIter) loadGroup(key value.Value) error {
+	// Reuse the current group if it already matches.
+	if it.haveGroup && value.Compare(it.groupKey, key) == 0 {
+		return nil
+	}
+	// Skip groups below the outer key.
+	for {
+		if it.haveGroup && value.Compare(it.groupKey, key) >= 0 {
+			return nil
+		}
+		c, ok, err := it.innerNext()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			it.haveGroup = false
+			it.group = nil
+			return nil
+		}
+		k := c[it.node.InnerCol.Rel][it.node.InnerCol.Col]
+		if k.IsNull() {
+			continue // NULL join keys match nothing
+		}
+		if value.Compare(k, key) < 0 {
+			continue
+		}
+		// Buffer the whole group with this key.
+		it.group = it.group[:0]
+		it.group = append(it.group, c)
+		it.groupKey = k
+		it.haveGroup = true
+		for {
+			nc, ok, err := it.innerNext()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			nk := nc[it.node.InnerCol.Rel][it.node.InnerCol.Col]
+			if value.Compare(nk, k) == 0 {
+				it.group = append(it.group, nc)
+				continue
+			}
+			it.lookahead = nc
+			break
+		}
+		return nil
+	}
+}
+
+func (it *mergeJoinIter) next() (comp, bool, error) {
+	for {
+		if it.curOuter == nil {
+			oc, ok, err := it.outer.next()
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			key := oc[it.node.OuterCol.Rel][it.node.OuterCol.Col]
+			if key.IsNull() {
+				continue
+			}
+			if err := it.loadGroup(key); err != nil {
+				return nil, false, err
+			}
+			if !it.haveGroup || value.Compare(it.groupKey, key) != 0 {
+				continue // no matching inner group
+			}
+			it.curOuter = oc
+			it.gi = 0
+		}
+		if it.gi >= len(it.group) {
+			it.curOuter = nil
+			continue
+		}
+		c := mergeComp(it.curOuter, it.group[it.gi])
+		it.gi++
+		keep, err := it.ctx.applyResidual(c, it.node.Residual)
+		if err != nil {
+			return nil, false, err
+		}
+		if keep {
+			return c, true, nil
+		}
+	}
+}
+
+func (it *mergeJoinIter) close() error {
+	it.outer.close()
+	return it.inner.close()
+}
+
+// ---- Sort (composite) ----
+
+// sortIter materializes its input into a temporary list ordered by the sort
+// keys, flattening composites through the row codec so the temp pages hold
+// real serialized tuples.
+type sortIter struct {
+	ctx    *blockCtx
+	input  compIter
+	keys   []sem.OrderKey
+	layout *compLayout
+	res    *xsort.Result
+}
+
+// compLayout maps (relation, column) to positions in a flattened row:
+// [flag, cols...] per relation, concatenated.
+type compLayout struct {
+	offsets []int // start of each relation's section
+	widths  []int // columns per relation
+	total   int
+}
+
+func newCompLayout(blk *sem.Block) *compLayout {
+	l := &compLayout{offsets: make([]int, len(blk.Rels)), widths: make([]int, len(blk.Rels))}
+	pos := 0
+	for i, r := range blk.Rels {
+		l.offsets[i] = pos
+		l.widths[i] = len(r.Table.Columns)
+		pos += 1 + l.widths[i]
+	}
+	l.total = pos
+	return l
+}
+
+func (l *compLayout) pos(id sem.ColumnID) int { return l.offsets[id.Rel] + 1 + id.Col }
+
+func (l *compLayout) flatten(c comp) value.Row {
+	out := make(value.Row, l.total)
+	for i := range l.offsets {
+		if c[i] == nil {
+			out[l.offsets[i]] = value.NewInt(0)
+			for j := 0; j < l.widths[i]; j++ {
+				out[l.offsets[i]+1+j] = value.Null()
+			}
+			continue
+		}
+		out[l.offsets[i]] = value.NewInt(1)
+		copy(out[l.offsets[i]+1:], c[i])
+	}
+	return out
+}
+
+func (l *compLayout) unflatten(row value.Row) comp {
+	c := make(comp, len(l.offsets))
+	for i := range l.offsets {
+		if row[l.offsets[i]].Int == 0 {
+			continue
+		}
+		r := make(value.Row, l.widths[i])
+		copy(r, row[l.offsets[i]+1:l.offsets[i]+1+l.widths[i]])
+		c[i] = r
+	}
+	return c
+}
+
+func (it *sortIter) open() error {
+	if err := it.input.open(); err != nil {
+		return err
+	}
+	defer it.input.close()
+	it.layout = newCompLayout(it.ctx.q.Block)
+	keys := make([]int, len(it.keys))
+	desc := make([]bool, len(it.keys))
+	for i, k := range it.keys {
+		keys[i] = it.layout.pos(k.Col)
+		desc[i] = k.Desc
+	}
+	res, err := xsort.Sort(xsort.Config{
+		Pool: it.ctx.rt.Pool, Disk: it.ctx.rt.Disk,
+		Keys: keys, Desc: desc, CountRSI: true,
+	}, func() (value.Row, bool, error) {
+		c, ok, err := it.input.next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		return it.layout.flatten(c), true, nil
+	})
+	if err != nil {
+		return err
+	}
+	it.res = res
+	return nil
+}
+
+func (it *sortIter) next() (comp, bool, error) {
+	row, ok, err := it.res.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	return it.layout.unflatten(row), true, nil
+}
+
+func (it *sortIter) close() error {
+	if it.res != nil {
+		it.res.Close()
+	}
+	return nil
+}
+
+// Cursor streams a planned query's output rows one at a time — the
+// tuple-at-a-time host-language interface the paper's Section 2 describes
+// (generated code returning tuples to PL/I or COBOL programs). Stats are
+// finalized when the cursor closes or drains.
+type Cursor struct {
+	rt     *Runtime
+	it     flatIter
+	before storage.IOStatsSnapshot
+	evals  int
+	rows   int
+	done   bool
+	stats  *Stats
+}
+
+// OpenQuery begins streaming execution of a planned block (no host
+// variables; use OpenQueryArgs otherwise).
+func OpenQuery(rt *Runtime, q *plan.Query) (*Cursor, error) {
+	return OpenQueryArgs(rt, q, nil)
+}
+
+// OpenQueryArgs begins streaming execution with host-variable values bound.
+func OpenQueryArgs(rt *Runtime, q *plan.Query, args []value.Value) (*Cursor, error) {
+	c := &Cursor{rt: rt, before: rt.Pool.Stats().Snapshot()}
+	ctx := newBlockCtx(rt, q, &c.evals)
+	if err := bindHostArgs(ctx, q, args); err != nil {
+		return nil, err
+	}
+	it, err := ctx.buildFlat(q.Root)
+	if err != nil {
+		return nil, err
+	}
+	if err := it.open(); err != nil {
+		return nil, err
+	}
+	c.it = it
+	return c, nil
+}
+
+// Next returns the next output row; ok is false at end of results.
+func (c *Cursor) Next() (value.Row, bool, error) {
+	if c.done {
+		return nil, false, nil
+	}
+	row, ok, err := c.it.next()
+	if err != nil {
+		return nil, false, err
+	}
+	if !ok {
+		c.finish()
+		return nil, false, nil
+	}
+	c.rows++
+	return row, true, nil
+}
+
+// Close releases the cursor; safe to call at any point.
+func (c *Cursor) Close() {
+	if !c.done {
+		c.finish()
+	}
+}
+
+func (c *Cursor) finish() {
+	c.done = true
+	c.it.close()
+	after := c.rt.Pool.Stats().Snapshot()
+	c.stats = &Stats{IO: after.Sub(c.before), SubqueryEvals: c.evals, Rows: c.rows}
+}
+
+// Stats returns the measured execution statistics; valid after the cursor
+// has drained or closed, nil before.
+func (c *Cursor) Stats() *Stats { return c.stats }

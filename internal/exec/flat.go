@@ -1,0 +1,308 @@
+package exec
+
+// Output-stage iterators: projection, aggregation (GROUP BY on ordered
+// input), and duplicate elimination.
+
+import (
+	"systemr/internal/plan"
+	"systemr/internal/sem"
+	"systemr/internal/storage"
+	"systemr/internal/value"
+)
+
+// projectIter evaluates the block's output expressions per composite row.
+type projectIter struct {
+	ctx   *blockCtx
+	input compIter
+	exprs []sem.Expr
+}
+
+func (it *projectIter) open() error { return it.input.open() }
+
+func (it *projectIter) next() (value.Row, bool, error) {
+	c, ok, err := it.input.next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	out := make(value.Row, len(it.exprs))
+	for i, e := range it.exprs {
+		v, err := it.ctx.evalExpr(c, e)
+		if err != nil {
+			return nil, false, err
+		}
+		out[i] = v
+	}
+	return out, true, nil
+}
+
+func (it *projectIter) close() error { return it.input.close() }
+
+// groupAggIter aggregates input already ordered on the grouping columns,
+// emitting one output row per group (or exactly one row for a scalar
+// aggregate over the whole input).
+type groupAggIter struct {
+	ctx   *blockCtx
+	input compIter
+	node  *plan.GroupAgg
+
+	curKey  value.Row
+	curRep  comp // representative composite for group-column output values
+	states  []aggState
+	started bool
+	done    bool
+	pending comp // lookahead row belonging to the next group
+}
+
+func (it *groupAggIter) open() error {
+	it.curKey, it.curRep, it.states = nil, nil, nil
+	it.started, it.done = false, false
+	it.pending = nil
+	return it.input.open()
+}
+
+func (it *groupAggIter) groupKey(c comp) value.Row {
+	key := make(value.Row, len(it.node.GroupCols))
+	for i, g := range it.node.GroupCols {
+		key[i] = c[g.Rel][g.Col]
+	}
+	return key
+}
+
+func (it *groupAggIter) next() (value.Row, bool, error) {
+	if it.done {
+		return nil, false, nil
+	}
+	for {
+		var c comp
+		var ok bool
+		var err error
+		if it.pending != nil {
+			c, ok = it.pending, true
+			it.pending = nil
+		} else {
+			c, ok, err = it.input.next()
+			if err != nil {
+				return nil, false, err
+			}
+		}
+		if !ok {
+			it.done = true
+			if !it.started {
+				if len(it.node.GroupCols) > 0 {
+					return nil, false, nil // no input → no groups
+				}
+				// Scalar aggregate over empty input: one row (COUNT = 0,
+				// SUM/AVG/MIN/MAX = NULL) — unless HAVING filters it.
+				it.states = newAggStates(it.node.Aggs)
+				row, keep, err := it.emit(make(comp, it.ctx.numRels()))
+				if err != nil || !keep {
+					return nil, false, err
+				}
+				return row, true, nil
+			}
+			row, keep, err := it.emit(it.curRep)
+			if err != nil || !keep {
+				return nil, false, err
+			}
+			return row, true, nil
+		}
+		if !it.started {
+			it.started = true
+			it.curKey = it.groupKey(c)
+			it.curRep = c
+			it.states = newAggStates(it.node.Aggs)
+		} else if len(it.node.GroupCols) > 0 {
+			key := it.groupKey(c)
+			if value.CompareKey(key, it.curKey) != 0 {
+				// Group boundary: emit the finished group (unless HAVING
+				// filters it), start the next.
+				row, keep, err := it.emit(it.curRep)
+				if err != nil {
+					return nil, false, err
+				}
+				it.curKey = key
+				it.curRep = c
+				it.states = newAggStates(it.node.Aggs)
+				it.pending = c
+				if err := it.accumulatePending(); err != nil {
+					return nil, false, err
+				}
+				if keep {
+					return row, true, nil
+				}
+				continue
+			}
+		}
+		if err := it.accumulate(c); err != nil {
+			return nil, false, err
+		}
+	}
+}
+
+// accumulatePending folds the lookahead row (first of the new group) into
+// the fresh aggregate states.
+func (it *groupAggIter) accumulatePending() error {
+	c := it.pending
+	it.pending = nil
+	return it.accumulate(c)
+}
+
+func (it *groupAggIter) accumulate(c comp) error {
+	for i, a := range it.node.Aggs {
+		if a.Star {
+			it.states[i].addRow()
+			continue
+		}
+		v, err := it.ctx.evalExpr(c, a.Arg)
+		if err != nil {
+			return err
+		}
+		it.states[i].addValue(v)
+	}
+	return nil
+}
+
+// emit finalizes the current group: HAVING conjuncts filter it (ok=false),
+// otherwise the block's output expressions are evaluated over the group's
+// representative composite and the aggregate results.
+func (it *groupAggIter) emit(rep comp) (value.Row, bool, error) {
+	aggVals := make([]value.Value, len(it.states))
+	for i := range it.states {
+		aggVals[i] = it.states[i].finish(it.node.Aggs[i].Name)
+	}
+	it.ctx.aggVals = aggVals
+	defer func() { it.ctx.aggVals = nil }()
+	for _, h := range it.node.Having {
+		ok, err := it.ctx.evalBool(rep, h)
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			return nil, false, nil
+		}
+	}
+	out := make(value.Row, len(it.node.OutExprs))
+	for i, e := range it.node.OutExprs {
+		v, err := it.ctx.evalExpr(rep, e)
+		if err != nil {
+			return nil, false, err
+		}
+		out[i] = v
+	}
+	return out, true, nil
+}
+
+func (it *groupAggIter) close() error { return it.input.close() }
+
+// aggState accumulates one aggregate over one group.
+type aggState struct {
+	star     bool  // COUNT(*): counts rows, not values
+	rows     int64 // all rows
+	count    int64 // non-NULL inputs
+	sumI     int64
+	sumF     float64
+	isFloat  bool
+	min, max value.Value
+}
+
+func newAggStates(aggs []*sem.Agg) []aggState {
+	states := make([]aggState, len(aggs))
+	for i, a := range aggs {
+		states[i].star = a.Star
+	}
+	return states
+}
+
+func (s *aggState) addRow() { s.rows++ }
+
+func (s *aggState) addValue(v value.Value) {
+	s.rows++
+	if v.IsNull() {
+		return
+	}
+	s.count++
+	switch v.Kind {
+	case value.KindInt:
+		s.sumI += v.Int
+		s.sumF += float64(v.Int)
+	case value.KindFloat:
+		s.isFloat = true
+		s.sumF += v.Float
+	}
+	if s.count == 1 {
+		s.min, s.max = v, v
+		return
+	}
+	if value.Compare(v, s.min) < 0 {
+		s.min = v
+	}
+	if value.Compare(v, s.max) > 0 {
+		s.max = v
+	}
+}
+
+func (s *aggState) finish(name string) value.Value {
+	switch name {
+	case "COUNT":
+		// COUNT(*) counts rows; COUNT(expr) counts non-NULL values.
+		if s.star {
+			return value.NewInt(s.rows)
+		}
+		return value.NewInt(s.count)
+	case "SUM":
+		if s.count == 0 {
+			return value.Null()
+		}
+		if s.isFloat {
+			return value.NewFloat(s.sumF)
+		}
+		return value.NewInt(s.sumI)
+	case "AVG":
+		if s.count == 0 {
+			return value.Null()
+		}
+		return value.NewFloat(s.sumF / float64(s.count))
+	case "MIN":
+		if s.count == 0 {
+			return value.Null()
+		}
+		return s.min
+	case "MAX":
+		if s.count == 0 {
+			return value.Null()
+		}
+		return s.max
+	default:
+		return value.Null()
+	}
+}
+
+// distinctIter removes duplicate output rows. It hashes encoded rows and
+// preserves input order; see DESIGN.md for the deviation from System R's
+// sort-based duplicate elimination.
+type distinctIter struct {
+	input flatIter
+	seen  map[string]bool
+}
+
+func (it *distinctIter) open() error {
+	it.seen = make(map[string]bool)
+	return it.input.open()
+}
+
+func (it *distinctIter) next() (value.Row, bool, error) {
+	for {
+		row, ok, err := it.input.next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		key := string(storage.EncodeRow(row))
+		if it.seen[key] {
+			continue
+		}
+		it.seen[key] = true
+		return row, true, nil
+	}
+}
+
+func (it *distinctIter) close() error { return it.input.close() }

@@ -1,0 +1,46 @@
+package exec
+
+import (
+	"systemr/internal/plan"
+	"systemr/internal/sem"
+	"systemr/internal/value"
+)
+
+// PredContext evaluates a single-relation block's predicates against
+// candidate tuples — the executor support for DELETE and UPDATE, whose WHERE
+// clauses are analyzed as query blocks (with full subquery machinery) but
+// applied tuple-at-a-time while the storage layer walks the relation.
+type PredContext struct {
+	ctx *blockCtx
+	n   int
+}
+
+// NewPredContext builds an evaluation context over a planned single-relation
+// block. The plan's subquery blocks are available for evaluation; the join
+// tree itself is not executed.
+func NewPredContext(rt *Runtime, q *plan.Query) *PredContext {
+	evals := 0
+	return &PredContext{ctx: newBlockCtx(rt, q, &evals), n: len(q.Block.Rels)}
+}
+
+// Matches reports whether the row satisfies every boolean factor of the
+// block.
+func (pc *PredContext) Matches(row value.Row) (bool, error) {
+	c := make(comp, pc.n)
+	c[0] = row
+	for _, f := range pc.ctx.q.Block.Factors {
+		ok, err := pc.ctx.evalBool(c, f.Expr)
+		if err != nil || !ok {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// Eval evaluates an arbitrary resolved expression (an UPDATE SET right-hand
+// side) against the row.
+func (pc *PredContext) Eval(row value.Row, e sem.Expr) (value.Value, error) {
+	c := make(comp, pc.n)
+	c[0] = row
+	return pc.ctx.evalExpr(c, e)
+}

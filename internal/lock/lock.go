@@ -1,0 +1,174 @@
+// Package lock implements the locking component of the RSS (Section 3 lists
+// "locking (in a multi-user environment)" among the storage system's
+// responsibilities). Granularity is reduced to table-level shared/exclusive
+// locks with statement-scope two-phase locking — a documented simplification
+// (DESIGN.md): access path selection does not depend on lock granularity,
+// and the engine's measurements assume a single active statement.
+//
+// Deadlock freedom comes from total ordering: a statement requests all of
+// its locks up front and the manager grants them in sorted table order, so
+// no two statements ever wait on each other in a cycle.
+package lock
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Mode is a lock mode.
+type Mode uint8
+
+// Lock modes.
+const (
+	// Shared permits concurrent readers.
+	Shared Mode = iota
+	// Exclusive permits one writer and excludes readers.
+	Exclusive
+)
+
+// Request names one table and the required mode.
+type Request struct {
+	Table string
+	Mode  Mode
+}
+
+// Manager grants table locks.
+type Manager struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	tables map[string]*tableLock
+}
+
+type tableLock struct {
+	readers int
+	writer  bool
+}
+
+// NewManager creates an empty lock manager.
+func NewManager() *Manager {
+	m := &Manager{tables: make(map[string]*tableLock)}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// Held represents granted locks; Release returns them.
+type Held struct {
+	mgr  *Manager
+	reqs []Request
+	done bool
+}
+
+// Acquire blocks until every requested lock is granted. Duplicate tables are
+// collapsed (exclusive wins); grants happen in sorted order.
+func (m *Manager) Acquire(reqs []Request) *Held {
+	normalized := normalize(reqs)
+	m.mu.Lock()
+	for _, r := range normalized {
+		for !m.grantableLocked(r) {
+			m.cond.Wait()
+		}
+		m.grantLocked(r)
+	}
+	m.mu.Unlock()
+	return &Held{mgr: m, reqs: normalized}
+}
+
+// TryAcquire attempts a non-blocking grant of all requests; it returns nil
+// when any lock is unavailable.
+func (m *Manager) TryAcquire(reqs []Request) *Held {
+	normalized := normalize(reqs)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, r := range normalized {
+		if !m.grantableLocked(r) {
+			// Roll back the grants made so far in this attempt.
+			for _, g := range normalized {
+				if g == r {
+					break
+				}
+				m.ungrantLocked(g)
+			}
+			return nil
+		}
+		m.grantLocked(r)
+	}
+	return &Held{mgr: m, reqs: normalized}
+}
+
+// Release returns the locks. Safe to call once; later calls are no-ops.
+func (h *Held) Release() {
+	if h == nil || h.done {
+		return
+	}
+	h.done = true
+	m := h.mgr
+	m.mu.Lock()
+	for _, r := range h.reqs {
+		m.ungrantLocked(r)
+	}
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+func normalize(reqs []Request) []Request {
+	byTable := make(map[string]Mode, len(reqs))
+	for _, r := range reqs {
+		name := strings.ToUpper(r.Table)
+		if cur, ok := byTable[name]; !ok || r.Mode == Exclusive && cur == Shared {
+			byTable[name] = r.Mode
+		}
+	}
+	out := make([]Request, 0, len(byTable))
+	for name, mode := range byTable {
+		out = append(out, Request{Table: name, Mode: mode})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Table < out[j].Table })
+	return out
+}
+
+func (m *Manager) entry(name string) *tableLock {
+	e, ok := m.tables[name]
+	if !ok {
+		e = &tableLock{}
+		m.tables[name] = e
+	}
+	return e
+}
+
+func (m *Manager) grantableLocked(r Request) bool {
+	e := m.entry(r.Table)
+	if r.Mode == Shared {
+		return !e.writer
+	}
+	return !e.writer && e.readers == 0
+}
+
+func (m *Manager) grantLocked(r Request) {
+	e := m.entry(r.Table)
+	if r.Mode == Shared {
+		e.readers++
+	} else {
+		e.writer = true
+	}
+}
+
+func (m *Manager) ungrantLocked(r Request) {
+	e := m.entry(r.Table)
+	if r.Mode == Shared {
+		if e.readers > 0 {
+			e.readers--
+		}
+	} else {
+		e.writer = false
+	}
+}
+
+// Holders reports the current reader count and writer flag for a table
+// (testing/inspection).
+func (m *Manager) Holders(table string) (readers int, writer bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e := m.entry(strings.ToUpper(table))
+	return e.readers, e.writer
+}

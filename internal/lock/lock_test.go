@@ -1,0 +1,184 @@
+package lock
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSharedLocksCoexist(t *testing.T) {
+	m := NewManager()
+	h1 := m.Acquire([]Request{{Table: "T", Mode: Shared}})
+	h2 := m.Acquire([]Request{{Table: "T", Mode: Shared}})
+	readers, writer := m.Holders("T")
+	if readers != 2 || writer {
+		t.Fatalf("holders: %d readers writer=%v", readers, writer)
+	}
+	h1.Release()
+	h2.Release()
+	readers, writer = m.Holders("T")
+	if readers != 0 || writer {
+		t.Fatal("locks not released")
+	}
+}
+
+func TestExclusiveExcludes(t *testing.T) {
+	m := NewManager()
+	h := m.Acquire([]Request{{Table: "T", Mode: Exclusive}})
+	if got := m.TryAcquire([]Request{{Table: "T", Mode: Shared}}); got != nil {
+		t.Fatal("shared must not coexist with exclusive")
+	}
+	if got := m.TryAcquire([]Request{{Table: "T", Mode: Exclusive}}); got != nil {
+		t.Fatal("two exclusives must not coexist")
+	}
+	if got := m.TryAcquire([]Request{{Table: "OTHER", Mode: Exclusive}}); got == nil {
+		t.Fatal("unrelated table must be grantable")
+	} else {
+		got.Release()
+	}
+	h.Release()
+	h2 := m.TryAcquire([]Request{{Table: "T", Mode: Exclusive}})
+	if h2 == nil {
+		t.Fatal("lock must be grantable after release")
+	}
+	h2.Release()
+}
+
+func TestWriterWaitsForReaders(t *testing.T) {
+	m := NewManager()
+	reader := m.Acquire([]Request{{Table: "T", Mode: Shared}})
+	acquired := make(chan struct{})
+	go func() {
+		w := m.Acquire([]Request{{Table: "T", Mode: Exclusive}})
+		close(acquired)
+		w.Release()
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("writer acquired while a reader holds the lock")
+	case <-time.After(20 * time.Millisecond):
+	}
+	reader.Release()
+	select {
+	case <-acquired:
+	case <-time.After(time.Second):
+		t.Fatal("writer never acquired after reader release")
+	}
+}
+
+func TestNormalizeDedupesAndUpgrades(t *testing.T) {
+	m := NewManager()
+	h := m.Acquire([]Request{
+		{Table: "a", Mode: Shared},
+		{Table: "A", Mode: Exclusive},
+		{Table: "B", Mode: Shared},
+		{Table: "b", Mode: Shared},
+	})
+	readersA, writerA := m.Holders("A")
+	if readersA != 0 || !writerA {
+		t.Fatalf("A should be exclusively locked once: %d %v", readersA, writerA)
+	}
+	readersB, writerB := m.Holders("B")
+	if readersB != 1 || writerB {
+		t.Fatalf("B should be shared once: %d %v", readersB, writerB)
+	}
+	h.Release()
+	if r, w := m.Holders("A"); r != 0 || w {
+		t.Fatal("A not fully released")
+	}
+	if r, w := m.Holders("B"); r != 0 || w {
+		t.Fatal("B not fully released")
+	}
+}
+
+func TestReleaseIdempotent(t *testing.T) {
+	m := NewManager()
+	h := m.Acquire([]Request{{Table: "T", Mode: Shared}})
+	h.Release()
+	h.Release() // no panic, no double-decrement
+	if r, _ := m.Holders("T"); r != 0 {
+		t.Fatalf("readers %d after double release", r)
+	}
+	var nilHeld *Held
+	nilHeld.Release() // nil-safe
+}
+
+// TestNoDeadlockUnderContention: goroutines repeatedly lock overlapping
+// table sets in conflicting orders; sorted acquisition must prevent
+// deadlock. Run with -race.
+func TestNoDeadlockUnderContention(t *testing.T) {
+	m := NewManager()
+	tables := []string{"A", "B", "C", "D"}
+	var wg sync.WaitGroup
+	var ops int64
+	deadline := time.Now().Add(300 * time.Millisecond)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				// Each goroutine asks for two tables in "wrong" order with
+				// mixed modes.
+				a := tables[g%len(tables)]
+				b := tables[(g+1+g%2)%len(tables)]
+				mode := Shared
+				if g%3 == 0 {
+					mode = Exclusive
+				}
+				h := m.Acquire([]Request{
+					{Table: b, Mode: mode},
+					{Table: a, Mode: Shared},
+				})
+				atomic.AddInt64(&ops, 1)
+				h.Release()
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("deadlock: workers did not finish")
+	}
+	if ops == 0 {
+		t.Fatal("no operations completed")
+	}
+	for _, tb := range tables {
+		if r, w := m.Holders(tb); r != 0 || w {
+			t.Fatalf("table %s left locked: %d %v", tb, r, w)
+		}
+	}
+}
+
+// TestSharedConcurrency verifies that shared locks genuinely run in
+// parallel: the max observed concurrent reader count must exceed 1.
+func TestSharedConcurrency(t *testing.T) {
+	m := NewManager()
+	var cur, max int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				h := m.Acquire([]Request{{Table: "T", Mode: Shared}})
+				n := atomic.AddInt64(&cur, 1)
+				for {
+					old := atomic.LoadInt64(&max)
+					if n <= old || atomic.CompareAndSwapInt64(&max, old, n) {
+						break
+					}
+				}
+				time.Sleep(time.Microsecond)
+				atomic.AddInt64(&cur, -1)
+				h.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	if atomic.LoadInt64(&max) < 2 {
+		t.Fatalf("max concurrent readers %d; shared locks should coexist", max)
+	}
+}

@@ -1,0 +1,314 @@
+// Package rss implements the tuple-oriented Research Storage Interface of
+// Section 3: OPEN/NEXT/CLOSE scans over stored relations. Two scan types
+// exist, exactly as in the paper —
+//
+//   - segment scans, which touch every non-empty page of the relation's
+//     segment once and return the tuples belonging to the requested relation;
+//   - index scans, which walk B-tree leaf pages between optional starting and
+//     stopping key values and fetch the matching data tuples in key order.
+//
+// Both scan types accept search arguments (SARGs): a boolean expression of
+// sargable predicates ("column comparison-operator value") in disjunctive
+// normal form, applied to each tuple *before* it is returned, so that
+// rejected tuples never cost an RSI call — the paper's CPU-saving mechanism.
+package rss
+
+import (
+	"fmt"
+
+	"systemr/internal/btree"
+	"systemr/internal/catalog"
+	"systemr/internal/storage"
+	"systemr/internal/value"
+)
+
+// SargTerm is one sargable predicate: column <op> value.
+type SargTerm struct {
+	Col int
+	Op  value.CmpOp
+	Val value.Value
+}
+
+// Match evaluates the term against a stored row.
+func (t SargTerm) Match(row value.Row) bool {
+	if t.Col < 0 || t.Col >= len(row) {
+		return false
+	}
+	return t.Op.Apply(row[t.Col], t.Val)
+}
+
+// String renders the term for EXPLAIN output.
+func (t SargTerm) String() string {
+	return fmt.Sprintf("col%d %s %s", t.Col, t.Op, t.Val.SQL())
+}
+
+// Sarg is a search argument in disjunctive normal form: the row qualifies if
+// every term of at least one disjunct holds. A Sarg with no disjuncts is
+// always true.
+type Sarg struct {
+	Disjuncts [][]SargTerm
+}
+
+// And returns the conjunction of s with a single term, distributing it into
+// every disjunct (keeps DNF shape).
+func (s Sarg) And(t SargTerm) Sarg {
+	if len(s.Disjuncts) == 0 {
+		return Sarg{Disjuncts: [][]SargTerm{{t}}}
+	}
+	out := make([][]SargTerm, len(s.Disjuncts))
+	for i, d := range s.Disjuncts {
+		nd := make([]SargTerm, len(d)+1)
+		copy(nd, d)
+		nd[len(d)] = t
+		out[i] = nd
+	}
+	return Sarg{Disjuncts: out}
+}
+
+// SargSet is a conjunction of search arguments: one DNF per boolean factor,
+// all of which a tuple must satisfy.
+type SargSet []Sarg
+
+// Match evaluates the conjunction.
+func (ss SargSet) Match(row value.Row) bool {
+	for _, s := range ss {
+		if !s.Match(row) {
+			return false
+		}
+	}
+	return true
+}
+
+// Match evaluates the DNF against a row.
+func (s Sarg) Match(row value.Row) bool {
+	if len(s.Disjuncts) == 0 {
+		return true
+	}
+	for _, conj := range s.Disjuncts {
+		all := true
+		for _, t := range conj {
+			if !t.Match(row) {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true
+		}
+	}
+	return false
+}
+
+// Scan is the RSI: OPEN positions the scan, each NEXT returns one qualifying
+// tuple, CLOSE releases it. Every tuple returned by Next costs one RSI call
+// in the shared IOStats.
+type Scan interface {
+	Open() error
+	Next() (value.Row, storage.TID, bool, error)
+	Close() error
+}
+
+// SegmentScan finds all tuples of a relation by examining every page of its
+// segment — including pages that hold only other relations' tuples, which is
+// why its cost is TCARD/P.
+type SegmentScan struct {
+	Table *catalog.Table
+	Pool  *storage.BufferPool
+	Sargs SargSet
+
+	pages []storage.PageID
+	pi    int
+	slot  uint16
+	page  *storage.Page
+	open  bool
+}
+
+// Open positions the scan before the first page.
+func (s *SegmentScan) Open() error {
+	s.pages = s.Table.Segment.Pages()
+	s.pi = -1
+	s.page = nil
+	s.slot = 0
+	s.open = true
+	return nil
+}
+
+// Next returns the next qualifying tuple of the relation.
+func (s *SegmentScan) Next() (value.Row, storage.TID, bool, error) {
+	if !s.open {
+		return nil, storage.TID{}, false, fmt.Errorf("rss: Next on closed segment scan of %s", s.Table.Name)
+	}
+	for {
+		if s.page == nil || s.slot >= s.page.NumSlots() {
+			s.pi++
+			if s.pi >= len(s.pages) {
+				return nil, storage.TID{}, false, nil
+			}
+			s.page = s.Pool.Get(s.pages[s.pi])
+			s.slot = 0
+			continue
+		}
+		slot := s.slot
+		s.slot++
+		rec, rel, ok := s.page.Record(slot)
+		if !ok || rel != s.Table.ID {
+			continue
+		}
+		row, err := storage.DecodeRow(rec)
+		if err != nil {
+			return nil, storage.TID{}, false, err
+		}
+		if !s.Sargs.Match(row) {
+			continue
+		}
+		s.Pool.Stats().AddRSICall()
+		return row, storage.TID{Page: s.pages[s.pi], Slot: slot}, true, nil
+	}
+}
+
+// Close ends the scan.
+func (s *SegmentScan) Close() error {
+	s.open = false
+	s.page = nil
+	return nil
+}
+
+// IndexScan walks an index between starting and stopping key prefixes and
+// returns the data tuples in key order. Lo/Hi are prefixes of the index key;
+// nil means unbounded on that side.
+type IndexScan struct {
+	Index *catalog.Index
+	Pool  *storage.BufferPool
+	Lo    []value.Value
+	LoInc bool
+	Hi    []value.Value
+	HiInc bool
+	Sargs SargSet
+
+	it   *btree.Iterator
+	open bool
+}
+
+// Open descends the B-tree to the starting key.
+func (s *IndexScan) Open() error {
+	s.it = s.Index.Tree.Seek(s.Pool, s.Lo)
+	s.open = true
+	return nil
+}
+
+// Next returns the next qualifying tuple in index key order.
+func (s *IndexScan) Next() (value.Row, storage.TID, bool, error) {
+	if !s.open {
+		return nil, storage.TID{}, false, fmt.Errorf("rss: Next on closed index scan of %s", s.Index.Name)
+	}
+	for {
+		e, ok := s.it.Next()
+		if !ok {
+			return nil, storage.TID{}, false, nil
+		}
+		if len(s.Lo) > 0 && !s.LoInc && btree.ComparePrefix(e.Key, s.Lo) == 0 {
+			continue // strictly-greater start bound
+		}
+		if len(s.Hi) > 0 {
+			cmp := btree.ComparePrefix(e.Key, s.Hi)
+			if cmp > 0 || (cmp == 0 && !s.HiInc) {
+				return nil, storage.TID{}, false, nil
+			}
+		}
+		page := s.Pool.Get(e.TID.Page)
+		rec, rel, live := page.Record(e.TID.Slot)
+		if !live || rel != s.Index.Table.ID {
+			continue // stale index entry (deleted tuple)
+		}
+		row, err := storage.DecodeRow(rec)
+		if err != nil {
+			return nil, storage.TID{}, false, err
+		}
+		if !s.Sargs.Match(row) {
+			continue
+		}
+		s.Pool.Stats().AddRSICall()
+		return row, e.TID, true, nil
+	}
+}
+
+// Close ends the scan.
+func (s *IndexScan) Close() error {
+	s.open = false
+	s.it = nil
+	return nil
+}
+
+// Insert validates a row against the table schema, stores it, and maintains
+// every index. Unique-index violations roll the insertion back.
+func Insert(t *catalog.Table, row value.Row) (storage.TID, error) {
+	if len(row) != len(t.Columns) {
+		return storage.TID{}, fmt.Errorf("rss: table %s has %d columns, row has %d", t.Name, len(t.Columns), len(row))
+	}
+	coerced := make(value.Row, len(row))
+	for i, v := range row {
+		cv, err := coerce(v, t.Columns[i].Type)
+		if err != nil {
+			return storage.TID{}, fmt.Errorf("rss: column %s of %s: %w", t.Columns[i].Name, t.Name, err)
+		}
+		coerced[i] = cv
+	}
+	for _, ix := range t.Indexes {
+		if ix.Unique && indexHasKey(ix, ix.KeyFor(coerced)) {
+			return storage.TID{}, fmt.Errorf("rss: duplicate key %v violates unique index %s", ix.KeyFor(coerced), ix.Name)
+		}
+	}
+	tid, err := t.Segment.Insert(t.ID, storage.EncodeRow(coerced))
+	if err != nil {
+		return storage.TID{}, err
+	}
+	for _, ix := range t.Indexes {
+		ix.Tree.Insert(ix.KeyFor(coerced), tid)
+	}
+	return tid, nil
+}
+
+func indexHasKey(ix *catalog.Index, key value.Row) bool {
+	it := ix.Tree.Seek(nil, key)
+	e, ok := it.Next()
+	return ok && btree.ComparePrefix(e.Key, key) == 0
+}
+
+// Delete removes the tuple at tid (whose decoded image is row) and its index
+// entries.
+func Delete(t *catalog.Table, tid storage.TID, row value.Row, disk *storage.Disk) error {
+	page := disk.Page(tid.Page)
+	if !page.Delete(tid.Slot) {
+		return fmt.Errorf("rss: tuple %v of %s already deleted", tid, t.Name)
+	}
+	for _, ix := range t.Indexes {
+		ix.Tree.Delete(ix.KeyFor(row), tid)
+	}
+	return nil
+}
+
+// coerce converts v to the column type, allowing the int→float widening the
+// SQL front end relies on.
+func coerce(v value.Value, want value.Kind) (value.Value, error) {
+	if v.IsNull() {
+		return v, nil
+	}
+	switch want {
+	case value.KindInt:
+		if v.Kind == value.KindInt {
+			return v, nil
+		}
+	case value.KindFloat:
+		switch v.Kind {
+		case value.KindFloat:
+			return v, nil
+		case value.KindInt:
+			return value.NewFloat(float64(v.Int)), nil
+		}
+	case value.KindString:
+		if v.Kind == value.KindString {
+			return v, nil
+		}
+	}
+	return value.Value{}, fmt.Errorf("cannot store %s value %s in %s column", v.Kind, v.SQL(), want)
+}

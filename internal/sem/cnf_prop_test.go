@@ -1,0 +1,103 @@
+package sem
+
+// Property test: the NOT-pushdown normalization and the split into boolean
+// factors preserve boolean semantics. Random predicate trees over constant
+// leaves are evaluated directly and compared against the conjunction of the
+// factors produced from the normalized tree.
+
+import (
+	"math/rand"
+	"testing"
+
+	"systemr/internal/value"
+)
+
+// constLeaf builds a predicate with a fixed truth value: (1 = 1) or (1 = 2).
+func constLeaf(val bool) Expr {
+	one := &Const{Val: value.NewInt(1)}
+	r := &Const{Val: value.NewInt(2)}
+	if val {
+		r = &Const{Val: value.NewInt(1)}
+	}
+	return &Bin{Op: OpEq, L: one, R: r}
+}
+
+// randomPredTree builds a random tree of AND/OR/NOT over constant leaves,
+// returning the tree and its ground-truth value.
+func randomPredTree(rnd *rand.Rand, depth int) (Expr, bool) {
+	if depth == 0 || rnd.Intn(3) == 0 {
+		v := rnd.Intn(2) == 0
+		return constLeaf(v), v
+	}
+	switch rnd.Intn(3) {
+	case 0:
+		l, lv := randomPredTree(rnd, depth-1)
+		r, rv := randomPredTree(rnd, depth-1)
+		return &Bin{Op: OpAnd, L: l, R: r}, lv && rv
+	case 1:
+		l, lv := randomPredTree(rnd, depth-1)
+		r, rv := randomPredTree(rnd, depth-1)
+		return &Bin{Op: OpOr, L: l, R: r}, lv || rv
+	default:
+		e, v := randomPredTree(rnd, depth-1)
+		return &Not{E: e}, !v
+	}
+}
+
+// evalConstPred evaluates a constant predicate tree (AND/OR/NOT over
+// comparisons of constants, including negated comparisons produced by
+// pushNot).
+func evalConstPred(t *testing.T, e Expr) bool {
+	switch x := e.(type) {
+	case *Bin:
+		switch {
+		case x.Op == OpAnd:
+			return evalConstPred(t, x.L) && evalConstPred(t, x.R)
+		case x.Op == OpOr:
+			return evalConstPred(t, x.L) || evalConstPred(t, x.R)
+		case x.Op.IsComparison():
+			l := x.L.(*Const).Val
+			r := x.R.(*Const).Val
+			return x.Op.CmpOp().Apply(l, r)
+		}
+	case *Not:
+		return !evalConstPred(t, x.E)
+	}
+	t.Fatalf("unexpected node %T", e)
+	return false
+}
+
+func TestPushNotPreservesSemantics(t *testing.T) {
+	rnd := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 3000; trial++ {
+		tree, want := randomPredTree(rnd, 5)
+		norm := pushNot(tree, false)
+		if got := evalConstPred(t, norm); got != want {
+			t.Fatalf("trial %d: normalized tree evaluates %v, want %v", trial, got, want)
+		}
+		// The conjunction of the boolean factors equals the whole predicate.
+		all := true
+		for _, conj := range conjuncts(norm) {
+			all = all && evalConstPred(t, conj)
+		}
+		if all != want {
+			t.Fatalf("trial %d: factor conjunction %v, want %v", trial, all, want)
+		}
+	}
+}
+
+func TestConjunctsFlattenOnlyTopLevelAnds(t *testing.T) {
+	a, b, c := constLeaf(true), constLeaf(false), constLeaf(true)
+	tree := &Bin{Op: OpAnd, L: a, R: &Bin{Op: OpAnd, L: b, R: c}}
+	if got := len(conjuncts(tree)); got != 3 {
+		t.Fatalf("nested ANDs flatten to %d factors", got)
+	}
+	or := &Bin{Op: OpOr, L: a, R: b}
+	if got := len(conjuncts(or)); got != 1 {
+		t.Fatalf("OR stays one factor, got %d", got)
+	}
+	mixed := &Bin{Op: OpAnd, L: or, R: c}
+	if got := len(conjuncts(mixed)); got != 2 {
+		t.Fatalf("mixed tree: %d factors", got)
+	}
+}

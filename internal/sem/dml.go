@@ -1,0 +1,61 @@
+package sem
+
+// Analysis of data-manipulation statements. "Retrieval for data manipulation
+// (UPDATE, DELETE) is treated similarly" (Section 1): the WHERE clause of a
+// DELETE or UPDATE is analyzed as a single-relation query block, so the same
+// access path selection applies to locating the affected tuples.
+
+import (
+	"fmt"
+
+	"systemr/internal/catalog"
+	"systemr/internal/sql"
+)
+
+// AnalyzeDelete analyzes DELETE FROM t WHERE ... into a single-relation
+// query block whose factors locate the tuples to delete.
+func AnalyzeDelete(st *sql.DeleteStmt, cat *catalog.Catalog) (*Block, error) {
+	sel := &sql.SelectStmt{
+		Items: []sql.SelectItem{{Star: true}},
+		From:  []sql.TableRef{{Table: st.Table, Alias: st.Alias}},
+		Where: st.Where,
+	}
+	return Analyze(sel, cat)
+}
+
+// UpdateSet is one resolved SET assignment.
+type UpdateSet struct {
+	Col  int
+	Expr Expr
+}
+
+// AnalyzeUpdate analyzes UPDATE t SET ... WHERE ... into a query block plus
+// the resolved assignment expressions (evaluated against each matching
+// tuple).
+func AnalyzeUpdate(st *sql.UpdateStmt, cat *catalog.Catalog) (*Block, []UpdateSet, error) {
+	sel := &sql.SelectStmt{
+		Items: []sql.SelectItem{{Star: true}},
+		From:  []sql.TableRef{{Table: st.Table, Alias: st.Alias}},
+		Where: st.Where,
+	}
+	counter := 0
+	a := &analyzer{cat: cat, subID: &counter}
+	blk, err := a.analyzeSelect(sel)
+	if err != nil {
+		return nil, nil, err
+	}
+	table := blk.Rels[0].Table
+	sets := make([]UpdateSet, 0, len(st.Sets))
+	for _, sc := range st.Sets {
+		ci := table.ColumnIndex(sc.Column)
+		if ci < 0 {
+			return nil, nil, fmt.Errorf("semantic error: column %s does not exist in %s", sc.Column, table.Name)
+		}
+		e, err := a.resolveExpr(sc.Expr, false)
+		if err != nil {
+			return nil, nil, err
+		}
+		sets = append(sets, UpdateSet{Col: ci, Expr: e})
+	}
+	return blk, sets, nil
+}

@@ -1,0 +1,25 @@
+package sql
+
+import "testing"
+
+// FuzzParse is a native fuzz target (go test -fuzz=FuzzParse ./internal/sql);
+// in normal runs it exercises the seed corpus. Invariant: Parse returns a
+// statement or an error — it never panics.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"SELECT a FROM t WHERE b = 1 AND c IN (1,2,3) ORDER BY a",
+		"SELECT DISTINCT x.y FROM t x GROUP BY x.y HAVING COUNT(*) > ? ORDER BY x.y DESC",
+		"CREATE UNIQUE CLUSTERED INDEX i ON t (a, b)",
+		"INSERT INTO t VALUES (1, 'it''s', 2.5e3, NULL), (-1, '', 0, 4)",
+		"UPDATE t SET a = a * 2 WHERE b BETWEEN ? AND ?",
+		"DELETE FROM t WHERE a IN (SELECT a FROM u WHERE b = t.c)",
+		"EXPLAIN SELECT (SELECT MAX(x) FROM s) FROM t WHERE NOT a <> 5",
+		"SELECT * FROM t WHERE a = 'unterminated",
+		";;;",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		_, _ = Parse(input) // must not panic
+	})
+}

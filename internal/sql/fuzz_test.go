@@ -1,0 +1,58 @@
+package sql
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestParseNeverPanics feeds the parser random byte soup and mutated valid
+// statements: it must return a statement or an error, never panic.
+func TestParseNeverPanics(t *testing.T) {
+	rnd := rand.New(rand.NewSource(77))
+	alphabet := "SELECT FROM WHERE GROUP BY ORDER HAVING AND OR NOT IN BETWEEN ()'=<>!*,.;0123456789abcXYZ_ \n\t-"
+	valid := []string{
+		"SELECT a FROM t WHERE b = 1 AND c IN (1,2,3) ORDER BY a",
+		"CREATE TABLE t (a INTEGER, b VARCHAR(10))",
+		"INSERT INTO t VALUES (1, 'x'), (2, NULL)",
+		"UPDATE t SET a = a + 1 WHERE b BETWEEN 1 AND 2",
+		"SELECT COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 1",
+	}
+	for trial := 0; trial < 5000; trial++ {
+		var input string
+		if trial%2 == 0 {
+			// Pure random soup.
+			n := rnd.Intn(80)
+			var b strings.Builder
+			for i := 0; i < n; i++ {
+				b.WriteByte(alphabet[rnd.Intn(len(alphabet))])
+			}
+			input = b.String()
+		} else {
+			// Mutate a valid statement: delete/duplicate/replace a chunk.
+			s := valid[rnd.Intn(len(valid))]
+			if len(s) > 4 {
+				i := rnd.Intn(len(s) - 2)
+				j := i + 1 + rnd.Intn(len(s)-i-1)
+				switch rnd.Intn(3) {
+				case 0:
+					input = s[:i] + s[j:]
+				case 1:
+					input = s[:j] + s[i:j] + s[j:]
+				default:
+					input = s[:i] + string(alphabet[rnd.Intn(len(alphabet))]) + s[j:]
+				}
+			} else {
+				input = s
+			}
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Parse(%q) panicked: %v", input, r)
+				}
+			}()
+			_, _ = Parse(input)
+		}()
+	}
+}

@@ -1,0 +1,189 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexical tokens.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokInt
+	tokFloat
+	tokString
+	tokPunct
+)
+
+// token is one lexical token with its source position for error messages.
+type token struct {
+	kind tokenKind
+	text string // keywords upper-cased; punct canonical; strings unquoted
+	pos  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of statement"
+	case tokString:
+		return "'" + t.text + "'"
+	default:
+		return t.text
+	}
+}
+
+// keywords recognized by the lexer. Identifiers matching these (case-
+// insensitively) become tokKeyword.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "HAVING": true, "ORDER": true,
+	"BY": true, "ASC": true, "DESC": true, "DISTINCT": true, "AND": true,
+	"OR": true, "NOT": true, "BETWEEN": true, "IN": true, "AS": true,
+	"CREATE": true, "TABLE": true, "INDEX": true, "UNIQUE": true,
+	"CLUSTERED": true, "ON": true, "INSERT": true, "INTO": true,
+	"VALUES": true, "DELETE": true, "UPDATE": true, "SET": true,
+	"STATISTICS": true, "EXPLAIN": true, "DROP": true, "NULL": true,
+	"INTEGER": true, "INT": true, "FLOAT": true, "REAL": true,
+	"VARCHAR": true, "CHAR": true, "SEGMENT": true,
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+}
+
+// lexError is a lexical error with position context.
+type lexError struct {
+	msg string
+	pos int
+}
+
+func (e *lexError) Error() string { return fmt.Sprintf("syntax error at offset %d: %s", e.pos, e.msg) }
+
+// lex tokenizes the input statement.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-': // line comment
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == '\'' {
+					if i+1 < n && input[i+1] == '\'' { // doubled quote escape
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					closed = true
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, &lexError{msg: "unterminated string literal", pos: start}
+			}
+			toks = append(toks, token{kind: tokString, text: sb.String(), pos: start})
+		case c >= '0' && c <= '9' || (c == '.' && i+1 < n && input[i+1] >= '0' && input[i+1] <= '9'):
+			start := i
+			isFloat := false
+			for i < n && (input[i] >= '0' && input[i] <= '9') {
+				i++
+			}
+			if i < n && input[i] == '.' {
+				isFloat = true
+				i++
+				for i < n && (input[i] >= '0' && input[i] <= '9') {
+					i++
+				}
+			}
+			if i < n && (input[i] == 'e' || input[i] == 'E') {
+				isFloat = true
+				i++
+				if i < n && (input[i] == '+' || input[i] == '-') {
+					i++
+				}
+				for i < n && (input[i] >= '0' && input[i] <= '9') {
+					i++
+				}
+			}
+			text := input[start:i]
+			kind := tokInt
+			if isFloat {
+				kind = tokFloat
+				if _, err := strconv.ParseFloat(text, 64); err != nil {
+					return nil, &lexError{msg: "bad numeric literal " + text, pos: start}
+				}
+			} else if _, err := strconv.ParseInt(text, 10, 64); err != nil {
+				return nil, &lexError{msg: "bad integer literal " + text, pos: start}
+			}
+			toks = append(toks, token{kind: kind, text: text, pos: start})
+		case isIdentStart(rune(c)):
+			start := i
+			for i < n && isIdentPart(rune(input[i])) {
+				i++
+			}
+			word := input[start:i]
+			upper := strings.ToUpper(word)
+			if keywords[upper] {
+				toks = append(toks, token{kind: tokKeyword, text: upper, pos: start})
+			} else {
+				toks = append(toks, token{kind: tokIdent, text: word, pos: start})
+			}
+		default:
+			start := i
+			var p string
+			switch c {
+			case '<':
+				if i+1 < n && (input[i+1] == '=' || input[i+1] == '>') {
+					p = input[i : i+2]
+					i += 2
+				} else {
+					p = "<"
+					i++
+				}
+			case '>':
+				if i+1 < n && input[i+1] == '=' {
+					p = ">="
+					i += 2
+				} else {
+					p = ">"
+					i++
+				}
+			case '!':
+				if i+1 < n && input[i+1] == '=' {
+					p = "<>" // canonicalize != to <>
+					i += 2
+				} else {
+					return nil, &lexError{msg: "unexpected character '!'", pos: i}
+				}
+			case '=', '(', ')', ',', '+', '-', '*', '/', '.', ';', '?':
+				p = string(c)
+				i++
+			default:
+				return nil, &lexError{msg: fmt.Sprintf("unexpected character %q", c), pos: i}
+			}
+			toks = append(toks, token{kind: tokPunct, text: p, pos: start})
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: n})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool { return unicode.IsLetter(r) || r == '_' }
+
+func isIdentPart(r rune) bool { return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' }

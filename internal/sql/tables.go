@@ -1,0 +1,96 @@
+package sql
+
+import "strings"
+
+// TablesReferenced walks a parsed statement and returns the tables it reads
+// and the tables it writes (syntactically — before catalog lookup), for lock
+// acquisition. Names are upper-cased; a written table also appears as read
+// when its WHERE clause scans it.
+func TablesReferenced(st Statement) (read, write []string) {
+	seenR := map[string]bool{}
+	seenW := map[string]bool{}
+	addR := func(name string) {
+		up := strings.ToUpper(name)
+		if !seenR[up] {
+			seenR[up] = true
+			read = append(read, up)
+		}
+	}
+	addW := func(name string) {
+		up := strings.ToUpper(name)
+		if !seenW[up] {
+			seenW[up] = true
+			write = append(write, up)
+		}
+	}
+	var walkExpr func(e Expr)
+	var walkSelect func(s *SelectStmt)
+	walkExpr = func(e Expr) {
+		switch x := e.(type) {
+		case *BinaryExpr:
+			walkExpr(x.L)
+			walkExpr(x.R)
+		case *NotExpr:
+			walkExpr(x.E)
+		case *NegExpr:
+			walkExpr(x.E)
+		case *BetweenExpr:
+			walkExpr(x.E)
+			walkExpr(x.Lo)
+			walkExpr(x.Hi)
+		case *InListExpr:
+			walkExpr(x.E)
+			for _, le := range x.List {
+				walkExpr(le)
+			}
+		case *InSubqueryExpr:
+			walkExpr(x.E)
+			walkSelect(x.Select)
+		case *SubqueryExpr:
+			walkSelect(x.Select)
+		case *FuncExpr:
+			if x.Arg != nil {
+				walkExpr(x.Arg)
+			}
+		}
+	}
+	walkSelect = func(s *SelectStmt) {
+		if s == nil {
+			return
+		}
+		for _, f := range s.From {
+			addR(f.Table)
+		}
+		for _, item := range s.Items {
+			if item.Expr != nil {
+				walkExpr(item.Expr)
+			}
+		}
+		if s.Where != nil {
+			walkExpr(s.Where)
+		}
+	}
+	switch x := st.(type) {
+	case *SelectStmt:
+		walkSelect(x)
+	case *ExplainStmt:
+		r, w := TablesReferenced(x.Stmt)
+		return r, w
+	case *InsertStmt:
+		addW(x.Table)
+	case *DeleteStmt:
+		addW(x.Table)
+		if x.Where != nil {
+			walkExpr(x.Where)
+		}
+	case *UpdateStmt:
+		addW(x.Table)
+		for _, set := range x.Sets {
+			walkExpr(set.Expr)
+		}
+		if x.Where != nil {
+			walkExpr(x.Where)
+		}
+	}
+	return read, write
+}

@@ -1,0 +1,47 @@
+package sql
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func refs(t *testing.T, text string) (read, write []string) {
+	t.Helper()
+	st, err := Parse(text)
+	if err != nil {
+		t.Fatalf("parse %q: %v", text, err)
+	}
+	read, write = TablesReferenced(st)
+	sort.Strings(read)
+	sort.Strings(write)
+	return read, write
+}
+
+func TestTablesReferenced(t *testing.T) {
+	cases := []struct {
+		sql         string
+		read, write []string
+	}{
+		{"SELECT a FROM t1, t2 WHERE t1.a = t2.a", []string{"T1", "T2"}, nil},
+		{"SELECT a FROM t WHERE b IN (SELECT b FROM u WHERE c > (SELECT MAX(c) FROM v))",
+			[]string{"T", "U", "V"}, nil},
+		{"SELECT (SELECT MAX(x) FROM s) FROM t", []string{"S", "T"}, nil},
+		{"INSERT INTO t VALUES (1)", nil, []string{"T"}},
+		{"DELETE FROM t WHERE a IN (SELECT a FROM u)", []string{"U"}, []string{"T"}},
+		{"UPDATE t SET a = (SELECT MAX(a) FROM u) WHERE b IN (SELECT b FROM v)",
+			[]string{"U", "V"}, []string{"T"}},
+		{"EXPLAIN SELECT a FROM t", []string{"T"}, nil},
+		{"SELECT a FROM t WHERE NOT (a BETWEEN 1 AND (SELECT MIN(x) FROM w))",
+			[]string{"T", "W"}, nil},
+	}
+	for _, c := range cases {
+		read, write := refs(t, c.sql)
+		if !reflect.DeepEqual(read, c.read) && !(len(read) == 0 && len(c.read) == 0) {
+			t.Errorf("%q read = %v, want %v", c.sql, read, c.read)
+		}
+		if !reflect.DeepEqual(write, c.write) && !(len(write) == 0 && len(c.write) == 0) {
+			t.Errorf("%q write = %v, want %v", c.sql, write, c.write)
+		}
+	}
+}

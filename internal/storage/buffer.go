@@ -1,0 +1,187 @@
+package storage
+
+import (
+	"container/list"
+	"sync"
+)
+
+// IOStats counts the two quantities of the paper's cost formula.
+//
+//	COST = PAGE FETCHES + W * (RSI CALLS)
+//
+// PageFetches is incremented on every buffer-pool miss (a simulated I/O);
+// LogicalReads counts all page accesses including buffer hits. RSI calls are
+// counted by the rss package into the same struct so a single snapshot
+// captures a statement's measured cost.
+type IOStats struct {
+	mu           sync.Mutex
+	PageFetches  int64
+	LogicalReads int64
+	RSICalls     int64
+	PagesWritten int64
+}
+
+// Snapshot returns a copy of the counters.
+func (s *IOStats) Snapshot() IOStatsSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return IOStatsSnapshot{
+		PageFetches:  s.PageFetches,
+		LogicalReads: s.LogicalReads,
+		RSICalls:     s.RSICalls,
+		PagesWritten: s.PagesWritten,
+	}
+}
+
+// Reset zeroes the counters.
+func (s *IOStats) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.PageFetches, s.LogicalReads, s.RSICalls, s.PagesWritten = 0, 0, 0, 0
+}
+
+// AddRSICall records one tuple crossing the RSS interface.
+func (s *IOStats) AddRSICall() {
+	s.mu.Lock()
+	s.RSICalls++
+	s.mu.Unlock()
+}
+
+func (s *IOStats) addRead(miss bool) {
+	s.mu.Lock()
+	s.LogicalReads++
+	if miss {
+		s.PageFetches++
+	}
+	s.mu.Unlock()
+}
+
+func (s *IOStats) addWrite() {
+	s.mu.Lock()
+	s.PagesWritten++
+	s.mu.Unlock()
+}
+
+// IOStatsSnapshot is an immutable copy of IOStats.
+type IOStatsSnapshot struct {
+	PageFetches  int64
+	LogicalReads int64
+	RSICalls     int64
+	PagesWritten int64
+}
+
+// Sub returns the per-statement delta between two snapshots.
+func (a IOStatsSnapshot) Sub(b IOStatsSnapshot) IOStatsSnapshot {
+	return IOStatsSnapshot{
+		PageFetches:  a.PageFetches - b.PageFetches,
+		LogicalReads: a.LogicalReads - b.LogicalReads,
+		RSICalls:     a.RSICalls - b.RSICalls,
+		PagesWritten: a.PagesWritten - b.PagesWritten,
+	}
+}
+
+// Cost evaluates the paper's weighted cost for the snapshot. Page writes
+// (temporary lists produced by sorts) are I/Os and count with the fetches.
+func (a IOStatsSnapshot) Cost(w float64) float64 {
+	return float64(a.PageFetches+a.PagesWritten) + w*float64(a.RSICalls)
+}
+
+// BufferPool is an LRU cache of page frames in front of the Disk. Its
+// capacity (in pages) is the "System R buffer" that Table 2's alternative
+// cost formulas refer to: a retrieved set that fits in the buffer is fetched
+// once per page; one that does not refits a fetch per access.
+type BufferPool struct {
+	mu       sync.Mutex
+	disk     *Disk
+	capacity int
+	stats    *IOStats
+	lru      *list.List               // front = most recent; values are PageID
+	resident map[PageID]*list.Element // pages currently buffered
+}
+
+// NewBufferPool creates a pool of the given page capacity over disk,
+// accounting into stats.
+func NewBufferPool(disk *Disk, capacity int, stats *IOStats) *BufferPool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &BufferPool{
+		disk:     disk,
+		capacity: capacity,
+		stats:    stats,
+		lru:      list.New(),
+		resident: make(map[PageID]*list.Element),
+	}
+}
+
+// Capacity returns the pool size in pages.
+func (bp *BufferPool) Capacity() int { return bp.capacity }
+
+// Stats returns the pool's shared counters.
+func (bp *BufferPool) Stats() *IOStats { return bp.stats }
+
+// Get returns the page frame for id, fetching it (a simulated I/O) if it is
+// not resident. Virtual pages (B-tree nodes) return nil but are accounted
+// identically.
+func (bp *BufferPool) Get(id PageID) *Page {
+	bp.touch(id)
+	return bp.disk.page(id)
+}
+
+// Touch accounts an access to id without needing the frame. The B-tree calls
+// this on every node visit.
+func (bp *BufferPool) Touch(id PageID) { bp.touch(id) }
+
+func (bp *BufferPool) touch(id PageID) {
+	bp.mu.Lock()
+	if el, ok := bp.resident[id]; ok {
+		bp.lru.MoveToFront(el)
+		bp.mu.Unlock()
+		bp.stats.addRead(false)
+		return
+	}
+	// Miss: evict if full, then install.
+	if bp.lru.Len() >= bp.capacity {
+		oldest := bp.lru.Back()
+		bp.lru.Remove(oldest)
+		delete(bp.resident, oldest.Value.(PageID))
+	}
+	bp.resident[id] = bp.lru.PushFront(id)
+	bp.mu.Unlock()
+	bp.stats.addRead(true)
+}
+
+// MarkWritten accounts a page write (used by sorts materializing temporary
+// lists). Writes are pure write-through: the page is NOT left resident, so a
+// later read of the temp page is a fetch — matching the cost model's
+// write-plus-read accounting for sort passes.
+func (bp *BufferPool) MarkWritten(id PageID) {
+	bp.stats.addWrite()
+}
+
+// Evict drops a page from the pool (used when temp segments are freed).
+func (bp *BufferPool) Evict(id PageID) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if el, ok := bp.resident[id]; ok {
+		bp.lru.Remove(el)
+		delete(bp.resident, id)
+	}
+}
+
+// Resident reports whether id is currently buffered.
+func (bp *BufferPool) Resident(id PageID) bool {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	_, ok := bp.resident[id]
+	return ok
+}
+
+// Flush empties the pool, so the next access to every page is a fetch.
+// Experiments use this to start measurements from a cold buffer.
+func (bp *BufferPool) Flush() {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.lru.Init()
+	bp.resident = make(map[PageID]*list.Element)
+}

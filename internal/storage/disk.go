@@ -1,0 +1,68 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Disk is the simulated non-volatile store: a growable array of pages.
+// All reads go through a BufferPool; the Disk itself only allocates and
+// hands out page frames.
+//
+// The paper ran on real DASD; here the "device" is memory, but because the
+// optimizer's cost model is expressed in page fetches (buffer-pool misses)
+// rather than seconds, the simulation preserves every quantity the paper's
+// formulas predict.
+type Disk struct {
+	mu    sync.Mutex
+	pages []*Page
+}
+
+// NewDisk returns an empty disk.
+func NewDisk() *Disk { return &Disk{} }
+
+// AllocPage allocates a fresh, initialized slotted page and returns its ID.
+func (d *Disk) AllocPage() (PageID, *Page) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	id := PageID(len(d.pages))
+	p := &Page{ID: id}
+	p.InitPage()
+	d.pages = append(d.pages, p)
+	return id, p
+}
+
+// AllocVirtual reserves a page ID with no byte image behind it. The B-tree
+// registers its in-memory nodes as virtual pages so that node visits are
+// accounted by the buffer pool exactly like data-page fetches (see DESIGN.md,
+// "Substitutions").
+func (d *Disk) AllocVirtual() PageID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	id := PageID(len(d.pages))
+	d.pages = append(d.pages, nil)
+	return id
+}
+
+// Page returns the frame for id without I/O accounting. Callers measuring a
+// query must go through BufferPool.Get instead; Page is for loading paths and
+// statistics collection, which the paper's measurements exclude.
+func (d *Disk) Page(id PageID) *Page { return d.page(id) }
+
+// page returns the frame for id, panicking on out-of-range access: a page ID
+// always originates from AllocPage, so a miss is a bug, not an input error.
+func (d *Disk) page(id PageID) *Page {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if int(id) >= len(d.pages) {
+		panic(fmt.Sprintf("storage: access to unallocated page %d", id))
+	}
+	return d.pages[id]
+}
+
+// NumPages returns the number of allocated pages (real and virtual).
+func (d *Disk) NumPages() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.pages)
+}

@@ -1,0 +1,25 @@
+package storage
+
+import "testing"
+
+// FuzzDecodeRow: arbitrary bytes must decode to a row or an error, never
+// panic, and valid rows must re-encode losslessly.
+func FuzzDecodeRow(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Add([]byte{1, 1, 2})
+	f.Add(EncodeRow(nil))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		row, err := DecodeRow(data)
+		if err != nil {
+			return
+		}
+		again, err := DecodeRow(EncodeRow(row))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(again) != len(row) {
+			t.Fatalf("round trip changed arity: %d vs %d", len(again), len(row))
+		}
+	})
+}

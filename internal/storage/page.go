@@ -1,0 +1,178 @@
+// Package storage implements the physical layer of the Research Storage
+// System (RSS) described in Section 3 of the paper: relations stored as
+// tuples on 4K-byte slotted pages, pages organized into segments that may be
+// shared by several relations (each stored record is tagged with the
+// identifier of the relation it belongs to), and a buffer pool through which
+// every page access flows so that PAGE FETCHES — the I/O term of the
+// optimizer's cost formula — are measured exactly.
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// PageSize is the size of every data page in bytes. The paper's System R used
+// 4K-byte pages; we keep the same size so TCARD/NINDX magnitudes are
+// comparable.
+const PageSize = 4096
+
+// PageID identifies a page within the simulated disk.
+type PageID uint32
+
+// InvalidPageID is the sentinel for "no page".
+const InvalidPageID = PageID(0xFFFFFFFF)
+
+// RelID identifies a stored relation. Records carry their RelID so that
+// tuples from two or more relations may occur on the same segment page,
+// exactly as in the paper.
+type RelID uint32
+
+// TID is a tuple identifier: the page that stores the tuple and the slot
+// within the page. B-tree leaves hold (key, TID) pairs.
+type TID struct {
+	Page PageID
+	Slot uint16
+}
+
+// String renders the TID as page.slot.
+func (t TID) String() string { return fmt.Sprintf("%d.%d", t.Page, t.Slot) }
+
+// Less orders TIDs by page then slot; used to break ties among duplicate
+// index keys deterministically.
+func (t TID) Less(o TID) bool {
+	if t.Page != o.Page {
+		return t.Page < o.Page
+	}
+	return t.Slot < o.Slot
+}
+
+// Page layout (little-endian):
+//
+//	[0:2)   numSlots  uint16
+//	[2:4)   freeOff   uint16  — start of unused space between records and slots
+//	[4:...) record heap growing up
+//	[...:PageSize) slot directory growing down; slot i occupies the 8 bytes at
+//	        PageSize-8*(i+1): off uint16, len uint16, relID uint32.
+//	        len == 0 marks a deleted slot.
+//
+// A Page is a real byte image: rows are serialized into it and parsed back
+// out, so TCARD (pages per relation) emerges from actual record sizes.
+type Page struct {
+	ID   PageID
+	Data [PageSize]byte
+}
+
+const (
+	pageHeaderSize = 4
+	slotSize       = 8
+)
+
+// InitPage formats a zeroed page as an empty slotted page.
+func (p *Page) InitPage() {
+	binary.LittleEndian.PutUint16(p.Data[0:2], 0)
+	binary.LittleEndian.PutUint16(p.Data[2:4], pageHeaderSize)
+}
+
+// NumSlots returns the number of slot directory entries (including deleted).
+func (p *Page) NumSlots() uint16 { return binary.LittleEndian.Uint16(p.Data[0:2]) }
+
+func (p *Page) setNumSlots(n uint16) { binary.LittleEndian.PutUint16(p.Data[0:2], n) }
+
+func (p *Page) freeOff() uint16 { return binary.LittleEndian.Uint16(p.Data[2:4]) }
+
+func (p *Page) setFreeOff(off uint16) { binary.LittleEndian.PutUint16(p.Data[2:4], off) }
+
+func (p *Page) slotBase(i uint16) int { return PageSize - slotSize*(int(i)+1) }
+
+// FreeSpace returns the bytes available for one more record plus its slot.
+func (p *Page) FreeSpace() int {
+	free := p.slotBase(p.NumSlots()) - int(p.freeOff())
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// ErrPageFull is returned when a record does not fit on the page.
+var ErrPageFull = errors.New("storage: page full")
+
+// ErrRecordTooLarge is returned for records that cannot fit on any page.
+var ErrRecordTooLarge = errors.New("storage: record larger than page")
+
+// MaxRecordSize is the largest record Insert accepts.
+const MaxRecordSize = PageSize - pageHeaderSize - slotSize
+
+// Insert appends a record belonging to rel and returns its slot number.
+func (p *Page) Insert(rel RelID, record []byte) (uint16, error) {
+	if len(record) > MaxRecordSize {
+		return 0, ErrRecordTooLarge
+	}
+	need := len(record) + slotSize
+	if p.FreeSpace() < need {
+		return 0, ErrPageFull
+	}
+	slot := p.NumSlots()
+	off := p.freeOff()
+	copy(p.Data[off:], record)
+	base := p.slotBase(slot)
+	binary.LittleEndian.PutUint16(p.Data[base:], off)
+	binary.LittleEndian.PutUint16(p.Data[base+2:], uint16(len(record)))
+	binary.LittleEndian.PutUint32(p.Data[base+4:], uint32(rel))
+	p.setFreeOff(off + uint16(len(record)))
+	p.setNumSlots(slot + 1)
+	return slot, nil
+}
+
+// Record returns the bytes and owning relation of slot i. ok is false when
+// the slot does not exist or has been deleted.
+func (p *Page) Record(i uint16) (rec []byte, rel RelID, ok bool) {
+	if i >= p.NumSlots() {
+		return nil, 0, false
+	}
+	base := p.slotBase(i)
+	off := binary.LittleEndian.Uint16(p.Data[base:])
+	n := binary.LittleEndian.Uint16(p.Data[base+2:])
+	if n == 0 {
+		return nil, 0, false
+	}
+	rel = RelID(binary.LittleEndian.Uint32(p.Data[base+4:]))
+	return p.Data[off : off+n], rel, true
+}
+
+// Delete marks slot i deleted. Space is not compacted; the paper's cost
+// model does not depend on in-page compaction and segment scans simply skip
+// deleted slots.
+func (p *Page) Delete(i uint16) bool {
+	if i >= p.NumSlots() {
+		return false
+	}
+	base := p.slotBase(i)
+	if binary.LittleEndian.Uint16(p.Data[base+2:]) == 0 {
+		return false
+	}
+	binary.LittleEndian.PutUint16(p.Data[base+2:], 0)
+	return true
+}
+
+// HasRecordsFor reports whether any live slot on the page belongs to rel.
+func (p *Page) HasRecordsFor(rel RelID) bool {
+	for i := uint16(0); i < p.NumSlots(); i++ {
+		if _, r, ok := p.Record(i); ok && r == rel {
+			return true
+		}
+	}
+	return false
+}
+
+// LiveRecords returns the number of live (non-deleted) slots.
+func (p *Page) LiveRecords() int {
+	n := 0
+	for i := uint16(0); i < p.NumSlots(); i++ {
+		if _, _, ok := p.Record(i); ok {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,333 @@
+package storage
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"systemr/internal/value"
+)
+
+func TestPageInsertAndRead(t *testing.T) {
+	var p Page
+	p.InitPage()
+	s0, err := p.Insert(7, []byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := p.Insert(9, []byte("world!"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, rel, ok := p.Record(s0)
+	if !ok || rel != 7 || !bytes.Equal(rec, []byte("hello")) {
+		t.Fatalf("slot 0: %q rel=%d ok=%v", rec, rel, ok)
+	}
+	rec, rel, ok = p.Record(s1)
+	if !ok || rel != 9 || !bytes.Equal(rec, []byte("world!")) {
+		t.Fatalf("slot 1: %q rel=%d ok=%v", rec, rel, ok)
+	}
+	if _, _, ok := p.Record(99); ok {
+		t.Fatal("out-of-range slot must not exist")
+	}
+}
+
+func TestPageDelete(t *testing.T) {
+	var p Page
+	p.InitPage()
+	s, _ := p.Insert(1, []byte("x"))
+	if !p.Delete(s) {
+		t.Fatal("delete failed")
+	}
+	if p.Delete(s) {
+		t.Fatal("double delete must fail")
+	}
+	if _, _, ok := p.Record(s); ok {
+		t.Fatal("deleted slot must not read")
+	}
+	if p.LiveRecords() != 0 {
+		t.Fatal("no live records expected")
+	}
+	if p.HasRecordsFor(1) {
+		t.Fatal("relation should have no records")
+	}
+}
+
+func TestPageFillsUp(t *testing.T) {
+	var p Page
+	p.InitPage()
+	rec := make([]byte, 100)
+	n := 0
+	for {
+		if _, err := p.Insert(1, rec); err != nil {
+			if err != ErrPageFull {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			break
+		}
+		n++
+	}
+	// 4096-byte page, 100-byte records + 8-byte slots → ~37 fit.
+	if n < 30 || n > 40 {
+		t.Fatalf("unexpected capacity %d", n)
+	}
+	if p.FreeSpace() >= 108 {
+		t.Fatal("page reported full but has space")
+	}
+}
+
+func TestPageRejectsHugeRecord(t *testing.T) {
+	var p Page
+	p.InitPage()
+	if _, err := p.Insert(1, make([]byte, PageSize)); err != ErrRecordTooLarge {
+		t.Fatalf("want ErrRecordTooLarge, got %v", err)
+	}
+}
+
+// randomRow builds arbitrary rows for codec round-trip checks.
+type randomRow struct{ Row value.Row }
+
+func (randomRow) Generate(rnd *rand.Rand, _ int) reflect.Value {
+	n := rnd.Intn(8)
+	row := make(value.Row, n)
+	for i := range row {
+		switch rnd.Intn(4) {
+		case 0:
+			row[i] = value.Null()
+		case 1:
+			row[i] = value.NewInt(rnd.Int63() - (1 << 62))
+		case 2:
+			row[i] = value.NewFloat(rnd.NormFloat64() * 1e6)
+		default:
+			b := make([]byte, rnd.Intn(40))
+			rnd.Read(b)
+			row[i] = value.NewString(string(b))
+		}
+	}
+	return reflect.ValueOf(randomRow{Row: row})
+}
+
+func TestRowCodecRoundTrip(t *testing.T) {
+	prop := func(rr randomRow) bool {
+		enc := EncodeRow(rr.Row)
+		dec, err := DecodeRow(enc)
+		if err != nil {
+			return false
+		}
+		if len(dec) != len(rr.Row) {
+			return false
+		}
+		for i := range dec {
+			if dec[i].Kind != rr.Row[i].Kind || value.Compare(dec[i], rr.Row[i]) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRowCorruption(t *testing.T) {
+	enc := EncodeRow(value.Row{value.NewInt(5), value.NewString("abc")})
+	for cut := 1; cut < len(enc); cut++ {
+		if _, err := DecodeRow(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d must fail", cut)
+		}
+	}
+	if _, err := DecodeRow(append(enc, 0)); err == nil {
+		t.Fatal("trailing garbage must fail")
+	}
+}
+
+func TestBufferPoolLRUAndStats(t *testing.T) {
+	disk := NewDisk()
+	stats := &IOStats{}
+	pool := NewBufferPool(disk, 2, stats)
+	ids := make([]PageID, 3)
+	for i := range ids {
+		ids[i], _ = disk.AllocPage()
+	}
+
+	pool.Get(ids[0]) // miss
+	pool.Get(ids[1]) // miss
+	pool.Get(ids[0]) // hit
+	pool.Get(ids[2]) // miss, evicts ids[1] (LRU)
+	pool.Get(ids[1]) // miss again
+	s := stats.Snapshot()
+	if s.PageFetches != 4 {
+		t.Fatalf("want 4 fetches, got %d", s.PageFetches)
+	}
+	if s.LogicalReads != 5 {
+		t.Fatalf("want 5 logical reads, got %d", s.LogicalReads)
+	}
+}
+
+func TestBufferPoolFlushAndEvict(t *testing.T) {
+	disk := NewDisk()
+	stats := &IOStats{}
+	pool := NewBufferPool(disk, 4, stats)
+	id, _ := disk.AllocPage()
+	pool.Get(id)
+	if !pool.Resident(id) {
+		t.Fatal("page should be resident")
+	}
+	pool.Evict(id)
+	if pool.Resident(id) {
+		t.Fatal("page should be evicted")
+	}
+	pool.Get(id)
+	pool.Flush()
+	if pool.Resident(id) {
+		t.Fatal("flush should empty the pool")
+	}
+	if got := stats.Snapshot().PageFetches; got != 2 {
+		t.Fatalf("want 2 fetches after flush cycle, got %d", got)
+	}
+}
+
+func TestMarkWrittenIsWriteThrough(t *testing.T) {
+	disk := NewDisk()
+	stats := &IOStats{}
+	pool := NewBufferPool(disk, 4, stats)
+	id, _ := disk.AllocPage()
+	pool.MarkWritten(id)
+	if pool.Resident(id) {
+		t.Fatal("written page must not become resident")
+	}
+	s := stats.Snapshot()
+	if s.PagesWritten != 1 || s.PageFetches != 0 {
+		t.Fatalf("write accounting wrong: %+v", s)
+	}
+	if s.Cost(0) != 1 {
+		t.Fatalf("writes must count in cost, got %v", s.Cost(0))
+	}
+}
+
+func TestSegmentStatistics(t *testing.T) {
+	disk := NewDisk()
+	seg := NewSegment(0, disk)
+	big := make([]byte, 1000)
+	// Relation 1: 8 records of ~1008 bytes each (record + slot), 4 per 4K
+	// page → 2 pages.
+	for i := 0; i < 8; i++ {
+		if _, err := seg.Insert(1, big); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seg.InterleaveBreak()
+	// Relation 2: lands on fresh pages after the break.
+	for i := 0; i < 4; i++ {
+		if _, err := seg.Insert(2, big); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t1 := seg.PagesHolding(1)
+	t2 := seg.PagesHolding(2)
+	ne := seg.NonEmptyPages()
+	if t1 != 2 || t2 != 1 {
+		t.Fatalf("TCARD: rel1=%d rel2=%d", t1, t2)
+	}
+	if ne != t1+t2 {
+		t.Fatalf("non-empty pages %d != %d", ne, t1+t2)
+	}
+}
+
+func TestSegmentSharedPage(t *testing.T) {
+	disk := NewDisk()
+	seg := NewSegment(0, disk)
+	// Without InterleaveBreak, two relations alternate and share pages.
+	small := make([]byte, 10)
+	tidA, _ := seg.Insert(1, small)
+	tidB, _ := seg.Insert(2, small)
+	if tidA.Page != tidB.Page {
+		t.Fatal("small records of two relations should share the first page")
+	}
+	if seg.PagesHolding(1) != 1 || seg.PagesHolding(2) != 1 || seg.NonEmptyPages() != 1 {
+		t.Fatal("shared-page accounting wrong")
+	}
+}
+
+func TestTIDOrdering(t *testing.T) {
+	a := TID{Page: 1, Slot: 5}
+	b := TID{Page: 1, Slot: 6}
+	c := TID{Page: 2, Slot: 0}
+	if !a.Less(b) || !b.Less(c) || c.Less(a) {
+		t.Fatal("TID order broken")
+	}
+	if a.String() != "1.5" {
+		t.Fatalf("TID string: %s", a.String())
+	}
+}
+
+func TestDiskVirtualPages(t *testing.T) {
+	disk := NewDisk()
+	id := disk.AllocVirtual()
+	stats := &IOStats{}
+	pool := NewBufferPool(disk, 2, stats)
+	pool.Touch(id)
+	pool.Touch(id)
+	s := stats.Snapshot()
+	if s.PageFetches != 1 || s.LogicalReads != 2 {
+		t.Fatalf("virtual page accounting: %+v", s)
+	}
+	if disk.NumPages() != 1 {
+		t.Fatalf("NumPages = %d", disk.NumPages())
+	}
+}
+
+// pageOp drives the slotted page against a map oracle with random
+// insert/delete sequences (testing/quick-style randomized property test).
+func TestPageRandomOpsAgainstOracle(t *testing.T) {
+	rnd := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 50; trial++ {
+		var p Page
+		p.InitPage()
+		oracle := map[uint16][]byte{} // live slots
+		var slots []uint16
+		for op := 0; op < 300; op++ {
+			if rnd.Intn(3) != 0 || len(slots) == 0 {
+				rec := make([]byte, 1+rnd.Intn(60))
+				rnd.Read(rec)
+				rel := RelID(1 + rnd.Intn(3))
+				slot, err := p.Insert(rel, rec)
+				if err == ErrPageFull {
+					continue
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				oracle[slot] = append([]byte(nil), rec...)
+				slots = append(slots, slot)
+			} else {
+				i := rnd.Intn(len(slots))
+				slot := slots[i]
+				_, wasLive := oracle[slot]
+				if p.Delete(slot) != wasLive {
+					t.Fatalf("delete(%d) disagreed with oracle", slot)
+				}
+				delete(oracle, slot)
+			}
+		}
+		live := 0
+		for s := uint16(0); s < p.NumSlots(); s++ {
+			rec, _, ok := p.Record(s)
+			want, liveInOracle := oracle[s]
+			if ok != liveInOracle {
+				t.Fatalf("slot %d liveness: page %v oracle %v", s, ok, liveInOracle)
+			}
+			if ok {
+				live++
+				if !bytes.Equal(rec, want) {
+					t.Fatalf("slot %d content mismatch", s)
+				}
+			}
+		}
+		if live != len(oracle) || live != p.LiveRecords() {
+			t.Fatalf("live count: %d vs oracle %d vs LiveRecords %d", live, len(oracle), p.LiveRecords())
+		}
+	}
+}

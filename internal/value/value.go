@@ -1,0 +1,361 @@
+// Package value defines the typed column values that flow through the whole
+// system: the storage layer serializes them onto pages, the RSS compares them
+// inside search arguments, and the optimizer's selectivity formulas
+// interpolate over them.
+//
+// The type system mirrors what the paper needs: arithmetic types (integer and
+// float, which enable the linear-interpolation selectivity of Table 1) and a
+// character type (for which range predicates fall back to the 1/3 default).
+package value
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the column datatypes supported by the engine.
+type Kind uint8
+
+const (
+	// KindNull is the type of the SQL NULL literal and of absent values.
+	KindNull Kind = iota
+	// KindInt is a 64-bit signed integer column.
+	KindInt
+	// KindFloat is a 64-bit IEEE-754 floating point column.
+	KindFloat
+	// KindString is a variable-length character column.
+	KindString
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "INTEGER"
+	case KindFloat:
+		return "FLOAT"
+	case KindString:
+		return "VARCHAR"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Arithmetic reports whether the kind participates in arithmetic and in the
+// linear-interpolation selectivity estimate of Table 1.
+func (k Kind) Arithmetic() bool { return k == KindInt || k == KindFloat }
+
+// Value is a single typed column value. The zero Value is NULL.
+type Value struct {
+	Kind  Kind
+	Int   int64
+	Float float64
+	Str   string
+}
+
+// Null returns the NULL value.
+func Null() Value { return Value{} }
+
+// NewInt returns an integer value.
+func NewInt(v int64) Value { return Value{Kind: KindInt, Int: v} }
+
+// NewFloat returns a float value.
+func NewFloat(v float64) Value { return Value{Kind: KindFloat, Float: v} }
+
+// NewString returns a string value.
+func NewString(v string) Value { return Value{Kind: KindString, Str: v} }
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.Kind == KindNull }
+
+// AsFloat converts an arithmetic value to float64. NULL and strings map to 0.
+func (v Value) AsFloat() float64 {
+	switch v.Kind {
+	case KindInt:
+		return float64(v.Int)
+	case KindFloat:
+		return v.Float
+	default:
+		return 0
+	}
+}
+
+// String renders the value the way the rsql shell prints it.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.Int, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.Float, 'g', -1, 64)
+	case KindString:
+		return v.Str
+	default:
+		return fmt.Sprintf("Value(kind=%d)", uint8(v.Kind))
+	}
+}
+
+// SQL renders the value as a SQL literal (strings quoted).
+func (v Value) SQL() string {
+	if v.Kind == KindString {
+		return "'" + strings.ReplaceAll(v.Str, "'", "''") + "'"
+	}
+	return v.String()
+}
+
+// Compare defines a total order over values: NULL sorts first, then numeric
+// values (integers and floats compare by numeric value), then strings.
+// It returns -1, 0, or +1.
+//
+// A total order — even across kinds — is required so that B-tree keys,
+// sort keys, and merge-join comparisons never see an "incomparable" pair.
+func Compare(a, b Value) int {
+	ra, rb := rank(a.Kind), rank(b.Kind)
+	if ra != rb {
+		if ra < rb {
+			return -1
+		}
+		return 1
+	}
+	switch ra {
+	case 0: // both NULL
+		return 0
+	case 1: // both numeric
+		if a.Kind == KindInt && b.Kind == KindInt {
+			switch {
+			case a.Int < b.Int:
+				return -1
+			case a.Int > b.Int:
+				return 1
+			}
+			return 0
+		}
+		af, bf := a.AsFloat(), b.AsFloat()
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		case math.IsNaN(af) && !math.IsNaN(bf):
+			return -1
+		case !math.IsNaN(af) && math.IsNaN(bf):
+			return 1
+		}
+		return 0
+	default: // both strings
+		return strings.Compare(a.Str, b.Str)
+	}
+}
+
+func rank(k Kind) int {
+	switch k {
+	case KindNull:
+		return 0
+	case KindInt, KindFloat:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// Equal reports whether two values compare equal under Compare.
+func Equal(a, b Value) bool { return Compare(a, b) == 0 }
+
+// CmpOp is a comparison operator appearing in predicates and SARGs.
+type CmpOp uint8
+
+// The six scalar comparisons of the paper's Section 6.
+const (
+	OpEq CmpOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+// String returns the SQL spelling of the operator.
+func (op CmpOp) String() string {
+	switch op {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "<>"
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	default:
+		return fmt.Sprintf("CmpOp(%d)", uint8(op))
+	}
+}
+
+// Flip returns the operator with its operands swapped (a op b  ==  b Flip(op) a).
+func (op CmpOp) Flip() CmpOp {
+	switch op {
+	case OpLt:
+		return OpGt
+	case OpLe:
+		return OpGe
+	case OpGt:
+		return OpLt
+	case OpGe:
+		return OpLe
+	default:
+		return op
+	}
+}
+
+// Negate returns the complement operator (NOT (a op b) == a Negate(op) b).
+func (op CmpOp) Negate() CmpOp {
+	switch op {
+	case OpEq:
+		return OpNe
+	case OpNe:
+		return OpEq
+	case OpLt:
+		return OpGe
+	case OpLe:
+		return OpGt
+	case OpGt:
+		return OpLe
+	case OpGe:
+		return OpLt
+	}
+	return op
+}
+
+// Eval applies the operator to a comparison result from Compare.
+func (op CmpOp) Eval(cmp int) bool {
+	switch op {
+	case OpEq:
+		return cmp == 0
+	case OpNe:
+		return cmp != 0
+	case OpLt:
+		return cmp < 0
+	case OpLe:
+		return cmp <= 0
+	case OpGt:
+		return cmp > 0
+	case OpGe:
+		return cmp >= 0
+	}
+	return false
+}
+
+// Apply evaluates "a op b" with NULL semantics: any comparison involving NULL
+// is false (a documented simplification; the paper does not model NULLs).
+func (op CmpOp) Apply(a, b Value) bool {
+	if a.IsNull() || b.IsNull() {
+		return false
+	}
+	return op.Eval(Compare(a, b))
+}
+
+// Row is an ordered list of column values — one stored or derived tuple.
+type Row []Value
+
+// Clone returns a copy of the row that shares no backing array.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// String renders the row as a parenthesized tuple.
+func (r Row) String() string {
+	parts := make([]string, len(r))
+	for i, v := range r {
+		parts[i] = v.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// CompareRows compares two rows lexicographically on the given column
+// positions; desc[i] flips the i-th key's direction when present.
+func CompareRows(a, b Row, cols []int, desc []bool) int {
+	for i, c := range cols {
+		cmp := Compare(a[c], b[c])
+		if i < len(desc) && desc[i] {
+			cmp = -cmp
+		}
+		if cmp != 0 {
+			return cmp
+		}
+	}
+	return 0
+}
+
+// CompareKey compares two key slices lexicographically (shorter prefix that
+// matches compares equal-so-far and ranks by length).
+func CompareKey(a, b []Value) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if cmp := Compare(a[i], b[i]); cmp != 0 {
+			return cmp
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
+// Arith applies an arithmetic operator to two values, promoting int to float
+// when either side is float. Division by integer zero yields NULL.
+func Arith(op byte, a, b Value) Value {
+	if a.IsNull() || b.IsNull() {
+		return Null()
+	}
+	if a.Kind == KindInt && b.Kind == KindInt {
+		switch op {
+		case '+':
+			return NewInt(a.Int + b.Int)
+		case '-':
+			return NewInt(a.Int - b.Int)
+		case '*':
+			return NewInt(a.Int * b.Int)
+		case '/':
+			if b.Int == 0 {
+				return Null()
+			}
+			return NewInt(a.Int / b.Int)
+		}
+	}
+	if a.Kind.Arithmetic() && b.Kind.Arithmetic() {
+		af, bf := a.AsFloat(), b.AsFloat()
+		switch op {
+		case '+':
+			return NewFloat(af + bf)
+		case '-':
+			return NewFloat(af - bf)
+		case '*':
+			return NewFloat(af * bf)
+		case '/':
+			if bf == 0 {
+				return Null()
+			}
+			return NewFloat(af / bf)
+		}
+	}
+	if op == '+' && a.Kind == KindString && b.Kind == KindString {
+		return NewString(a.Str + b.Str)
+	}
+	return Null()
+}

@@ -1,0 +1,283 @@
+package value
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randomValue generates arbitrary values for property tests.
+func randomValue(rnd *rand.Rand) Value {
+	switch rnd.Intn(4) {
+	case 0:
+		return Null()
+	case 1:
+		return NewInt(rnd.Int63n(200) - 100)
+	case 2:
+		return NewFloat(float64(rnd.Intn(200)-100) / 4)
+	default:
+		return NewString(string(rune('a' + rnd.Intn(26))))
+	}
+}
+
+type valuePair struct{ A, B Value }
+
+func (valuePair) Generate(rnd *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(valuePair{A: randomValue(rnd), B: randomValue(rnd)})
+}
+
+type valueTriple struct{ A, B, C Value }
+
+func (valueTriple) Generate(rnd *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(valueTriple{A: randomValue(rnd), B: randomValue(rnd), C: randomValue(rnd)})
+}
+
+func TestCompareAntisymmetry(t *testing.T) {
+	prop := func(p valuePair) bool {
+		return Compare(p.A, p.B) == -Compare(p.B, p.A)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareTransitivity(t *testing.T) {
+	prop := func(tr valueTriple) bool {
+		a, b, c := tr.A, tr.B, tr.C
+		if Compare(a, b) <= 0 && Compare(b, c) <= 0 {
+			return Compare(a, c) <= 0
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareReflexive(t *testing.T) {
+	prop := func(p valuePair) bool { return Compare(p.A, p.A) == 0 }
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareCrossKind(t *testing.T) {
+	// NULL < numerics < strings; int and float compare numerically.
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Null(), NewInt(0), -1},
+		{Null(), NewString(""), -1},
+		{NewInt(3), NewFloat(3.0), 0},
+		{NewInt(3), NewFloat(3.5), -1},
+		{NewFloat(4.5), NewInt(4), 1},
+		{NewInt(999), NewString("a"), -1},
+		{NewString("abc"), NewString("abd"), -1},
+		{NewInt(-5), NewInt(5), -1},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareNaN(t *testing.T) {
+	nan := NewFloat(math.NaN())
+	if Compare(nan, nan) != 0 {
+		t.Error("NaN should equal itself under the total order")
+	}
+	if Compare(nan, NewFloat(0)) != -1 {
+		t.Error("NaN should sort below numbers")
+	}
+}
+
+func TestCmpOpSemantics(t *testing.T) {
+	a, b := NewInt(1), NewInt(2)
+	cases := []struct {
+		op     CmpOp
+		ab, ba bool
+		aa     bool
+	}{
+		{OpEq, false, false, true},
+		{OpNe, true, true, false},
+		{OpLt, true, false, false},
+		{OpLe, true, false, true},
+		{OpGt, false, true, false},
+		{OpGe, false, true, true},
+	}
+	for _, c := range cases {
+		if got := c.op.Apply(a, b); got != c.ab {
+			t.Errorf("%v Apply(1,2) = %v, want %v", c.op, got, c.ab)
+		}
+		if got := c.op.Apply(b, a); got != c.ba {
+			t.Errorf("%v Apply(2,1) = %v, want %v", c.op, got, c.ba)
+		}
+		if got := c.op.Apply(a, a); got != c.aa {
+			t.Errorf("%v Apply(1,1) = %v, want %v", c.op, got, c.aa)
+		}
+	}
+}
+
+func TestCmpOpNullAlwaysFalse(t *testing.T) {
+	for op := OpEq; op <= OpGe; op++ {
+		if op.Apply(Null(), NewInt(1)) || op.Apply(NewInt(1), Null()) || op.Apply(Null(), Null()) {
+			t.Errorf("%v involving NULL must be false", op)
+		}
+	}
+}
+
+func TestCmpOpFlipNegate(t *testing.T) {
+	prop := func(p valuePair) bool {
+		for op := OpEq; op <= OpGe; op++ {
+			if p.A.IsNull() || p.B.IsNull() {
+				continue
+			}
+			if op.Apply(p.A, p.B) != op.Flip().Apply(p.B, p.A) {
+				return false
+			}
+			if op.Apply(p.A, p.B) == op.Negate().Apply(p.A, p.B) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArith(t *testing.T) {
+	cases := []struct {
+		op   byte
+		a, b Value
+		want Value
+	}{
+		{'+', NewInt(2), NewInt(3), NewInt(5)},
+		{'-', NewInt(2), NewInt(3), NewInt(-1)},
+		{'*', NewInt(4), NewInt(3), NewInt(12)},
+		{'/', NewInt(7), NewInt(2), NewInt(3)},
+		{'/', NewInt(7), NewInt(0), Null()},
+		{'+', NewInt(2), NewFloat(0.5), NewFloat(2.5)},
+		{'/', NewFloat(1), NewFloat(0), Null()},
+		{'+', NewString("a"), NewString("b"), NewString("ab")},
+		{'*', NewString("a"), NewInt(2), Null()},
+		{'+', Null(), NewInt(1), Null()},
+	}
+	for _, c := range cases {
+		got := Arith(c.op, c.a, c.b)
+		if Compare(got, c.want) != 0 || got.Kind != c.want.Kind {
+			t.Errorf("Arith(%c, %v, %v) = %v, want %v", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareRows(t *testing.T) {
+	a := Row{NewInt(1), NewString("x"), NewFloat(2)}
+	b := Row{NewInt(1), NewString("y"), NewFloat(1)}
+	if CompareRows(a, b, []int{0}, nil) != 0 {
+		t.Error("equal on col 0")
+	}
+	if CompareRows(a, b, []int{0, 1}, nil) != -1 {
+		t.Error("a < b on cols 0,1")
+	}
+	if CompareRows(a, b, []int{1}, []bool{true}) != 1 {
+		t.Error("descending flips")
+	}
+	if CompareRows(a, b, []int{0, 2}, []bool{false, true}) != -1 {
+		t.Error("desc on second key: 2 desc-before 1")
+	}
+}
+
+func TestCompareKeyPrefix(t *testing.T) {
+	short := []Value{NewInt(1)}
+	long := []Value{NewInt(1), NewInt(2)}
+	if CompareKey(short, long) != -1 {
+		t.Error("shorter equal prefix sorts first")
+	}
+	if CompareKey(long, long) != 0 {
+		t.Error("identical keys equal")
+	}
+	if CompareKey([]Value{NewInt(2)}, long) != 1 {
+		t.Error("greater first column wins")
+	}
+}
+
+func TestValueStrings(t *testing.T) {
+	if got := NewString("o'brien").SQL(); got != "'o''brien'" {
+		t.Errorf("SQL quoting: %s", got)
+	}
+	if got := Null().String(); got != "NULL" {
+		t.Errorf("NULL renders as %s", got)
+	}
+	if got := NewFloat(2.5).String(); got != "2.5" {
+		t.Errorf("float renders as %s", got)
+	}
+	if got := (Row{NewInt(1), NewString("a")}).String(); got != "(1, a)" {
+		t.Errorf("row renders as %s", got)
+	}
+}
+
+func TestKindProperties(t *testing.T) {
+	if !KindInt.Arithmetic() || !KindFloat.Arithmetic() {
+		t.Error("numeric kinds must be arithmetic")
+	}
+	if KindString.Arithmetic() || KindNull.Arithmetic() {
+		t.Error("string/null must not be arithmetic")
+	}
+	for _, k := range []Kind{KindNull, KindInt, KindFloat, KindString} {
+		if k.String() == "" {
+			t.Error("kind must render")
+		}
+	}
+}
+
+func TestRowClone(t *testing.T) {
+	r := Row{NewInt(1)}
+	c := r.Clone()
+	c[0] = NewInt(2)
+	if r[0].Int != 1 {
+		t.Error("clone must not alias")
+	}
+}
+
+// TestArithNullPropagation: any arithmetic with a NULL operand yields NULL
+// (for every operator and operand kind).
+func TestArithNullPropagation(t *testing.T) {
+	prop := func(p valuePair) bool {
+		for _, op := range []byte{'+', '-', '*', '/'} {
+			if !Arith(op, Null(), p.A).IsNull() {
+				return false
+			}
+			if !Arith(op, p.A, Null()).IsNull() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestArithIntFloatConsistency: integer + and * agree with float arithmetic
+// for small operands (no overflow, no truncation).
+func TestArithIntFloatConsistency(t *testing.T) {
+	rnd := rand.New(rand.NewSource(5))
+	for i := 0; i < 2000; i++ {
+		a, b := int64(rnd.Intn(1000)-500), int64(rnd.Intn(1000)-500)
+		for _, op := range []byte{'+', '-', '*'} {
+			vi := Arith(op, NewInt(a), NewInt(b))
+			vf := Arith(op, NewFloat(float64(a)), NewFloat(float64(b)))
+			if vi.Kind != KindInt || vf.Kind != KindFloat {
+				t.Fatalf("kinds: %v %v", vi, vf)
+			}
+			if float64(vi.Int) != vf.Float {
+				t.Fatalf("%d %c %d: int %d float %v", a, op, b, vi.Int, vf.Float)
+			}
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package systemr
+
+// Compiled statements. System R compiled a statement once and ran the
+// resulting plan many times: "application programs are compiled once and run
+// many times. The cost of optimization is amortized over many runs"
+// (Conclusion). Prepare performs parsing, semantic analysis, and access path
+// selection once; each Run executes the stored plan.
+//
+// As in System R, a prepared plan embeds the catalog state of compile time:
+// statistics refreshes or schema changes after Prepare do not re-plan (System
+// R invalidated and recompiled stored plans on dependency changes; here the
+// caller re-Prepares).
+
+import (
+	"fmt"
+
+	"systemr/internal/exec"
+	"systemr/internal/lock"
+	"systemr/internal/plan"
+	"systemr/internal/sem"
+	"systemr/internal/sql"
+	"systemr/internal/value"
+)
+
+// Stmt is a compiled SELECT statement.
+type Stmt struct {
+	db    *DB
+	text  string
+	query *plan.Query
+	locks []lock.Request
+}
+
+// Prepare compiles a SELECT statement: the optimizer runs once, now.
+func (db *DB) Prepare(text string) (*Stmt, error) {
+	parsed, err := sql.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := parsed.(*sql.SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("systemr: Prepare supports SELECT statements, got %T", parsed)
+	}
+	reqs := lockRequests(parsed)
+	held := db.locks.Acquire(reqs)
+	defer held.Release()
+	blk, err := sem.Analyze(sel, db.cat)
+	if err != nil {
+		return nil, err
+	}
+	q, err := db.planBlock(blk)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{db: db, text: text, query: q, locks: reqs}, nil
+}
+
+// Run executes the compiled plan (no parsing, no optimization), binding one
+// value per '?' host variable in statement order. Accepted argument types:
+// int, int64, float64, string, nil.
+func (s *Stmt) Run(args ...any) (*Result, error) {
+	vals, err := hostValues(args)
+	if err != nil {
+		return nil, err
+	}
+	held := s.db.locks.Acquire(s.locks)
+	defer held.Release()
+	rows, stats, err := exec.RunQueryArgs(s.db.Runtime(), s.query, vals)
+	if err != nil {
+		return nil, err
+	}
+	s.db.mu.Lock()
+	s.db.last = ExecStats{
+		PageFetches:   stats.IO.PageFetches,
+		PagesWritten:  stats.IO.PagesWritten,
+		LogicalReads:  stats.IO.LogicalReads,
+		RSICalls:      stats.IO.RSICalls,
+		SubqueryEvals: stats.SubqueryEvals,
+		Rows:          stats.Rows,
+	}
+	s.db.mu.Unlock()
+	out := make([][]any, len(rows))
+	for i, r := range rows {
+		out[i] = toNative(r)
+	}
+	cols := s.query.OutNames
+	if cols == nil {
+		cols = []string{}
+	}
+	return &Result{Columns: cols, Rows: out}, nil
+}
+
+// Explain returns the compiled plan.
+func (s *Stmt) Explain() string { return s.query.Explain() }
+
+// Text returns the original statement text.
+func (s *Stmt) Text() string { return s.text }
+
+// hostValues converts Go arguments to engine values.
+func hostValues(args []any) ([]value.Value, error) {
+	if len(args) == 0 {
+		return nil, nil
+	}
+	out := make([]value.Value, len(args))
+	for i, a := range args {
+		switch x := a.(type) {
+		case nil:
+			out[i] = value.Null()
+		case int:
+			out[i] = value.NewInt(int64(x))
+		case int64:
+			out[i] = value.NewInt(x)
+		case float64:
+			out[i] = value.NewFloat(x)
+		case string:
+			out[i] = value.NewString(x)
+		default:
+			return nil, fmt.Errorf("systemr: unsupported host argument %d of type %T", i+1, a)
+		}
+	}
+	return out, nil
+}
+
+// Rows is a streaming result cursor over a compiled statement — the
+// tuple-at-a-time interface application programs used in System R. The
+// statement's table locks are held until Close.
+type Rows struct {
+	cols   []string
+	cursor *exec.Cursor
+	held   *lock.Held
+}
+
+// Open begins streaming execution of the compiled plan, binding one value
+// per '?' host variable. The caller must Close the cursor (or drain it) to
+// release the statement's locks.
+func (s *Stmt) Open(args ...any) (*Rows, error) {
+	vals, err := hostValues(args)
+	if err != nil {
+		return nil, err
+	}
+	held := s.db.locks.Acquire(s.locks)
+	cur, err := exec.OpenQueryArgs(s.db.Runtime(), s.query, vals)
+	if err != nil {
+		held.Release()
+		return nil, err
+	}
+	cols := s.query.OutNames
+	if cols == nil {
+		cols = []string{}
+	}
+	return &Rows{cols: cols, cursor: cur, held: held}, nil
+}
+
+// Columns returns the output column names.
+func (r *Rows) Columns() []string { return r.cols }
+
+// Next returns the next row as native Go values; ok reports whether a row
+// was produced. The final Next (ok=false) releases the locks.
+func (r *Rows) Next() (row []any, ok bool, err error) {
+	raw, ok, err := r.cursor.Next()
+	if err != nil || !ok {
+		r.Close()
+		return nil, false, err
+	}
+	return toNative(raw), true, nil
+}
+
+// Close releases the cursor and its locks; safe to call repeatedly.
+func (r *Rows) Close() {
+	r.cursor.Close()
+	r.held.Release()
+}

@@ -1,0 +1,58 @@
+package systemr_test
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPrepareRunMany(t *testing.T) {
+	db := newEmpDeptJobDB(t)
+	stmt, err := db.Prepare("SELECT NAME FROM EMP WHERE DNO = 7 ORDER BY NAME")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stmt.Explain(), "QUERY BLOCK") {
+		t.Fatal("compiled plan must explain")
+	}
+	var first []string
+	for run := 0; run < 5; run++ {
+		res, err := stmt.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 10 {
+			t.Fatalf("run %d: %d rows", run, len(res.Rows))
+		}
+		if run == 0 {
+			for _, r := range res.Rows {
+				first = append(first, r[0].(string))
+			}
+			continue
+		}
+		for i, r := range res.Rows {
+			if r[0].(string) != first[i] {
+				t.Fatalf("run %d differs at %d", run, i)
+			}
+		}
+	}
+	// The compiled plan keeps working as data changes (stale statistics are
+	// System R behavior; correctness is unaffected).
+	db.MustExec("INSERT INTO EMP VALUES ('AAA', 7, 5, 1.0)")
+	res, err := stmt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 11 || res.Rows[0][0].(string) != "AAA" {
+		t.Fatalf("post-insert run: %d rows", len(res.Rows))
+	}
+}
+
+func TestPrepareRejectsNonSelect(t *testing.T) {
+	db := newEmpDeptJobDB(t)
+	if _, err := db.Prepare("DELETE FROM EMP"); err == nil {
+		t.Fatal("Prepare(DELETE) must fail")
+	}
+	if _, err := db.Prepare("SELECT x FROM nope"); err == nil {
+		t.Fatal("Prepare of invalid query must fail")
+	}
+}

@@ -1,0 +1,73 @@
+package systemr_test
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSystemCatalogs: the catalogs are ordinary relations queryable through
+// SQL, refreshed by UPDATE STATISTICS, and read-only.
+func TestSystemCatalogs(t *testing.T) {
+	db := newEmpDeptJobDB(t)
+
+	res, err := db.Query("SELECT TNAME, NCARD FROM SYSTABLES WHERE TNAME = 'EMP'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][1].(int64) != 300 {
+		t.Fatalf("SYSTABLES row for EMP: %v", res.Rows)
+	}
+
+	res, err = db.Query("SELECT CNAME FROM SYSCOLUMNS WHERE TNAME = 'DEPT' ORDER BY CNAME")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 || res.Rows[0][0].(string) != "DNAME" {
+		t.Fatalf("SYSCOLUMNS for DEPT: %v", res.Rows)
+	}
+
+	res, err = db.Query("SELECT INAME, ICARD FROM SYSINDEXES WHERE TNAME = 'EMP' AND UNIQUEFLAG = 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("EMP non-unique indexes: %v", res.Rows)
+	}
+
+	// The catalogs join with themselves like any relation.
+	res, err = db.Query(`SELECT SYSTABLES.TNAME, COUNT(*) FROM SYSTABLES, SYSCOLUMNS
+		WHERE SYSTABLES.TNAME = SYSCOLUMNS.TNAME GROUP BY SYSTABLES.TNAME ORDER BY SYSTABLES.TNAME`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) < 5 { // EMP, DEPT, JOB + 3 system tables
+		t.Fatalf("catalog self-join: %v", res.Rows)
+	}
+
+	// Read-only: every mutation is rejected.
+	for _, stmt := range []string{
+		"INSERT INTO SYSTABLES VALUES ('X', 1, 1, 1.0)",
+		"DELETE FROM SYSTABLES",
+		"UPDATE SYSTABLES SET NCARD = 0",
+		"DROP TABLE SYSTABLES",
+		"CREATE INDEX SYSX ON SYSTABLES (TNAME)",
+		"CREATE TABLE SYSCOLUMNS (A INTEGER)",
+	} {
+		if _, err := db.Exec(stmt); err == nil {
+			t.Fatalf("%q must be rejected", stmt)
+		} else if !strings.Contains(strings.ToUpper(err.Error()), "SYS") {
+			t.Fatalf("%q: unexpected error %v", stmt, err)
+		}
+	}
+
+	// Statistics refresh updates the published numbers.
+	db.MustExec("DELETE FROM EMP WHERE DNO = 1")
+	db.MustExec("UPDATE STATISTICS")
+	res, err = db.Query("SELECT NCARD FROM SYSTABLES WHERE TNAME = 'EMP'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].(int64) != 290 {
+		t.Fatalf("NCARD after delete+refresh: %v", res.Rows)
+	}
+}

@@ -1,0 +1,582 @@
+// Package systemr is an embeddable relational database engine that
+// reproduces the query-processing architecture of
+//
+//	P. Griffiths Selinger, M. M. Astrahan, D. D. Chamberlin, R. A. Lorie,
+//	T. G. Price. "Access Path Selection in a Relational Database Management
+//	System." SIGMOD 1979.
+//
+// SQL statements pass through the paper's four phases — parsing,
+// optimization (catalog lookup, Table 1 selectivities, Table 2 access path
+// costs, dynamic-programming join enumeration with interesting orders),
+// plan construction, and execution against a Research-Storage-System-style
+// storage engine with segment scans, B-tree index scans, and search
+// arguments.
+//
+// Quick start:
+//
+//	db := systemr.Open(systemr.Config{})
+//	db.MustExec("CREATE TABLE EMP (NAME VARCHAR, DNO INTEGER, JOB INTEGER, SAL FLOAT)")
+//	db.MustExec("CREATE INDEX EMP_DNO ON EMP (DNO)")
+//	db.MustExec("INSERT INTO EMP VALUES ('SMITH', 50, 5, 10000.0)")
+//	db.MustExec("UPDATE STATISTICS")
+//	res, err := db.Query("SELECT NAME FROM EMP WHERE DNO = 50")
+//	text, err := db.Explain("SELECT NAME FROM EMP WHERE DNO = 50")
+package systemr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"systemr/internal/catalog"
+	"systemr/internal/core"
+	"systemr/internal/exec"
+	"systemr/internal/lock"
+	"systemr/internal/plan"
+	"systemr/internal/rss"
+	"systemr/internal/sem"
+	"systemr/internal/sql"
+	"systemr/internal/storage"
+	"systemr/internal/value"
+)
+
+// Config tunes a database instance.
+type Config struct {
+	// BufferPages is the buffer-pool size in 4K pages (default 64). It is
+	// both the execution-time cache and the "System R buffer" the
+	// optimizer's Table 2 alternatives test against.
+	BufferPages int
+	// W is the optimizer's CPU weighting factor (default 0.033):
+	// COST = PAGE FETCHES + W * RSI CALLS.
+	W float64
+	// BTreeOrder overrides index node fan-out (testing knob; 0 = default).
+	BTreeOrder int
+	// Optimizer ablations (see core.Config).
+	DisableJoinHeuristic     bool
+	DisableInterestingOrders bool
+	DisableSargs             bool
+	NestedLoopsOnly          bool
+	MergeOnly                bool
+	// Naive bypasses access path selection entirely: segment scans,
+	// FROM-order nested loops, no search arguments — the no-optimizer
+	// baseline of the evaluation harness.
+	Naive bool
+}
+
+// DB is an embedded database instance. Methods are safe for concurrent use:
+// each statement acquires table-level shared/exclusive locks (statement-
+// scope two-phase locking, the RSS's locking duty at coarse granularity —
+// see DESIGN.md), so concurrent readers proceed in parallel while writers
+// and DDL serialize per table. Measured statistics (LastStats) describe the
+// whole engine and are only meaningful for single-client measurement runs.
+type DB struct {
+	mu    sync.Mutex // guards last
+	cfg   Config
+	disk  *storage.Disk
+	stats *storage.IOStats
+	pool  *storage.BufferPool
+	cat   *catalog.Catalog
+	locks *lock.Manager
+	last  ExecStats
+}
+
+// Result is the outcome of a statement.
+type Result struct {
+	// Columns are the output column names (empty for non-queries).
+	Columns []string
+	// Rows hold native Go values: int64, float64, string, or nil for NULL.
+	Rows [][]any
+	// Affected counts rows inserted, deleted, or updated.
+	Affected int
+	// Plan carries EXPLAIN output.
+	Plan string
+}
+
+// ExecStats reports the measured cost of the last statement in the paper's
+// units.
+type ExecStats struct {
+	PageFetches   int64
+	PagesWritten  int64
+	LogicalReads  int64
+	RSICalls      int64
+	SubqueryEvals int
+	Rows          int
+}
+
+// Cost evaluates PAGE FETCHES (including temporary-list writes) + W * RSI.
+func (s ExecStats) Cost(w float64) float64 {
+	return float64(s.PageFetches+s.PagesWritten) + w*float64(s.RSICalls)
+}
+
+// Open creates an empty database.
+func Open(cfg Config) *DB {
+	if cfg.BufferPages <= 0 {
+		cfg.BufferPages = 64
+	}
+	if cfg.W == 0 {
+		cfg.W = core.DefaultW
+	}
+	disk := storage.NewDisk()
+	stats := &storage.IOStats{}
+	cat := catalog.New(disk)
+	cat.BTreeOrder = cfg.BTreeOrder
+	return &DB{
+		cfg:   cfg,
+		disk:  disk,
+		stats: stats,
+		pool:  storage.NewBufferPool(disk, cfg.BufferPages, stats),
+		cat:   cat,
+		locks: lock.NewManager(),
+	}
+}
+
+// catalogLock is a pseudo-table serializing DDL against all statements.
+const catalogLock = "__CATALOG__"
+
+// lockRequests derives the statement's table lock set: shared on every table
+// read, exclusive on every table written, and DDL exclusively locks the
+// catalog (every statement holds it shared).
+func lockRequests(stmt sql.Statement) []lock.Request {
+	reqs := []lock.Request{{Table: catalogLock, Mode: lock.Shared}}
+	switch stmt.(type) {
+	case *sql.CreateTableStmt, *sql.CreateIndexStmt, *sql.DropTableStmt, *sql.UpdateStatsStmt:
+		return []lock.Request{{Table: catalogLock, Mode: lock.Exclusive}}
+	}
+	read, write := sql.TablesReferenced(stmt)
+	for _, t := range read {
+		reqs = append(reqs, lock.Request{Table: t, Mode: lock.Shared})
+	}
+	for _, t := range write {
+		reqs = append(reqs, lock.Request{Table: t, Mode: lock.Exclusive})
+	}
+	return reqs
+}
+
+// Exec parses and executes one SQL statement under statement-scope table
+// locks.
+func (db *DB) Exec(text string) (*Result, error) {
+	stmt, err := sql.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	held := db.locks.Acquire(lockRequests(stmt))
+	defer held.Release()
+	return db.execStmt(stmt)
+}
+
+// MustExec is Exec, panicking on error — for setup code and examples.
+func (db *DB) MustExec(text string) *Result {
+	res, err := db.Exec(text)
+	if err != nil {
+		panic(fmt.Sprintf("systemr: %s: %v", text, err))
+	}
+	return res
+}
+
+// Query is Exec restricted to SELECT statements.
+func (db *DB) Query(text string) (*Result, error) {
+	res, err := db.Exec(text)
+	if err != nil {
+		return nil, err
+	}
+	if res.Columns == nil {
+		return nil, fmt.Errorf("systemr: statement is not a query: %s", text)
+	}
+	return res, nil
+}
+
+// Explain plans a SELECT and returns the optimizer's chosen plan as text.
+func (db *DB) Explain(text string) (string, error) {
+	res, err := db.Exec("EXPLAIN " + text)
+	if err != nil {
+		return "", err
+	}
+	return res.Plan, nil
+}
+
+// LastStats returns the measured execution statistics of the most recent
+// statement.
+func (db *DB) LastStats() ExecStats {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.last
+}
+
+// The following accessors expose internal components for this module's
+// experiment drivers and tests. External users interact through SQL.
+
+// Catalog returns the system catalogs.
+func (db *DB) Catalog() *catalog.Catalog { return db.cat }
+
+// Pool returns the buffer pool (e.g. to Flush for cold-cache measurements).
+func (db *DB) Pool() *storage.BufferPool { return db.pool }
+
+// Runtime returns an executor runtime bound to this database.
+func (db *DB) Runtime() *exec.Runtime { return &exec.Runtime{Pool: db.pool, Disk: db.disk} }
+
+// OptimizerConfig returns the core optimizer configuration this database
+// plans with.
+func (db *DB) OptimizerConfig() core.Config {
+	return core.Config{
+		W:                        db.cfg.W,
+		BufferPages:              db.cfg.BufferPages,
+		DisableJoinHeuristic:     db.cfg.DisableJoinHeuristic,
+		DisableInterestingOrders: db.cfg.DisableInterestingOrders,
+		DisableSargs:             db.cfg.DisableSargs,
+		NestedLoopsOnly:          db.cfg.NestedLoopsOnly,
+		MergeOnly:                db.cfg.MergeOnly,
+	}
+}
+
+// PlanSelect analyzes and optimizes a SELECT without executing it.
+func (db *DB) PlanSelect(text string) (*plan.Query, error) {
+	stmt, err := sql.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*sql.SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("systemr: not a SELECT: %s", text)
+	}
+	blk, err := sem.Analyze(sel, db.cat)
+	if err != nil {
+		return nil, err
+	}
+	return db.planBlock(blk)
+}
+
+// planBlock runs either access path selection or the naive baseline,
+// according to the configuration.
+func (db *DB) planBlock(blk *sem.Block) (*plan.Query, error) {
+	opt := core.New(db.cat, db.OptimizerConfig())
+	if db.cfg.Naive {
+		return core.NaivePlan(opt, blk)
+	}
+	return opt.Optimize(blk)
+}
+
+func (db *DB) execStmt(stmt sql.Statement) (*Result, error) {
+	switch st := stmt.(type) {
+	case *sql.CreateTableStmt:
+		cols := make([]catalog.Column, len(st.Cols))
+		for i, c := range st.Cols {
+			cols[i] = catalog.Column{Name: c.Name, Type: c.Type}
+		}
+		if _, err := db.cat.CreateTable(st.Name, cols, st.Segment); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *sql.CreateIndexStmt:
+		if _, err := db.cat.CreateIndex(st.Name, st.Table, st.Columns, st.Unique, st.Clustered); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *sql.DropTableStmt:
+		if err := db.cat.DropTable(st.Name); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *sql.UpdateStatsStmt:
+		if st.Table != "" {
+			if !db.cat.UpdateStatisticsFor(st.Table) {
+				return nil, fmt.Errorf("systemr: table %s does not exist", st.Table)
+			}
+			return &Result{}, nil
+		}
+		db.cat.UpdateStatistics()
+		return &Result{}, nil
+	case *sql.InsertStmt:
+		return db.execInsert(st)
+	case *sql.SelectStmt:
+		return db.execSelect(st)
+	case *sql.ExplainStmt:
+		return db.execExplain(st)
+	case *sql.DeleteStmt:
+		return db.execDelete(st)
+	case *sql.UpdateStmt:
+		return db.execUpdate(st)
+	default:
+		return nil, fmt.Errorf("systemr: unsupported statement %T", stmt)
+	}
+}
+
+// evalConstExpr evaluates INSERT VALUES expressions: literals and constant
+// arithmetic.
+func evalConstExpr(e sql.Expr) (value.Value, error) {
+	switch x := e.(type) {
+	case *sql.Literal:
+		return x.Val, nil
+	case *sql.NegExpr:
+		v, err := evalConstExpr(x.E)
+		if err != nil {
+			return value.Value{}, err
+		}
+		return value.Arith('-', value.NewInt(0), v), nil
+	case *sql.BinaryExpr:
+		l, err := evalConstExpr(x.L)
+		if err != nil {
+			return value.Value{}, err
+		}
+		r, err := evalConstExpr(x.R)
+		if err != nil {
+			return value.Value{}, err
+		}
+		switch x.Op {
+		case sql.OpAdd:
+			return value.Arith('+', l, r), nil
+		case sql.OpSub:
+			return value.Arith('-', l, r), nil
+		case sql.OpMul:
+			return value.Arith('*', l, r), nil
+		case sql.OpDiv:
+			return value.Arith('/', l, r), nil
+		}
+	}
+	return value.Value{}, fmt.Errorf("systemr: VALUES requires constant expressions, got %s", e)
+}
+
+func (db *DB) execInsert(st *sql.InsertStmt) (*Result, error) {
+	t, ok := db.cat.Table(st.Table)
+	if !ok {
+		return nil, fmt.Errorf("systemr: table %s does not exist", st.Table)
+	}
+	if t.System {
+		return nil, fmt.Errorf("systemr: %s is a read-only system catalog", t.Name)
+	}
+	n := 0
+	for _, rowExprs := range st.Rows {
+		row := make(value.Row, len(rowExprs))
+		for i, e := range rowExprs {
+			v, err := evalConstExpr(e)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		if _, err := rss.Insert(t, row); err != nil {
+			return nil, err
+		}
+		n++
+	}
+	return &Result{Affected: n}, nil
+}
+
+func (db *DB) execSelect(sel *sql.SelectStmt) (*Result, error) {
+	blk, err := sem.Analyze(sel, db.cat)
+	if err != nil {
+		return nil, err
+	}
+	q, err := db.planBlock(blk)
+	if err != nil {
+		return nil, err
+	}
+	rows, stats, err := exec.RunQuery(db.Runtime(), q)
+	if err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.last = ExecStats{
+		PageFetches:   stats.IO.PageFetches,
+		PagesWritten:  stats.IO.PagesWritten,
+		LogicalReads:  stats.IO.LogicalReads,
+		RSICalls:      stats.IO.RSICalls,
+		SubqueryEvals: stats.SubqueryEvals,
+		Rows:          stats.Rows,
+	}
+	out := make([][]any, len(rows))
+	for i, r := range rows {
+		out[i] = toNative(r)
+	}
+	cols := q.OutNames
+	if cols == nil {
+		cols = []string{}
+	}
+	return &Result{Columns: cols, Rows: out}, nil
+}
+
+func (db *DB) execExplain(st *sql.ExplainStmt) (*Result, error) {
+	var blk *sem.Block
+	var err error
+	switch inner := st.Stmt.(type) {
+	case *sql.SelectStmt:
+		blk, err = sem.Analyze(inner, db.cat)
+	case *sql.DeleteStmt:
+		blk, err = sem.AnalyzeDelete(inner, db.cat)
+	case *sql.UpdateStmt:
+		blk, _, err = sem.AnalyzeUpdate(inner, db.cat)
+	default:
+		return nil, fmt.Errorf("systemr: EXPLAIN does not support %T", st.Stmt)
+	}
+	if err != nil {
+		return nil, err
+	}
+	q, err := db.planBlock(blk)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Plan: q.Explain()}, nil
+}
+
+// collectMatches locates the tuples a DELETE/UPDATE affects through the
+// optimizer's chosen access path (the paper: "retrieval for data
+// manipulation is treated similarly").
+func (db *DB) collectMatches(blk *sem.Block) ([]storage.TID, []value.Row, error) {
+	q, err := db.planBlock(blk)
+	if err != nil {
+		return nil, nil, err
+	}
+	return exec.CollectTIDs(db.Runtime(), q)
+}
+
+func (db *DB) execDelete(st *sql.DeleteStmt) (*Result, error) {
+	blk, err := sem.AnalyzeDelete(st, db.cat)
+	if err != nil {
+		return nil, err
+	}
+	if blk.Rels[0].Table.System {
+		return nil, fmt.Errorf("systemr: %s is a read-only system catalog", blk.Rels[0].Table.Name)
+	}
+	tids, rows, err := db.collectMatches(blk)
+	if err != nil {
+		return nil, err
+	}
+	t := blk.Rels[0].Table
+	for i, tid := range tids {
+		if err := rss.Delete(t, tid, rows[i], db.disk); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Affected: len(tids)}, nil
+}
+
+func (db *DB) execUpdate(st *sql.UpdateStmt) (*Result, error) {
+	blk, sets, err := sem.AnalyzeUpdate(st, db.cat)
+	if err != nil {
+		return nil, err
+	}
+	if blk.Rels[0].Table.System {
+		return nil, fmt.Errorf("systemr: %s is a read-only system catalog", blk.Rels[0].Table.Name)
+	}
+	tids, rows, err := db.collectMatches(blk)
+	if err != nil {
+		return nil, err
+	}
+	q, err := db.planBlock(blk)
+	if err != nil {
+		return nil, err
+	}
+	pc := exec.NewPredContext(db.Runtime(), q)
+	t := blk.Rels[0].Table
+	for i, tid := range tids {
+		newRow := rows[i].Clone()
+		for _, set := range sets {
+			v, err := pc.Eval(rows[i], set.Expr)
+			if err != nil {
+				return nil, err
+			}
+			newRow[set.Col] = v
+		}
+		if err := rss.Delete(t, tid, rows[i], db.disk); err != nil {
+			return nil, err
+		}
+		if _, err := rss.Insert(t, newRow); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Affected: len(tids)}, nil
+}
+
+func toNative(r value.Row) []any {
+	out := make([]any, len(r))
+	for i, v := range r {
+		switch v.Kind {
+		case value.KindInt:
+			out[i] = v.Int
+		case value.KindFloat:
+			out[i] = v.Float
+		case value.KindString:
+			out[i] = v.Str
+		default:
+			out[i] = nil
+		}
+	}
+	return out
+}
+
+// FormatResult renders a result as an aligned text table (the rsql shell's
+// output format).
+func FormatResult(res *Result) string {
+	if res.Plan != "" {
+		return res.Plan
+	}
+	if res.Columns == nil {
+		return fmt.Sprintf("OK (%d rows affected)\n", res.Affected)
+	}
+	widths := make([]int, len(res.Columns))
+	for i, c := range res.Columns {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(res.Rows))
+	for ri, row := range res.Rows {
+		cells[ri] = make([]string, len(row))
+		for ci, v := range row {
+			s := "NULL"
+			if v != nil {
+				s = fmt.Sprintf("%v", v)
+			}
+			cells[ri][ci] = s
+			if ci < len(widths) && len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	var b strings.Builder
+	for i, c := range res.Columns {
+		fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+	}
+	b.WriteString("\n")
+	for i := range res.Columns {
+		b.WriteString(strings.Repeat("-", widths[i]) + "  ")
+	}
+	b.WriteString("\n")
+	for _, row := range cells {
+		for ci, s := range row {
+			fmt.Fprintf(&b, "%-*s  ", widths[ci], s)
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "(%d rows)\n", len(res.Rows))
+	return b.String()
+}
+
+// Tables lists the catalog's relations with their statistics, sorted by
+// name — the rsql shell's \d command.
+func (db *DB) Tables() string {
+	ts := db.cat.Tables()
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Name < ts[j].Name })
+	var b strings.Builder
+	for _, t := range ts {
+		fmt.Fprintf(&b, "%s (", t.Name)
+		for i, c := range t.Columns {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s %s", c.Name, c.Type)
+		}
+		fmt.Fprintf(&b, ")  NCARD=%d TCARD=%d P=%.2f\n", t.Stats.NCard, t.Stats.TCard, t.Stats.P)
+		for _, ix := range t.Indexes {
+			kind := ""
+			if ix.Unique {
+				kind += " UNIQUE"
+			}
+			if ix.Clustered {
+				kind += " CLUSTERED"
+			}
+			fmt.Fprintf(&b, "  index %s(%s)%s  ICARD=%d NINDX=%d\n",
+				ix.Name, strings.Join(ix.ColumnNames(), ","), kind, ix.Stats.ICard, ix.Stats.NIndx)
+		}
+	}
+	return b.String()
+}
