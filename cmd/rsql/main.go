@@ -11,9 +11,11 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -22,11 +24,18 @@ import (
 )
 
 func main() {
-	run(os.Stdin, os.Stdout)
+	// Ctrl-C cancels the in-flight statement instead of killing the shell:
+	// the governor observes the canceled context within a bounded number of
+	// RSI calls and the statement returns ErrCanceled with its locks and
+	// scans released.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt)
+	run(os.Stdin, os.Stdout, sigc)
 }
 
-// run drives the shell loop; factored out of main for testing.
-func run(input io.Reader, out io.Writer) {
+// run drives the shell loop; factored out of main for testing. Signals
+// arriving on sigc (nil for tests) cancel the statement being executed.
+func run(input io.Reader, out io.Writer, sigc <-chan os.Signal) {
 	db := systemr.Open(systemr.Config{})
 	in := bufio.NewScanner(input)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
@@ -77,7 +86,7 @@ func run(input io.Reader, out io.Writer) {
 		stmt := buf.String()
 		buf.Reset()
 		start := time.Now()
-		res, err := db.Exec(stmt)
+		res, err := execInterruptible(db, stmt, sigc)
 		elapsed := time.Since(start)
 		if err != nil {
 			fmt.Fprintln(out, "error:", err)
@@ -87,4 +96,37 @@ func run(input io.Reader, out io.Writer) {
 		}
 		prompt()
 	}
+}
+
+// execInterruptible runs one statement under a context canceled by the first
+// signal to arrive during execution. Signals delivered between statements
+// (e.g. a Ctrl-C that landed just after a statement finished) are drained
+// first so they cannot cancel the next statement spuriously.
+func execInterruptible(db *systemr.DB, stmt string, sigc <-chan os.Signal) (*systemr.Result, error) {
+	if sigc == nil {
+		return db.Exec(stmt)
+	}
+drain:
+	for {
+		select {
+		case <-sigc:
+		default:
+			break drain
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	watchDone := make(chan struct{})
+	go func() {
+		defer close(watchDone)
+		select {
+		case <-sigc:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+	res, err := db.ExecContext(ctx, stmt)
+	cancel()
+	<-watchDone
+	return res, err
 }

@@ -1,15 +1,21 @@
 package main
 
 import (
+	"errors"
+	"os"
 	"strings"
 	"testing"
+	"time"
+
+	"systemr"
+	"systemr/internal/workload"
 )
 
 // script runs the shell over a scripted session and returns its output.
 func script(t *testing.T, lines ...string) string {
 	t.Helper()
 	var out strings.Builder
-	run(strings.NewReader(strings.Join(lines, "\n")+"\n"), &out)
+	run(strings.NewReader(strings.Join(lines, "\n")+"\n"), &out, nil)
 	return out.String()
 }
 
@@ -69,5 +75,31 @@ func TestShellDump(t *testing.T) {
 	if !strings.Contains(out, "CREATE TABLE T (A INTEGER);") ||
 		!strings.Contains(out, "INSERT INTO T VALUES (7);") {
 		t.Fatalf("dump output:\n%s", out)
+	}
+}
+
+// TestInterruptCancelsStatement delivers a "Ctrl-C" mid-statement and checks
+// that only the in-flight statement dies — the shell's database stays usable.
+func TestInterruptCancelsStatement(t *testing.T) {
+	db := workload.NewEmpDB(workload.EmpConfig{Emps: 2000, Depts: 50, Jobs: 10})
+	sigc := make(chan os.Signal, 1)
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		sigc <- os.Interrupt
+	}()
+	// Unindexed self-join: ~4M tuple visits, far longer than the signal delay.
+	_, err := execInterruptible(db,
+		"SELECT COUNT(*) FROM EMP E1, EMP E2 WHERE E1.SAL < E2.SAL", sigc)
+	if !errors.Is(err, systemr.ErrCanceled) {
+		t.Fatalf("interrupted statement: got %v, want ErrCanceled", err)
+	}
+	// A stale signal queued between statements must not cancel the next one.
+	sigc <- os.Interrupt
+	res, err := execInterruptible(db, "SELECT COUNT(*) FROM EMP", sigc)
+	if err != nil {
+		t.Fatalf("follow-up statement after interrupt: %v", err)
+	}
+	if res.Rows[0][0].(int64) != 2000 {
+		t.Fatalf("follow-up count = %v, want 2000", res.Rows[0][0])
 	}
 }

@@ -1,9 +1,14 @@
 package systemr_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
+	"time"
+
+	"systemr"
 )
 
 // TestConcurrentStatements exercises the table-lock layer end to end:
@@ -88,5 +93,55 @@ func TestConcurrentStatements(t *testing.T) {
 	}
 	if res.Rows[0][0].(int64) != 1 {
 		t.Fatalf("EMP insert lost: %v", res.Rows[0][0])
+	}
+}
+
+// TestConcurrentCancellation hammers QueryContext with very short deadlines
+// from many goroutines (run under -race in CI). Any mix of results, timeouts,
+// and cancellations is fine; what must hold is that every error is a typed
+// governor error, no scan or lock leaks, and the engine stays fully usable.
+func TestConcurrentCancellation(t *testing.T) {
+	db := newEmpDeptJobDB(t)
+	queries := []string{
+		"SELECT COUNT(*) FROM EMP E1, EMP E2 WHERE E1.SAL < E2.SAL",
+		"SELECT E.NAME, D.DNAME FROM EMP E, DEPT D WHERE E.DNO = D.DNO ORDER BY E.NAME",
+		"SELECT COUNT(*) FROM EMP WHERE DNO = 5",
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8*20)
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				timeout := time.Duration(i%5) * time.Millisecond
+				ctx, cancel := context.WithTimeout(context.Background(), timeout)
+				_, err := db.QueryContext(ctx, queries[(g+i)%len(queries)])
+				cancel()
+				if err != nil &&
+					!errors.Is(err, systemr.ErrCanceled) &&
+					!errors.Is(err, systemr.ErrBudgetExceeded) {
+					errs <- fmt.Errorf("goroutine %d iter %d: unexpected error %w", g, i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if n := db.Locks().Outstanding(); n != 0 {
+		t.Fatalf("%d locks still held after cancellation storm", n)
+	}
+	// Engine must remain fully usable.
+	res, err := db.Query("SELECT COUNT(*) FROM EMP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].(int64) != 300 {
+		t.Fatalf("EMP count after storm: %v", res.Rows[0][0])
 	}
 }

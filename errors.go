@@ -1,0 +1,53 @@
+package systemr
+
+// Typed errors of the statement execution governor. A statement aborted by
+// cancellation, deadline, or resource budget returns a *StatementError
+// wrapping one of the sentinels below, so callers dispatch with errors.Is
+// and recover the partial execution cost with errors.As.
+
+import (
+	"fmt"
+
+	"systemr/internal/governor"
+	"systemr/internal/storage"
+)
+
+var (
+	// ErrCanceled reports that the statement's context was canceled
+	// (QueryContext/ExecContext, or Ctrl-C in the rsql shell).
+	ErrCanceled = governor.ErrCanceled
+	// ErrBudgetExceeded reports that the statement exhausted a resource
+	// budget: Config.MaxRowsScanned, Config.MaxPageFetches, or its deadline
+	// (Config.StatementTimeout or a context deadline).
+	ErrBudgetExceeded = governor.ErrBudgetExceeded
+	// ErrInjectedFault marks a page fetch failed by an installed
+	// storage.FaultInjector (testing).
+	ErrInjectedFault = storage.ErrInjectedFault
+)
+
+// StatementError is returned when the governor aborts a statement. Stats
+// holds the partial measured cost up to the abort point (also available via
+// LastStats).
+type StatementError struct {
+	Err   error
+	Stats ExecStats
+}
+
+// Error reports the underlying governor error.
+func (e *StatementError) Error() string { return "systemr: " + e.Err.Error() }
+
+// Unwrap exposes the governor error chain (ErrCanceled / ErrBudgetExceeded
+// and the context error) to errors.Is.
+func (e *StatementError) Unwrap() error { return e.Err }
+
+// PanicError reports an internal executor panic converted to an error at the
+// statement boundary. The statement's locks and scans are released; the
+// database remains usable. Stack holds the goroutine stack at recovery, for
+// bug reports.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+// Error reports the recovered panic value.
+func (e *PanicError) Error() string { return fmt.Sprintf("systemr: internal panic: %v", e.Value) }

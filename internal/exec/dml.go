@@ -54,7 +54,7 @@ walk:
 		if err != nil {
 			return nil, nil, err
 		}
-		scan = &rss.SegmentScan{Table: leaf.Table, Pool: rt.Pool, Sargs: sargs}
+		scan = &rss.SegmentScan{Table: leaf.Table, Pool: rt.Pool, Sargs: sargs, Budget: rt.Budget}
 		relIdx, residual = leaf.RelIdx, leaf.Residual
 	case *plan.IndexScan:
 		lo, hi, empty, err := ctx.resolveKeyBounds(leaf)
@@ -71,19 +71,27 @@ walk:
 		scan = &rss.IndexScan{
 			Index: leaf.Index, Pool: rt.Pool,
 			Lo: lo, LoInc: leaf.LoInc, Hi: hi, HiInc: leaf.HiInc,
-			Sargs: sargs,
+			Sargs: sargs, Budget: rt.Budget,
 		}
 		relIdx, residual = leaf.RelIdx, leaf.Residual
 	default:
 		return nil, nil, fmt.Errorf("exec: unexpected DML access path %T", n)
 	}
 
+	return collectFromScan(ctx, scan, relIdx, residual)
+}
+
+// collectFromScan drives the scan to completion, guaranteeing Close on every
+// exit path (including panics) and surfacing its error.
+func collectFromScan(ctx *blockCtx, scan rss.Scan, relIdx int, residual []sem.Expr) (tids []storage.TID, rows []value.Row, err error) {
 	if err := scan.Open(); err != nil {
 		return nil, nil, err
 	}
-	defer scan.Close()
-	var tids []storage.TID
-	var rows []value.Row
+	defer func() {
+		if cerr := scan.Close(); cerr != nil && err == nil {
+			tids, rows, err = nil, nil, cerr
+		}
+	}()
 	c := make(comp, 1)
 	for {
 		row, tid, ok, err := scan.Next()

@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 
+	"systemr/internal/governor"
 	"systemr/internal/plan"
 	"systemr/internal/rss"
 	"systemr/internal/sem"
@@ -11,12 +12,19 @@ import (
 	"systemr/internal/xsort"
 )
 
+// Budget is the statement execution governor's per-statement budget
+// (cancellation, deadline, rows scanned, page fetches). See
+// internal/governor.
+type Budget = governor.Budget
+
 // Runtime carries the shared execution environment: the buffer pool through
 // which all page accesses flow (and which therefore measures PAGE FETCHES
-// and RSI CALLS) and the simulated disk for temporary lists.
+// and RSI CALLS), the simulated disk for temporary lists, and the
+// statement's governor budget (nil = ungoverned, e.g. experiment drivers).
 type Runtime struct {
-	Pool *storage.BufferPool
-	Disk *storage.Disk
+	Pool   *storage.BufferPool
+	Disk   *storage.Disk
+	Budget *Budget
 }
 
 // Stats summarizes one statement's measured execution.
@@ -38,16 +46,21 @@ func RunQuery(rt *Runtime, q *plan.Query) ([]value.Row, *Stats, error) {
 func RunQueryArgs(rt *Runtime, q *plan.Query, args []value.Value) ([]value.Row, *Stats, error) {
 	before := rt.Pool.Stats().Snapshot()
 	evals := 0
+	mkStats := func(rows int) *Stats {
+		after := rt.Pool.Stats().Snapshot()
+		return &Stats{IO: after.Sub(before), SubqueryEvals: evals, Rows: rows}
+	}
 	ctx := newBlockCtx(rt, q, &evals)
 	if err := bindHostArgs(ctx, q, args); err != nil {
-		return nil, nil, err
+		return nil, mkStats(0), err
 	}
 	rows, err := ctx.run()
 	if err != nil {
-		return nil, nil, err
+		// Stats are still returned so aborted statements (canceled, budget
+		// exceeded, storage fault) report the work done up to the abort.
+		return nil, mkStats(0), err
 	}
-	after := rt.Pool.Stats().Snapshot()
-	return rows, &Stats{IO: after.Sub(before), SubqueryEvals: evals, Rows: len(rows)}, nil
+	return rows, mkStats(len(rows)), nil
 }
 
 // bindHostArgs validates the argument count against the block's host
@@ -92,26 +105,32 @@ func newBlockCtx(rt *Runtime, q *plan.Query, evals *int) *blockCtx {
 	return ctx
 }
 
-// run drives the block's plan to completion.
-func (ctx *blockCtx) run() ([]value.Row, error) {
+// run drives the block's plan to completion. The close is deferred before
+// open so that every exit path — including errors mid-open and panics —
+// releases the plan's scans; close errors surface unless an earlier error
+// is already being returned.
+func (ctx *blockCtx) run() (rows []value.Row, err error) {
 	it, err := ctx.buildFlat(ctx.q.Root)
 	if err != nil {
 		return nil, err
 	}
+	defer func() {
+		if cerr := it.close(); cerr != nil && err == nil {
+			rows, err = nil, cerr
+		}
+	}()
 	if err := it.open(); err != nil {
 		return nil, err
 	}
-	defer it.close()
-	var out []value.Row
 	for {
 		row, ok, err := it.next()
 		if err != nil {
 			return nil, err
 		}
 		if !ok {
-			return out, nil
+			return rows, nil
 		}
-		out = append(out, row)
+		rows = append(rows, row)
 	}
 }
 
@@ -243,7 +262,7 @@ func (it *segScanIter) open() error {
 	if err != nil {
 		return err
 	}
-	it.scan = &rss.SegmentScan{Table: it.node.Table, Pool: it.ctx.rt.Pool, Sargs: sargs}
+	it.scan = &rss.SegmentScan{Table: it.node.Table, Pool: it.ctx.rt.Pool, Sargs: sargs, Budget: it.ctx.rt.Budget}
 	return it.scan.Open()
 }
 
@@ -297,7 +316,7 @@ func (it *indexScanIter) open() error {
 	it.scan = &rss.IndexScan{
 		Index: it.node.Index, Pool: it.ctx.rt.Pool,
 		Lo: lo, LoInc: it.node.LoInc, Hi: hi, HiInc: it.node.HiInc,
-		Sargs: sargs,
+		Sargs: sargs, Budget: it.ctx.rt.Budget,
 	}
 	return it.scan.Open()
 }
@@ -357,7 +376,8 @@ func (it *nlJoinIter) next() (comp, bool, error) {
 			// Bind the outer tuple's join values into the parameters the
 			// inner scan's start/stop keys and SARGs reference, then
 			// (re-)open the inner scan — one inner scan per outer tuple, as
-			// the nested-loops cost formula assumes.
+			// the nested-loops cost formula assumes. The previous inner
+			// scan is closed first, and its close error propagates.
 			for _, b := range it.node.Binds {
 				row := oc[b.From.Rel]
 				if row == nil {
@@ -365,17 +385,21 @@ func (it *nlJoinIter) next() (comp, bool, error) {
 				}
 				it.ctx.params[b.Param] = row[b.From.Col]
 			}
+			if it.inner != nil {
+				prev := it.inner
+				it.inner = nil
+				if err := prev.close(); err != nil {
+					return nil, false, err
+				}
+			}
 			inner, err := it.ctx.buildComp(it.node.Inner)
 			if err != nil {
 				return nil, false, err
 			}
+			it.inner = inner
 			if err := inner.open(); err != nil {
 				return nil, false, err
 			}
-			if it.inner != nil {
-				it.inner.close()
-			}
-			it.inner = inner
 		}
 		ic, ok, err := it.inner.next()
 		if err != nil {
@@ -396,11 +420,20 @@ func (it *nlJoinIter) next() (comp, bool, error) {
 	}
 }
 
+// close releases both sides, returning the first error but always closing
+// the outer even when the inner's close fails.
 func (it *nlJoinIter) close() error {
+	var firstErr error
 	if it.inner != nil {
-		it.inner.close()
+		if err := it.inner.close(); err != nil {
+			firstErr = err
+		}
+		it.inner = nil
 	}
-	return it.outer.close()
+	if err := it.outer.close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
 }
 
 // ---- Merging-scans join ----
@@ -542,8 +575,11 @@ func (it *mergeJoinIter) next() (comp, bool, error) {
 }
 
 func (it *mergeJoinIter) close() error {
-	it.outer.close()
-	return it.inner.close()
+	firstErr := it.outer.close()
+	if err := it.inner.close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
 }
 
 // ---- Sort (composite) ----
@@ -610,11 +646,15 @@ func (l *compLayout) unflatten(row value.Row) comp {
 	return c
 }
 
-func (it *sortIter) open() error {
+func (it *sortIter) open() (err error) {
 	if err := it.input.open(); err != nil {
 		return err
 	}
-	defer it.input.close()
+	defer func() {
+		if cerr := it.input.close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	it.layout = newCompLayout(it.ctx.q.Block)
 	keys := make([]int, len(it.keys))
 	desc := make([]bool, len(it.keys))
@@ -625,6 +665,7 @@ func (it *sortIter) open() error {
 	res, err := xsort.Sort(xsort.Config{
 		Pool: it.ctx.rt.Pool, Disk: it.ctx.rt.Disk,
 		Keys: keys, Desc: desc, CountRSI: true,
+		Budget: it.ctx.rt.Budget,
 	}, func() (value.Row, bool, error) {
 		c, ok, err := it.input.next()
 		if err != nil || !ok {
@@ -675,6 +716,7 @@ func OpenQuery(rt *Runtime, q *plan.Query) (*Cursor, error) {
 }
 
 // OpenQueryArgs begins streaming execution with host-variable values bound.
+// A failed open releases any scans the plan managed to open before failing.
 func OpenQueryArgs(rt *Runtime, q *plan.Query, args []value.Value) (*Cursor, error) {
 	c := &Cursor{rt: rt, before: rt.Pool.Stats().Snapshot()}
 	ctx := newBlockCtx(rt, q, &c.evals)
@@ -686,41 +728,47 @@ func OpenQueryArgs(rt *Runtime, q *plan.Query, args []value.Value) (*Cursor, err
 		return nil, err
 	}
 	if err := it.open(); err != nil {
+		it.close() // release partially-opened scans (e.g. a join's outer)
 		return nil, err
 	}
 	c.it = it
 	return c, nil
 }
 
-// Next returns the next output row; ok is false at end of results.
+// Next returns the next output row; ok is false at end of results. An error
+// finishes the cursor (scans released); at end of results a close error, if
+// any, is surfaced in the final call.
 func (c *Cursor) Next() (value.Row, bool, error) {
 	if c.done {
 		return nil, false, nil
 	}
 	row, ok, err := c.it.next()
 	if err != nil {
+		c.finish()
 		return nil, false, err
 	}
 	if !ok {
-		c.finish()
-		return nil, false, nil
+		return nil, false, c.finish()
 	}
 	c.rows++
 	return row, true, nil
 }
 
-// Close releases the cursor; safe to call at any point.
-func (c *Cursor) Close() {
+// Close releases the cursor; safe to call at any point and idempotent. It
+// returns the underlying close error the first time.
+func (c *Cursor) Close() error {
 	if !c.done {
-		c.finish()
+		return c.finish()
 	}
+	return nil
 }
 
-func (c *Cursor) finish() {
+func (c *Cursor) finish() error {
 	c.done = true
-	c.it.close()
+	err := c.it.close()
 	after := c.rt.Pool.Stats().Snapshot()
 	c.stats = &Stats{IO: after.Sub(c.before), SubqueryEvals: c.evals, Rows: c.rows}
+	return err
 }
 
 // Stats returns the measured execution statistics; valid after the cursor

@@ -11,6 +11,7 @@ import (
 	"systemr/internal/sem"
 	"systemr/internal/sql"
 	"systemr/internal/storage"
+	"systemr/internal/testutil"
 	"systemr/internal/value"
 )
 
@@ -24,6 +25,7 @@ type env struct {
 
 func newEnv(t testing.TB) *env {
 	t.Helper()
+	testutil.AssertNoLeaks(t)
 	disk := storage.NewDisk()
 	stats := &storage.IOStats{}
 	pool := storage.NewBufferPool(disk, 32, stats)

@@ -7,10 +7,13 @@
 //
 // Deadlock freedom comes from total ordering: a statement requests all of
 // its locks up front and the manager grants them in sorted table order, so
-// no two statements ever wait on each other in a cycle.
+// no two statements ever wait on each other in a cycle. Waits are
+// context-aware (AcquireContext), so a statement deadline or cancellation
+// also bounds how long a writer can sit behind a stuck reader.
 package lock
 
 import (
+	"context"
 	"sort"
 	"strings"
 	"sync"
@@ -36,8 +39,11 @@ type Request struct {
 // Manager grants table locks.
 type Manager struct {
 	mu     sync.Mutex
-	cond   *sync.Cond
 	tables map[string]*tableLock
+	// wake is closed and replaced on every release — a broadcast that
+	// waiters can select on together with their context's Done channel
+	// (the reason this is a channel rather than a sync.Cond).
+	wake chan struct{}
 }
 
 type tableLock struct {
@@ -47,9 +53,7 @@ type tableLock struct {
 
 // NewManager creates an empty lock manager.
 func NewManager() *Manager {
-	m := &Manager{tables: make(map[string]*tableLock)}
-	m.cond = sync.NewCond(&m.mu)
-	return m
+	return &Manager{tables: make(map[string]*tableLock), wake: make(chan struct{})}
 }
 
 // Held represents granted locks; Release returns them.
@@ -62,16 +66,40 @@ type Held struct {
 // Acquire blocks until every requested lock is granted. Duplicate tables are
 // collapsed (exclusive wins); grants happen in sorted order.
 func (m *Manager) Acquire(reqs []Request) *Held {
+	h, _ := m.AcquireContext(context.Background(), reqs)
+	return h
+}
+
+// AcquireContext is Acquire observing ctx: when ctx is done before every
+// lock is granted, any locks granted so far are returned and the context's
+// error is reported. On success the returned error is nil.
+func (m *Manager) AcquireContext(ctx context.Context, reqs []Request) (*Held, error) {
 	normalized := normalize(reqs)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	m.mu.Lock()
-	for _, r := range normalized {
+	for i, r := range normalized {
 		for !m.grantableLocked(r) {
-			m.cond.Wait()
+			wake := m.wake
+			m.mu.Unlock()
+			select {
+			case <-ctx.Done():
+				m.mu.Lock()
+				for _, g := range normalized[:i] {
+					m.ungrantLocked(g)
+				}
+				m.broadcastLocked()
+				m.mu.Unlock()
+				return nil, ctx.Err()
+			case <-wake:
+			}
+			m.mu.Lock()
 		}
 		m.grantLocked(r)
 	}
 	m.mu.Unlock()
-	return &Held{mgr: m, reqs: normalized}
+	return &Held{mgr: m, reqs: normalized}, nil
 }
 
 // TryAcquire attempts a non-blocking grant of all requests; it returns nil
@@ -107,8 +135,14 @@ func (h *Held) Release() {
 	for _, r := range h.reqs {
 		m.ungrantLocked(r)
 	}
+	m.broadcastLocked()
 	m.mu.Unlock()
-	m.cond.Broadcast()
+}
+
+// broadcastLocked wakes every waiter. Callers hold m.mu.
+func (m *Manager) broadcastLocked() {
+	close(m.wake)
+	m.wake = make(chan struct{})
 }
 
 func normalize(reqs []Request) []Request {
@@ -171,4 +205,20 @@ func (m *Manager) Holders(table string) (readers int, writer bool) {
 	defer m.mu.Unlock()
 	e := m.entry(strings.ToUpper(table))
 	return e.readers, e.writer
+}
+
+// Outstanding returns the total number of currently granted locks across all
+// tables (each shared holder and each writer counts one). Leak checks assert
+// it returns to zero after every statement.
+func (m *Manager) Outstanding() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, e := range m.tables {
+		n += e.readers
+		if e.writer {
+			n++
+		}
+	}
+	return n
 }

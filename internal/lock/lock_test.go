@@ -1,6 +1,8 @@
 package lock
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -180,5 +182,107 @@ func TestSharedConcurrency(t *testing.T) {
 	wg.Wait()
 	if atomic.LoadInt64(&max) < 2 {
 		t.Fatalf("max concurrent readers %d; shared locks should coexist", max)
+	}
+}
+
+func TestAcquireContextCanceledBeforeWait(t *testing.T) {
+	m := NewManager()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	h, err := m.AcquireContext(ctx, []Request{{Table: "T", Mode: Exclusive}})
+	if h != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled acquire: held=%v err=%v", h, err)
+	}
+	if m.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d after failed acquire", m.Outstanding())
+	}
+}
+
+func TestAcquireContextCancelWhileWaiting(t *testing.T) {
+	m := NewManager()
+	blocker := m.Acquire([]Request{{Table: "B", Mode: Exclusive}})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		// A grants immediately; B blocks behind the writer. Cancellation must
+		// roll back the grant on A.
+		h, err := m.AcquireContext(ctx, []Request{
+			{Table: "A", Mode: Shared}, {Table: "B", Mode: Shared},
+		})
+		if h != nil {
+			h.Release()
+		}
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("canceled wait: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("canceled waiter did not return")
+	}
+	if got := m.Outstanding(); got != 1 { // only the blocker remains
+		t.Fatalf("outstanding = %d after canceled waiter rollback, want 1", got)
+	}
+	blocker.Release()
+	if m.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d after release", m.Outstanding())
+	}
+}
+
+func TestAcquireContextDeadline(t *testing.T) {
+	m := NewManager()
+	blocker := m.Acquire([]Request{{Table: "T", Mode: Exclusive}})
+	defer blocker.Release()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	h, err := m.AcquireContext(ctx, []Request{{Table: "T", Mode: Shared}})
+	if h != nil || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline acquire: held=%v err=%v", h, err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatalf("deadline not honored: waited %v", time.Since(start))
+	}
+}
+
+// TestCancelDoesNotStrandOtherWaiters: a canceled waiter's rollback must wake
+// the remaining waiters (its partial grants may be what they were queued on).
+func TestCancelDoesNotStrandOtherWaiters(t *testing.T) {
+	m := NewManager()
+	blocker := m.Acquire([]Request{{Table: "B", Mode: Exclusive}})
+	ctx, cancel := context.WithCancel(context.Background())
+	firstDone := make(chan struct{})
+	go func() {
+		defer close(firstDone)
+		// Grants A exclusively, then parks on B.
+		h, _ := m.AcquireContext(ctx, []Request{
+			{Table: "A", Mode: Exclusive}, {Table: "B", Mode: Shared},
+		})
+		if h != nil {
+			h.Release()
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	secondDone := make(chan struct{})
+	go func() {
+		defer close(secondDone)
+		// Queued behind the first waiter's exclusive grant on A.
+		m.Acquire([]Request{{Table: "A", Mode: Shared}}).Release()
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel() // first waiter rolls back A; second must wake and proceed
+	select {
+	case <-secondDone:
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter stranded after another waiter's cancellation")
+	}
+	<-firstDone
+	blocker.Release()
+	if m.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d at end", m.Outstanding())
 	}
 }

@@ -15,12 +15,21 @@ package rss
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"systemr/internal/btree"
 	"systemr/internal/catalog"
+	"systemr/internal/governor"
 	"systemr/internal/storage"
 	"systemr/internal/value"
 )
+
+// openScans counts currently open RSI scans engine-wide. Leak checks assert
+// it returns to zero after every statement, including error and panic paths.
+var openScans atomic.Int64
+
+// OpenScans returns the number of RSI scans currently open.
+func OpenScans() int64 { return openScans.Load() }
 
 // SargTerm is one sargable predicate: column <op> value.
 type SargTerm struct {
@@ -115,6 +124,9 @@ type SegmentScan struct {
 	Table *catalog.Table
 	Pool  *storage.BufferPool
 	Sargs SargSet
+	// Budget, when non-nil, is the statement's execution governor, checked
+	// at OPEN, on every page transition, and per tuple examined.
+	Budget *governor.Budget
 
 	pages []storage.PageID
 	pi    int
@@ -125,11 +137,17 @@ type SegmentScan struct {
 
 // Open positions the scan before the first page.
 func (s *SegmentScan) Open() error {
+	if err := s.Budget.Check(); err != nil {
+		return err
+	}
 	s.pages = s.Table.Segment.Pages()
 	s.pi = -1
 	s.page = nil
 	s.slot = 0
-	s.open = true
+	if !s.open {
+		s.open = true
+		openScans.Add(1)
+	}
 	return nil
 }
 
@@ -144,7 +162,14 @@ func (s *SegmentScan) Next() (value.Row, storage.TID, bool, error) {
 			if s.pi >= len(s.pages) {
 				return nil, storage.TID{}, false, nil
 			}
-			s.page = s.Pool.Get(s.pages[s.pi])
+			if err := s.Budget.Check(); err != nil {
+				return nil, storage.TID{}, false, err
+			}
+			page, err := s.Pool.Fetch(s.pages[s.pi])
+			if err != nil {
+				return nil, storage.TID{}, false, err
+			}
+			s.page = page
 			s.slot = 0
 			continue
 		}
@@ -158,6 +183,9 @@ func (s *SegmentScan) Next() (value.Row, storage.TID, bool, error) {
 		if err != nil {
 			return nil, storage.TID{}, false, err
 		}
+		if err := s.Budget.CheckRow(); err != nil {
+			return nil, storage.TID{}, false, err
+		}
 		if !s.Sargs.Match(row) {
 			continue
 		}
@@ -166,9 +194,12 @@ func (s *SegmentScan) Next() (value.Row, storage.TID, bool, error) {
 	}
 }
 
-// Close ends the scan.
+// Close ends the scan. Idempotent.
 func (s *SegmentScan) Close() error {
-	s.open = false
+	if s.open {
+		s.open = false
+		openScans.Add(-1)
+	}
 	s.page = nil
 	return nil
 }
@@ -184,6 +215,9 @@ type IndexScan struct {
 	Hi    []value.Value
 	HiInc bool
 	Sargs SargSet
+	// Budget, when non-nil, is the statement's execution governor, checked
+	// at OPEN and per index entry examined.
+	Budget *governor.Budget
 
 	it   *btree.Iterator
 	open bool
@@ -191,8 +225,14 @@ type IndexScan struct {
 
 // Open descends the B-tree to the starting key.
 func (s *IndexScan) Open() error {
+	if err := s.Budget.Check(); err != nil {
+		return err
+	}
 	s.it = s.Index.Tree.Seek(s.Pool, s.Lo)
-	s.open = true
+	if !s.open {
+		s.open = true
+		openScans.Add(1)
+	}
 	return nil
 }
 
@@ -206,6 +246,9 @@ func (s *IndexScan) Next() (value.Row, storage.TID, bool, error) {
 		if !ok {
 			return nil, storage.TID{}, false, nil
 		}
+		if err := s.Budget.CheckRow(); err != nil {
+			return nil, storage.TID{}, false, err
+		}
 		if len(s.Lo) > 0 && !s.LoInc && btree.ComparePrefix(e.Key, s.Lo) == 0 {
 			continue // strictly-greater start bound
 		}
@@ -215,7 +258,10 @@ func (s *IndexScan) Next() (value.Row, storage.TID, bool, error) {
 				return nil, storage.TID{}, false, nil
 			}
 		}
-		page := s.Pool.Get(e.TID.Page)
+		page, err := s.Pool.Fetch(e.TID.Page)
+		if err != nil {
+			return nil, storage.TID{}, false, err
+		}
 		rec, rel, live := page.Record(e.TID.Slot)
 		if !live || rel != s.Index.Table.ID {
 			continue // stale index entry (deleted tuple)
@@ -232,9 +278,12 @@ func (s *IndexScan) Next() (value.Row, storage.TID, bool, error) {
 	}
 }
 
-// Close ends the scan.
+// Close ends the scan. Idempotent.
 func (s *IndexScan) Close() error {
-	s.open = false
+	if s.open {
+		s.open = false
+		openScans.Add(-1)
+	}
 	s.it = nil
 	return nil
 }

@@ -97,6 +97,8 @@ type BufferPool struct {
 	stats    *IOStats
 	lru      *list.List               // front = most recent; values are PageID
 	resident map[PageID]*list.Element // pages currently buffered
+	injector FaultInjector            // consulted by Fetch on misses; nil = no faults
+	fetchN   int64                    // Fetch misses since the injector was installed
 }
 
 // NewBufferPool creates a pool of the given page capacity over disk,
@@ -122,23 +124,57 @@ func (bp *BufferPool) Stats() *IOStats { return bp.stats }
 
 // Get returns the page frame for id, fetching it (a simulated I/O) if it is
 // not resident. Virtual pages (B-tree nodes) return nil but are accounted
-// identically.
+// identically. Get cannot fault; measured scan paths use Fetch instead so
+// injected storage errors propagate.
 func (bp *BufferPool) Get(id PageID) *Page {
-	bp.touch(id)
+	bp.admit(id, false)
 	return bp.disk.page(id)
+}
+
+// Fetch is Get with fault propagation: on a miss the installed FaultInjector
+// may fail the simulated I/O, in which case the page is not installed, the
+// attempted fetch is still counted, and the error is returned.
+func (bp *BufferPool) Fetch(id PageID) (*Page, error) {
+	if err := bp.admit(id, true); err != nil {
+		return nil, err
+	}
+	return bp.disk.page(id), nil
+}
+
+// SetFaultInjector installs fi (nil removes injection) and resets the fetch
+// index faults are scheduled against.
+func (bp *BufferPool) SetFaultInjector(fi FaultInjector) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.injector = fi
+	bp.fetchN = 0
 }
 
 // Touch accounts an access to id without needing the frame. The B-tree calls
 // this on every node visit.
-func (bp *BufferPool) Touch(id PageID) { bp.touch(id) }
+func (bp *BufferPool) Touch(id PageID) { bp.admit(id, false) }
 
-func (bp *BufferPool) touch(id PageID) {
+// admit records the access in the LRU and stats. Only injectable accesses
+// (Fetch) consult the fault injector, so the fault schedule is stable no
+// matter how many accounting-only touches interleave.
+func (bp *BufferPool) admit(id PageID, injectable bool) error {
+	miss, err := bp.install(id, injectable)
+	bp.stats.addRead(miss)
+	return err
+}
+
+func (bp *BufferPool) install(id PageID, injectable bool) (miss bool, err error) {
 	bp.mu.Lock()
+	defer bp.mu.Unlock()
 	if el, ok := bp.resident[id]; ok {
 		bp.lru.MoveToFront(el)
-		bp.mu.Unlock()
-		bp.stats.addRead(false)
-		return
+		return false, nil
+	}
+	if injectable && bp.injector != nil {
+		bp.fetchN++
+		if err := bp.injector.PageFetch(bp.fetchN, id); err != nil {
+			return true, err // the failed I/O was still issued
+		}
 	}
 	// Miss: evict if full, then install.
 	if bp.lru.Len() >= bp.capacity {
@@ -147,8 +183,7 @@ func (bp *BufferPool) touch(id PageID) {
 		delete(bp.resident, oldest.Value.(PageID))
 	}
 	bp.resident[id] = bp.lru.PushFront(id)
-	bp.mu.Unlock()
-	bp.stats.addRead(true)
+	return true, nil
 }
 
 // MarkWritten accounts a page write (used by sorts materializing temporary

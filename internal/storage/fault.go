@@ -1,0 +1,39 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInjectedFault marks a page fetch failed by a FaultInjector. Tests
+// dispatch on it with errors.Is.
+var ErrInjectedFault = errors.New("storage: injected page fault")
+
+// FaultInjector simulates storage failures. It is consulted by
+// BufferPool.Fetch on every buffer-pool miss, before the page is installed;
+// a non-nil error fails the fetch and propagates to the scan that issued it.
+// Injection covers real page I/O only: virtual-page touches (B-tree node
+// visits, which are accounting over in-memory structures) and unmeasured
+// loading paths through Get/Touch cannot fault.
+//
+// Implementations must be deterministic — the fault-sweep harness depends on
+// fetch N meaning the same page access on every identically-prepared run —
+// so no randomness belongs in library code.
+type FaultInjector interface {
+	// PageFetch is called with the 1-based fetch index since the injector
+	// was installed and the page being fetched.
+	PageFetch(n int64, id PageID) error
+}
+
+// FailNth is a deterministic FaultInjector that fails exactly the Nth fetch.
+type FailNth struct {
+	N int64
+}
+
+// PageFetch fails fetch number N with ErrInjectedFault.
+func (f FailNth) PageFetch(n int64, id PageID) error {
+	if n == f.N {
+		return fmt.Errorf("%w: fetch #%d (page %d)", ErrInjectedFault, n, id)
+	}
+	return nil
+}

@@ -1,0 +1,25 @@
+package testutil
+
+// Robustness-layer leak accounting. Every RSI scan increments a process-wide
+// counter on Open and decrements it on Close; a test that finishes with the
+// counter above its starting point has leaked a scan (an executor exit path
+// that skipped Close).
+
+import (
+	"testing"
+
+	"systemr/internal/rss"
+)
+
+// AssertNoLeaks registers a cleanup that fails the test if it exits with
+// more open RSI scans than when AssertNoLeaks was called. Call it at the
+// start of any test that executes queries.
+func AssertNoLeaks(t testing.TB) {
+	t.Helper()
+	before := rss.OpenScans()
+	t.Cleanup(func() {
+		if after := rss.OpenScans(); after != before {
+			t.Errorf("scan leak: %d RSI scans still open at test end (was %d at start)", after, before)
+		}
+	})
+}

@@ -29,6 +29,11 @@ type EmpConfig struct {
 	// NoStatistics skips UPDATE STATISTICS, exercising the paper's
 	// "lack of statistics implies the relation is small" defaults.
 	NoStatistics bool
+	// Engine supplies further engine configuration (governor budgets,
+	// timeouts); BufferPages and Naive above override its fields. Note the
+	// limits also govern the loading statements, so keep them above the
+	// per-statement cost of a single-row INSERT.
+	Engine systemr.Config
 }
 
 func (c EmpConfig) withDefaults() EmpConfig {
@@ -58,7 +63,10 @@ var Locations = []string{"DENVER", "SAN JOSE", "TUCSON", "BOSTON", "AUSTIN"}
 func NewEmpDB(cfg EmpConfig) *systemr.DB {
 	cfg = cfg.withDefaults()
 	rnd := rand.New(rand.NewSource(cfg.Seed))
-	db := systemr.Open(systemr.Config{BufferPages: cfg.BufferPages, Naive: cfg.Naive})
+	ecfg := cfg.Engine
+	ecfg.BufferPages = cfg.BufferPages
+	ecfg.Naive = cfg.Naive
+	db := systemr.Open(ecfg)
 
 	seg := ""
 	if cfg.SharedSegment {

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 
+	"systemr/internal/governor"
 	"systemr/internal/storage"
 	"systemr/internal/value"
 )
@@ -31,6 +32,10 @@ type Config struct {
 	// temporary list and one per tuple delivered from it, mirroring the cost
 	// model's CPU term for sorts.
 	CountRSI bool
+	// Budget, when non-nil, is the statement's execution governor; merge
+	// passes and temp-list delivery tick it so a canceled statement aborts
+	// even after its input scans have drained.
+	Budget *governor.Budget
 }
 
 // Result streams the sorted rows from the temporary list.
@@ -198,6 +203,9 @@ func mergeRuns(cfg Config, in []*run) (*run, error) {
 	}
 	var out []value.Row
 	for len(heap) > 0 {
+		if err := cfg.Budget.Tick(); err != nil {
+			return nil, err
+		}
 		var e heapEntry
 		heap, e = heapPop(heap, cfg.Keys, cfg.Desc)
 		out = append(out, e.row)
@@ -233,7 +241,11 @@ func (rd *runReader) next() (value.Row, bool, error) {
 			if rd.pi >= len(rd.pages) {
 				return nil, false, nil
 			}
-			rd.page = rd.bpool.Get(rd.pages[rd.pi])
+			page, err := rd.bpool.Fetch(rd.pages[rd.pi])
+			if err != nil {
+				return nil, false, err
+			}
+			rd.page = page
 			rd.pi++
 			rd.slot = 0
 			continue
@@ -307,6 +319,9 @@ func (res *Result) push(e heapEntry) {
 func (res *Result) Next() (value.Row, bool, error) {
 	if len(res.heap) == 0 {
 		return nil, false, nil
+	}
+	if err := res.cfg.Budget.Tick(); err != nil {
+		return nil, false, err
 	}
 	var e heapEntry
 	res.heap, e = heapPop(res.heap, res.cfg.Keys, res.cfg.Desc)

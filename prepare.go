@@ -12,9 +12,11 @@ package systemr
 // caller re-Prepares).
 
 import (
+	"context"
 	"fmt"
 
 	"systemr/internal/exec"
+	"systemr/internal/governor"
 	"systemr/internal/lock"
 	"systemr/internal/plan"
 	"systemr/internal/sem"
@@ -58,26 +60,32 @@ func (db *DB) Prepare(text string) (*Stmt, error) {
 // value per '?' host variable in statement order. Accepted argument types:
 // int, int64, float64, string, nil.
 func (s *Stmt) Run(args ...any) (*Result, error) {
+	return s.RunContext(context.Background(), args...)
+}
+
+// RunContext is Run observing ctx: cancellation, deadlines, and the
+// configured resource budgets abort execution as in ExecContext.
+func (s *Stmt) RunContext(ctx context.Context, args ...any) (*Result, error) {
 	vals, err := hostValues(args)
 	if err != nil {
 		return nil, err
 	}
-	held := s.db.locks.Acquire(s.locks)
-	defer held.Release()
-	rows, stats, err := exec.RunQueryArgs(s.db.Runtime(), s.query, vals)
+	if s.db.cfg.StatementTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.db.cfg.StatementTimeout)
+		defer cancel()
+	}
+	held, err := s.db.locks.AcquireContext(ctx, s.locks)
 	if err != nil {
-		return nil, err
+		return nil, &StatementError{Err: governor.CtxErr(err)}
 	}
-	s.db.mu.Lock()
-	s.db.last = ExecStats{
-		PageFetches:   stats.IO.PageFetches,
-		PagesWritten:  stats.IO.PagesWritten,
-		LogicalReads:  stats.IO.LogicalReads,
-		RSICalls:      stats.IO.RSICalls,
-		SubqueryEvals: stats.SubqueryEvals,
-		Rows:          stats.Rows,
+	defer held.Release()
+	rows, stats, err := exec.RunQueryArgs(s.db.runtime(s.db.newGovernor(ctx)), s.query, vals)
+	es := execStatsFrom(stats)
+	s.db.setLast(es)
+	if err != nil {
+		return nil, wrapGovErr(err, es)
 	}
-	s.db.mu.Unlock()
 	out := make([][]any, len(rows))
 	for i, r := range rows {
 		out[i] = toNative(r)
@@ -133,15 +141,26 @@ type Rows struct {
 // per '?' host variable. The caller must Close the cursor (or drain it) to
 // release the statement's locks.
 func (s *Stmt) Open(args ...any) (*Rows, error) {
+	return s.OpenContext(context.Background(), args...)
+}
+
+// OpenContext is Open observing ctx for the whole cursor lifetime: a
+// cancellation between Next calls aborts the next fetch. (StatementTimeout is
+// not layered here — a cursor's pacing belongs to the application; pass a
+// deadline ctx to bound it.)
+func (s *Stmt) OpenContext(ctx context.Context, args ...any) (*Rows, error) {
 	vals, err := hostValues(args)
 	if err != nil {
 		return nil, err
 	}
-	held := s.db.locks.Acquire(s.locks)
-	cur, err := exec.OpenQueryArgs(s.db.Runtime(), s.query, vals)
+	held, err := s.db.locks.AcquireContext(ctx, s.locks)
+	if err != nil {
+		return nil, &StatementError{Err: governor.CtxErr(err)}
+	}
+	cur, err := exec.OpenQueryArgs(s.db.runtime(s.db.newGovernor(ctx)), s.query, vals)
 	if err != nil {
 		held.Release()
-		return nil, err
+		return nil, wrapGovErr(err, ExecStats{})
 	}
 	cols := s.query.OutNames
 	if cols == nil {
@@ -158,14 +177,18 @@ func (r *Rows) Columns() []string { return r.cols }
 func (r *Rows) Next() (row []any, ok bool, err error) {
 	raw, ok, err := r.cursor.Next()
 	if err != nil || !ok {
-		r.Close()
-		return nil, false, err
+		if cerr := r.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		return nil, false, wrapGovErr(err, ExecStats{})
 	}
 	return toNative(raw), true, nil
 }
 
-// Close releases the cursor and its locks; safe to call repeatedly.
-func (r *Rows) Close() {
-	r.cursor.Close()
+// Close releases the cursor and its locks; safe to call repeatedly. It
+// returns the first error seen while closing the plan's scans, once.
+func (r *Rows) Close() error {
+	err := r.cursor.Close()
 	r.held.Release()
+	return err
 }

@@ -6,12 +6,14 @@ import (
 	"testing"
 
 	"systemr"
+	"systemr/internal/testutil"
 )
 
 // newEmpDeptJobDB loads the paper's Figure 1 schema: EMP, DEPT, JOB with the
 // indexes the example discusses.
 func newEmpDeptJobDB(t testing.TB) *systemr.DB {
 	t.Helper()
+	testutil.AssertNoLeaks(t)
 	db := systemr.Open(systemr.Config{BufferPages: 32})
 	db.MustExec("CREATE TABLE EMP (NAME VARCHAR, DNO INTEGER, JOB INTEGER, SAL FLOAT)")
 	db.MustExec("CREATE TABLE DEPT (DNO INTEGER, DNAME VARCHAR, LOC VARCHAR)")

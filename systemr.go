@@ -24,14 +24,19 @@
 package systemr
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"systemr/internal/catalog"
 	"systemr/internal/core"
 	"systemr/internal/exec"
+	"systemr/internal/governor"
 	"systemr/internal/lock"
 	"systemr/internal/plan"
 	"systemr/internal/rss"
@@ -62,6 +67,19 @@ type Config struct {
 	// FROM-order nested loops, no search arguments — the no-optimizer
 	// baseline of the evaluation harness.
 	Naive bool
+
+	// Execution governor knobs (0 = unlimited). Violations surface as a
+	// *StatementError wrapping ErrBudgetExceeded, with the partial ExecStats
+	// attached.
+
+	// MaxRowsScanned bounds the tuples a statement may examine across all of
+	// its scans (not the rows it returns).
+	MaxRowsScanned int64
+	// MaxPageFetches bounds buffer-pool misses charged to a statement.
+	MaxPageFetches int64
+	// StatementTimeout bounds each statement's wall-clock execution,
+	// including lock waits.
+	StatementTimeout time.Duration
 }
 
 // DB is an embedded database instance. Methods are safe for concurrent use:
@@ -156,13 +174,30 @@ func lockRequests(stmt sql.Statement) []lock.Request {
 // Exec parses and executes one SQL statement under statement-scope table
 // locks.
 func (db *DB) Exec(text string) (*Result, error) {
+	return db.ExecContext(context.Background(), text)
+}
+
+// ExecContext is Exec observing ctx: cancellation or an expired deadline
+// aborts the statement — during lock acquisition or mid-scan, within a
+// bounded number of RSI calls — releasing its locks and scans and returning
+// a *StatementError wrapping ErrCanceled or ErrBudgetExceeded. The
+// configured StatementTimeout, if any, is layered onto ctx.
+func (db *DB) ExecContext(ctx context.Context, text string) (*Result, error) {
 	stmt, err := sql.Parse(text)
 	if err != nil {
 		return nil, err
 	}
-	held := db.locks.Acquire(lockRequests(stmt))
+	if db.cfg.StatementTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, db.cfg.StatementTimeout)
+		defer cancel()
+	}
+	held, err := db.locks.AcquireContext(ctx, lockRequests(stmt))
+	if err != nil {
+		return nil, &StatementError{Err: governor.CtxErr(err)}
+	}
 	defer held.Release()
-	return db.execStmt(stmt)
+	return db.execStmt(ctx, stmt)
 }
 
 // MustExec is Exec, panicking on error — for setup code and examples.
@@ -176,7 +211,12 @@ func (db *DB) MustExec(text string) *Result {
 
 // Query is Exec restricted to SELECT statements.
 func (db *DB) Query(text string) (*Result, error) {
-	res, err := db.Exec(text)
+	return db.QueryContext(context.Background(), text)
+}
+
+// QueryContext is Query observing ctx (see ExecContext).
+func (db *DB) QueryContext(ctx context.Context, text string) (*Result, error) {
+	res, err := db.ExecContext(ctx, text)
 	if err != nil {
 		return nil, err
 	}
@@ -188,7 +228,12 @@ func (db *DB) Query(text string) (*Result, error) {
 
 // Explain plans a SELECT and returns the optimizer's chosen plan as text.
 func (db *DB) Explain(text string) (string, error) {
-	res, err := db.Exec("EXPLAIN " + text)
+	return db.ExplainContext(context.Background(), text)
+}
+
+// ExplainContext is Explain observing ctx (see ExecContext).
+func (db *DB) ExplainContext(ctx context.Context, text string) (string, error) {
+	res, err := db.ExecContext(ctx, "EXPLAIN "+text)
 	if err != nil {
 		return "", err
 	}
@@ -209,11 +254,30 @@ func (db *DB) LastStats() ExecStats {
 // Catalog returns the system catalogs.
 func (db *DB) Catalog() *catalog.Catalog { return db.cat }
 
-// Pool returns the buffer pool (e.g. to Flush for cold-cache measurements).
+// Pool returns the buffer pool (e.g. to Flush for cold-cache measurements,
+// or to install a storage.FaultInjector).
 func (db *DB) Pool() *storage.BufferPool { return db.pool }
 
-// Runtime returns an executor runtime bound to this database.
-func (db *DB) Runtime() *exec.Runtime { return &exec.Runtime{Pool: db.pool, Disk: db.disk} }
+// Locks returns the table-lock manager (leak checks assert
+// Locks().Outstanding() == 0 between statements).
+func (db *DB) Locks() *lock.Manager { return db.locks }
+
+// Runtime returns an ungoverned executor runtime bound to this database.
+func (db *DB) Runtime() *exec.Runtime { return db.runtime(nil) }
+
+// runtime binds an executor runtime with the statement's governor budget.
+func (db *DB) runtime(g *governor.Budget) *exec.Runtime {
+	return &exec.Runtime{Pool: db.pool, Disk: db.disk, Budget: g}
+}
+
+// newGovernor creates one statement's execution budget from the configured
+// limits, snapshotting the engine-wide fetch counter as its baseline.
+func (db *DB) newGovernor(ctx context.Context) *governor.Budget {
+	return governor.New(ctx, governor.Limits{
+		MaxRowsScanned: db.cfg.MaxRowsScanned,
+		MaxPageFetches: db.cfg.MaxPageFetches,
+	}, db.stats)
+}
 
 // OptimizerConfig returns the core optimizer configuration this database
 // plans with.
@@ -256,7 +320,18 @@ func (db *DB) planBlock(blk *sem.Block) (*plan.Query, error) {
 	return opt.Optimize(blk)
 }
 
-func (db *DB) execStmt(stmt sql.Statement) (*Result, error) {
+// execStmt dispatches one parsed statement under a fresh governor budget.
+// It is the panic-containment boundary: an internal panic is recovered here
+// and converted to a *PanicError. The caller's deferred Held.Release and the
+// executor's deferred scan closes run during the unwind, so the database
+// stays usable — no locks or scans survive the failed statement.
+func (db *DB) execStmt(ctx context.Context, stmt sql.Statement) (res *Result, err error) {
+	gov := db.newGovernor(ctx)
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
 	switch st := stmt.(type) {
 	case *sql.CreateTableStmt:
 		cols := make([]catalog.Column, len(st.Cols))
@@ -287,15 +362,15 @@ func (db *DB) execStmt(stmt sql.Statement) (*Result, error) {
 		db.cat.UpdateStatistics()
 		return &Result{}, nil
 	case *sql.InsertStmt:
-		return db.execInsert(st)
+		return db.execInsert(gov, st)
 	case *sql.SelectStmt:
-		return db.execSelect(st)
+		return db.execSelect(gov, st)
 	case *sql.ExplainStmt:
 		return db.execExplain(st)
 	case *sql.DeleteStmt:
-		return db.execDelete(st)
+		return db.execDelete(gov, st)
 	case *sql.UpdateStmt:
-		return db.execUpdate(st)
+		return db.execUpdate(gov, st)
 	default:
 		return nil, fmt.Errorf("systemr: unsupported statement %T", stmt)
 	}
@@ -336,7 +411,40 @@ func evalConstExpr(e sql.Expr) (value.Value, error) {
 	return value.Value{}, fmt.Errorf("systemr: VALUES requires constant expressions, got %s", e)
 }
 
-func (db *DB) execInsert(st *sql.InsertStmt) (*Result, error) {
+// execStatsFrom converts the executor's measured statistics to the public
+// ExecStats.
+func execStatsFrom(stats *exec.Stats) ExecStats {
+	if stats == nil {
+		return ExecStats{}
+	}
+	return ExecStats{
+		PageFetches:   stats.IO.PageFetches,
+		PagesWritten:  stats.IO.PagesWritten,
+		LogicalReads:  stats.IO.LogicalReads,
+		RSICalls:      stats.IO.RSICalls,
+		SubqueryEvals: stats.SubqueryEvals,
+		Rows:          stats.Rows,
+	}
+}
+
+// setLast records the statement's measured statistics (including the partial
+// cost of an aborted statement).
+func (db *DB) setLast(s ExecStats) {
+	db.mu.Lock()
+	db.last = s
+	db.mu.Unlock()
+}
+
+// wrapGovErr converts a governor abort (cancellation, deadline, budget) into
+// a *StatementError carrying the partial stats; other errors pass through.
+func wrapGovErr(err error, stats ExecStats) error {
+	if errors.Is(err, governor.ErrCanceled) || errors.Is(err, governor.ErrBudgetExceeded) {
+		return &StatementError{Err: err, Stats: stats}
+	}
+	return err
+}
+
+func (db *DB) execInsert(gov *governor.Budget, st *sql.InsertStmt) (*Result, error) {
 	t, ok := db.cat.Table(st.Table)
 	if !ok {
 		return nil, fmt.Errorf("systemr: table %s does not exist", st.Table)
@@ -346,6 +454,9 @@ func (db *DB) execInsert(st *sql.InsertStmt) (*Result, error) {
 	}
 	n := 0
 	for _, rowExprs := range st.Rows {
+		if err := gov.Tick(); err != nil {
+			return nil, wrapGovErr(err, ExecStats{Rows: n})
+		}
 		row := make(value.Row, len(rowExprs))
 		for i, e := range rowExprs {
 			v, err := evalConstExpr(e)
@@ -362,7 +473,7 @@ func (db *DB) execInsert(st *sql.InsertStmt) (*Result, error) {
 	return &Result{Affected: n}, nil
 }
 
-func (db *DB) execSelect(sel *sql.SelectStmt) (*Result, error) {
+func (db *DB) execSelect(gov *governor.Budget, sel *sql.SelectStmt) (*Result, error) {
 	blk, err := sem.Analyze(sel, db.cat)
 	if err != nil {
 		return nil, err
@@ -371,19 +482,11 @@ func (db *DB) execSelect(sel *sql.SelectStmt) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	rows, stats, err := exec.RunQuery(db.Runtime(), q)
+	rows, stats, err := exec.RunQuery(db.runtime(gov), q)
+	es := execStatsFrom(stats)
+	db.setLast(es)
 	if err != nil {
-		return nil, err
-	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.last = ExecStats{
-		PageFetches:   stats.IO.PageFetches,
-		PagesWritten:  stats.IO.PagesWritten,
-		LogicalReads:  stats.IO.LogicalReads,
-		RSICalls:      stats.IO.RSICalls,
-		SubqueryEvals: stats.SubqueryEvals,
-		Rows:          stats.Rows,
+		return nil, wrapGovErr(err, es)
 	}
 	out := make([][]any, len(rows))
 	for i, r := range rows {
@@ -422,15 +525,19 @@ func (db *DB) execExplain(st *sql.ExplainStmt) (*Result, error) {
 // collectMatches locates the tuples a DELETE/UPDATE affects through the
 // optimizer's chosen access path (the paper: "retrieval for data
 // manipulation is treated similarly").
-func (db *DB) collectMatches(blk *sem.Block) ([]storage.TID, []value.Row, error) {
+func (db *DB) collectMatches(gov *governor.Budget, blk *sem.Block) ([]storage.TID, []value.Row, error) {
 	q, err := db.planBlock(blk)
 	if err != nil {
 		return nil, nil, err
 	}
-	return exec.CollectTIDs(db.Runtime(), q)
+	tids, rows, err := exec.CollectTIDs(db.runtime(gov), q)
+	if err != nil {
+		return nil, nil, wrapGovErr(err, ExecStats{Rows: int(gov.RowsScanned())})
+	}
+	return tids, rows, nil
 }
 
-func (db *DB) execDelete(st *sql.DeleteStmt) (*Result, error) {
+func (db *DB) execDelete(gov *governor.Budget, st *sql.DeleteStmt) (*Result, error) {
 	blk, err := sem.AnalyzeDelete(st, db.cat)
 	if err != nil {
 		return nil, err
@@ -438,12 +545,15 @@ func (db *DB) execDelete(st *sql.DeleteStmt) (*Result, error) {
 	if blk.Rels[0].Table.System {
 		return nil, fmt.Errorf("systemr: %s is a read-only system catalog", blk.Rels[0].Table.Name)
 	}
-	tids, rows, err := db.collectMatches(blk)
+	tids, rows, err := db.collectMatches(gov, blk)
 	if err != nil {
 		return nil, err
 	}
 	t := blk.Rels[0].Table
 	for i, tid := range tids {
+		if err := gov.Tick(); err != nil {
+			return nil, wrapGovErr(err, ExecStats{Rows: i})
+		}
 		if err := rss.Delete(t, tid, rows[i], db.disk); err != nil {
 			return nil, err
 		}
@@ -451,7 +561,7 @@ func (db *DB) execDelete(st *sql.DeleteStmt) (*Result, error) {
 	return &Result{Affected: len(tids)}, nil
 }
 
-func (db *DB) execUpdate(st *sql.UpdateStmt) (*Result, error) {
+func (db *DB) execUpdate(gov *governor.Budget, st *sql.UpdateStmt) (*Result, error) {
 	blk, sets, err := sem.AnalyzeUpdate(st, db.cat)
 	if err != nil {
 		return nil, err
@@ -459,7 +569,7 @@ func (db *DB) execUpdate(st *sql.UpdateStmt) (*Result, error) {
 	if blk.Rels[0].Table.System {
 		return nil, fmt.Errorf("systemr: %s is a read-only system catalog", blk.Rels[0].Table.Name)
 	}
-	tids, rows, err := db.collectMatches(blk)
+	tids, rows, err := db.collectMatches(gov, blk)
 	if err != nil {
 		return nil, err
 	}
@@ -467,9 +577,12 @@ func (db *DB) execUpdate(st *sql.UpdateStmt) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	pc := exec.NewPredContext(db.Runtime(), q)
+	pc := exec.NewPredContext(db.runtime(gov), q)
 	t := blk.Rels[0].Table
 	for i, tid := range tids {
+		if err := gov.Tick(); err != nil {
+			return nil, wrapGovErr(err, ExecStats{Rows: i})
+		}
 		newRow := rows[i].Clone()
 		for _, set := range sets {
 			v, err := pc.Eval(rows[i], set.Expr)
