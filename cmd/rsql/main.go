@@ -4,14 +4,18 @@
 //
 //	\d          list tables, indexes, and statistics
 //	\stats      measured cost of the last statement
+//	\timing     toggle automatic cost reporting after each statement
 //	\load emp   load the EMP/DEPT/JOB example database
 //	\dump       print a SQL script recreating the database
 //	\q          quit
+//
+// The --timing flag starts the shell with timing on.
 package main
 
 import (
 	"bufio"
 	"context"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -24,18 +28,21 @@ import (
 )
 
 func main() {
+	timing := flag.Bool("timing", false, "print measured cost (ExecStats) after each statement")
+	flag.Parse()
 	// Ctrl-C cancels the in-flight statement instead of killing the shell:
 	// the governor observes the canceled context within a bounded number of
 	// RSI calls and the statement returns ErrCanceled with its locks and
 	// scans released.
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt)
-	run(os.Stdin, os.Stdout, sigc)
+	run(os.Stdin, os.Stdout, sigc, *timing)
 }
 
 // run drives the shell loop; factored out of main for testing. Signals
 // arriving on sigc (nil for tests) cancel the statement being executed.
-func run(input io.Reader, out io.Writer, sigc <-chan os.Signal) {
+// timing starts the session with per-statement cost reporting on.
+func run(input io.Reader, out io.Writer, sigc <-chan os.Signal, timing bool) {
 	db := systemr.Open(systemr.Config{})
 	in := bufio.NewScanner(input)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
@@ -61,9 +68,14 @@ func run(input io.Reader, out io.Writer, sigc <-chan os.Signal) {
 			case trimmed == "\\d":
 				fmt.Fprint(out, db.Tables())
 			case trimmed == "\\stats":
-				s := db.LastStats()
-				fmt.Fprintf(out, "page fetches: %d  pages written: %d  RSI calls: %d  rows: %d  cost: %.2f\n",
-					s.PageFetches, s.PagesWritten, s.RSICalls, s.Rows, s.Cost(0.033))
+				printStats(out, db.LastStats())
+			case trimmed == "\\timing":
+				timing = !timing
+				state := "off"
+				if timing {
+					state = "on"
+				}
+				fmt.Fprintln(out, "timing", state)
 			case trimmed == "\\load emp":
 				db = workload.NewEmpDB(workload.EmpConfig{Emps: 2000, Depts: 50, Jobs: 10})
 				fmt.Fprintln(out, "loaded EMP (2000), DEPT (50), JOB (10) with indexes and statistics")
@@ -92,10 +104,20 @@ func run(input io.Reader, out io.Writer, sigc <-chan os.Signal) {
 			fmt.Fprintln(out, "error:", err)
 		} else {
 			fmt.Fprint(out, systemr.FormatResult(res))
+			if timing {
+				printStats(out, db.LastStats())
+			}
 			fmt.Fprintf(out, "time: %v\n", elapsed)
 		}
 		prompt()
 	}
+}
+
+// printStats renders measured statement cost in the paper's units (also the
+// \stats command's output).
+func printStats(out io.Writer, s systemr.ExecStats) {
+	fmt.Fprintf(out, "page fetches: %d  pages written: %d  RSI calls: %d  rows: %d  cost: %.2f\n",
+		s.PageFetches, s.PagesWritten, s.RSICalls, s.Rows, s.Cost(0.033))
 }
 
 // execInterruptible runs one statement under a context canceled by the first

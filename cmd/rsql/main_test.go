@@ -15,7 +15,7 @@ import (
 func script(t *testing.T, lines ...string) string {
 	t.Helper()
 	var out strings.Builder
-	run(strings.NewReader(strings.Join(lines, "\n")+"\n"), &out, nil)
+	run(strings.NewReader(strings.Join(lines, "\n")+"\n"), &out, nil, false)
 	return out.String()
 }
 
@@ -29,6 +29,7 @@ func TestShellSession(t *testing.T) {
 		"\\stats",
 		"\\d",
 		"EXPLAIN SELECT A FROM T WHERE A = 1;",
+		"EXPLAIN ANALYZE SELECT A FROM T WHERE A = 1;",
 		"BROKEN SQL;",
 		"\\nonsense",
 		"\\q",
@@ -41,6 +42,7 @@ func TestShellSession(t *testing.T) {
 		"rows: 2",                  // \stats
 		"T (A INTEGER, B VARCHAR)", // \d
 		"QUERY BLOCK (main)",       // EXPLAIN
+		"| act rows=",              // EXPLAIN ANALYZE actuals
 		"error:",                   // broken statement
 		"unknown command:",         // bad shell command
 	} {
@@ -51,6 +53,29 @@ func TestShellSession(t *testing.T) {
 	// Descending order actually honored in the printed table.
 	if strings.Index(out, "two") > strings.Index(out, "one") {
 		t.Fatalf("DESC order not reflected:\n%s", out)
+	}
+}
+
+// TestShellTiming toggles \timing and checks a stats line follows the next
+// statement (and stops following once toggled back off).
+func TestShellTiming(t *testing.T) {
+	out := script(t,
+		"CREATE TABLE T (A INTEGER);",
+		"INSERT INTO T VALUES (1), (2), (3);",
+		"\\timing",
+		"SELECT A FROM T;",
+		"\\timing",
+		"\\q",
+	)
+	if !strings.Contains(out, "timing on") || !strings.Contains(out, "timing off") {
+		t.Fatalf("timing toggle output:\n%s", out)
+	}
+	idx := strings.Index(out, "timing on")
+	if idx < 0 || !strings.Contains(out[idx:], "RSI calls:") {
+		t.Fatalf("no stats line after timing on:\n%s", out)
+	}
+	if !strings.Contains(out[idx:], "rows: 3") {
+		t.Fatalf("timing stats lack row count:\n%s", out)
 	}
 }
 

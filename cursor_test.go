@@ -1,7 +1,13 @@
 package systemr_test
 
 import (
+	"context"
 	"testing"
+
+	"systemr"
+	"systemr/internal/rss"
+	"systemr/internal/testutil"
+	"systemr/internal/workload"
 )
 
 func TestCursorStreaming(t *testing.T) {
@@ -70,5 +76,67 @@ func TestCursorStreaming(t *testing.T) {
 	}
 	if n != 11 {
 		t.Fatalf("after insert: %d rows", n)
+	}
+}
+
+// TestCursorMidStreamClose closes OpenContext cursors partway through their
+// result streams — one streaming through a nested-loop join with live RSS
+// scans, one mid merge-join over sorted temporary lists — and checks the
+// lifecycle invariants: every scan and lock is released, and LastStats
+// reports the rows streamed up to the close.
+func TestCursorMidStreamClose(t *testing.T) {
+	testutil.AssertNoLeaks(t)
+	scenarios := []struct {
+		name   string
+		engine systemr.Config
+		query  string
+	}{
+		// Default engine: nested-loop join, so the outer scan is a live RSS
+		// scan at the moment of the close.
+		{"nested-loop", systemr.Config{},
+			"SELECT E.NAME, D.DNAME FROM EMP E, DEPT D WHERE E.DNO = D.DNO"},
+		// Merge-only engine with ORDER BY: the close lands mid merge-join
+		// and mid sort-result, releasing temporary lists.
+		{"merge-join-sort", systemr.Config{MergeOnly: true},
+			"SELECT E.NAME, D.DNAME FROM EMP E, DEPT D WHERE E.DNO = D.DNO ORDER BY E.NAME"},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			db := workload.NewEmpDB(workload.EmpConfig{Emps: 300, Depts: 30, Jobs: 4, Engine: sc.engine})
+			stmt, err := db.Prepare(sc.query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rows, err := stmt.OpenContext(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			const streamed = 7
+			for i := 0; i < streamed; i++ {
+				if _, ok, err := rows.Next(); err != nil || !ok {
+					t.Fatalf("row %d: ok=%v err=%v", i, ok, err)
+				}
+			}
+			if err := rows.Close(); err != nil {
+				t.Fatalf("mid-stream close: %v", err)
+			}
+			if n := rss.OpenScans(); n != 0 {
+				t.Fatalf("%d RSI scans still open after mid-stream close", n)
+			}
+			if n := db.Locks().Outstanding(); n != 0 {
+				t.Fatalf("%d locks still held after mid-stream close", n)
+			}
+			st := db.LastStats()
+			if st.Rows != streamed {
+				t.Fatalf("LastStats.Rows = %d, want %d (rows streamed before close)", st.Rows, streamed)
+			}
+			if st.RSICalls == 0 {
+				t.Fatalf("LastStats missing measured work: %+v", st)
+			}
+			// The database is fully usable afterwards, including writes.
+			if _, err := db.Exec("INSERT INTO EMP VALUES ('X', 1, 1, 1.0, 0, 9999)"); err != nil {
+				t.Fatalf("write after mid-stream close: %v", err)
+			}
+		})
 	}
 }

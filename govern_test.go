@@ -263,3 +263,43 @@ func TestFaultInjectionSweep(t *testing.T) {
 	db.Pool().SetFaultInjector(nil)
 	assertUsable(t, db, 300)
 }
+
+// TestExplainAnalyzeGoverned checks that EXPLAIN ANALYZE — which really
+// executes the statement — runs under the same governor plumbing as a plain
+// query: resource budgets abort it, and the abort leaves the database clean.
+func TestExplainAnalyzeGoverned(t *testing.T) {
+	db := newHeavyDB(t, workload.EmpConfig{
+		Emps: 2000, Depts: 50, Jobs: 10,
+		Engine: systemr.Config{MaxRowsScanned: 100},
+	})
+	_, err := db.ExplainAnalyze(heavyQuery)
+	if !errors.Is(err, systemr.ErrBudgetExceeded) {
+		t.Fatalf("EXPLAIN ANALYZE over budget: got %v, want ErrBudgetExceeded", err)
+	}
+	assertClean(t, db)
+	// Plain EXPLAIN only plans, so it stays under the row budget.
+	if _, err := db.Explain(heavyQuery); err != nil {
+		t.Fatalf("plain EXPLAIN after abort: %v", err)
+	}
+	// A statement under the budget still works.
+	if _, err := db.Query("SELECT DNAME FROM DEPT"); err != nil {
+		t.Fatalf("small query under row budget: %v", err)
+	}
+}
+
+// TestExplainCanceledContext checks that even plain EXPLAIN — no execution at
+// all — observes the statement context: a pre-canceled context fails with
+// ErrCanceled instead of planning.
+func TestExplainCanceledContext(t *testing.T) {
+	db := newHeavyDB(t, workload.EmpConfig{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := db.ExecContext(ctx, "EXPLAIN "+heavyQuery); !errors.Is(err, systemr.ErrCanceled) {
+		t.Fatalf("EXPLAIN with canceled context: got %v, want ErrCanceled", err)
+	}
+	if _, err := db.ExplainAnalyzeContext(ctx, heavyQuery); !errors.Is(err, systemr.ErrCanceled) {
+		t.Fatalf("EXPLAIN ANALYZE with canceled context: got %v, want ErrCanceled", err)
+	}
+	assertClean(t, db)
+	assertUsable(t, db, 2000)
+}

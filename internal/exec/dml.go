@@ -11,7 +11,6 @@ import (
 	"fmt"
 
 	"systemr/internal/plan"
-	"systemr/internal/rss"
 	"systemr/internal/sem"
 	"systemr/internal/storage"
 	"systemr/internal/value"
@@ -19,7 +18,8 @@ import (
 
 // CollectTIDs drives the access path of a planned single-relation block and
 // returns the TIDs and images of every tuple satisfying all of the block's
-// boolean factors.
+// boolean factors. The scan runs as a physical operator, so it goes through
+// the same instrumented, governor-checked boundary as query execution.
 func CollectTIDs(rt *Runtime, q *plan.Query) ([]storage.TID, []value.Row, error) {
 	if len(q.Block.Rels) != 1 {
 		return nil, nil, fmt.Errorf("exec: CollectTIDs requires a single-relation block, got %d relations", len(q.Block.Rels))
@@ -45,71 +45,51 @@ walk:
 		}
 	}
 
-	var scan rss.Scan
-	var relIdx int
-	var residual []sem.Expr
-	switch leaf := n.(type) {
-	case *plan.SegScan:
-		sargs, err := ctx.resolveSargs(nil, leaf.Sargs)
-		if err != nil {
-			return nil, nil, err
-		}
-		scan = &rss.SegmentScan{Table: leaf.Table, Pool: rt.Pool, Sargs: sargs, Budget: rt.Budget}
-		relIdx, residual = leaf.RelIdx, leaf.Residual
-	case *plan.IndexScan:
-		lo, hi, empty, err := ctx.resolveKeyBounds(leaf)
-		if err != nil {
-			return nil, nil, err
-		}
-		if empty {
-			return nil, nil, nil
-		}
-		sargs, err := ctx.resolveSargs(nil, leaf.Sargs)
-		if err != nil {
-			return nil, nil, err
-		}
-		scan = &rss.IndexScan{
-			Index: leaf.Index, Pool: rt.Pool,
-			Lo: lo, LoInc: leaf.LoInc, Hi: hi, HiInc: leaf.HiInc,
-			Sargs: sargs, Budget: rt.Budget,
-		}
-		relIdx, residual = leaf.RelIdx, leaf.Residual
+	switch n.(type) {
+	case *plan.SegScan, *plan.IndexScan:
 	default:
 		return nil, nil, fmt.Errorf("exec: unexpected DML access path %T", n)
 	}
-
-	return collectFromScan(ctx, scan, relIdx, residual)
-}
-
-// collectFromScan drives the scan to completion, guaranteeing Close on every
-// exit path (including panics) and surfacing its error.
-func collectFromScan(ctx *blockCtx, scan rss.Scan, relIdx int, residual []sem.Expr) (tids []storage.TID, rows []value.Row, err error) {
-	if err := scan.Open(); err != nil {
+	leaf, err := ctx.build(n)
+	if err != nil {
 		return nil, nil, err
 	}
+	return collectFromScan(leaf)
+}
+
+// collectFromScan drives the leaf operator to completion, guaranteeing Close
+// on every exit path (including panics) and surfacing its error. The
+// operator's residual predicates already filtered the rows; the TID of each
+// surviving row comes from the scan's tidSource.
+func collectFromScan(leaf *op) (tids []storage.TID, rows []value.Row, err error) {
+	src, ok := leaf.impl.(tidSource)
+	if !ok {
+		return nil, nil, fmt.Errorf("exec: access path %T does not expose TIDs", leaf.impl)
+	}
+	relIdx := 0
+	if seg, ok := leaf.node.(*plan.SegScan); ok {
+		relIdx = seg.RelIdx
+	} else if idx, ok := leaf.node.(*plan.IndexScan); ok {
+		relIdx = idx.RelIdx
+	}
 	defer func() {
-		if cerr := scan.Close(); cerr != nil && err == nil {
+		if cerr := leaf.Close(); cerr != nil && err == nil {
 			tids, rows, err = nil, nil, cerr
 		}
 	}()
-	c := make(comp, 1)
+	if err := leaf.Open(); err != nil {
+		return nil, nil, err
+	}
 	for {
-		row, tid, ok, err := scan.Next()
+		c, ok, err := leaf.Next()
 		if err != nil {
 			return nil, nil, err
 		}
 		if !ok {
 			return tids, rows, nil
 		}
-		c[relIdx] = row
-		keep, err := ctx.applyResidual(c, residual)
-		if err != nil {
-			return nil, nil, err
-		}
-		if keep {
-			tids = append(tids, tid)
-			rows = append(rows, row)
-		}
+		tids = append(tids, src.lastTID())
+		rows = append(rows, c[relIdx])
 	}
 }
 

@@ -9,7 +9,6 @@ import (
 	"systemr/internal/sem"
 	"systemr/internal/storage"
 	"systemr/internal/value"
-	"systemr/internal/xsort"
 )
 
 // Budget is the statement execution governor's per-statement budget
@@ -44,6 +43,14 @@ func RunQuery(rt *Runtime, q *plan.Query) ([]value.Row, *Stats, error) {
 // bound positionally (the paper's program-supplied values at execution
 // time).
 func RunQueryArgs(rt *Runtime, q *plan.Query, args []value.Value) ([]value.Row, *Stats, error) {
+	rows, stats, _, err := runQuery(rt, q, args)
+	return rows, stats, err
+}
+
+// runQuery is the shared body of RunQueryArgs and RunQueryAnalyze: execute
+// the block and return the rows, the statement stats, and the block context
+// whose operator tree now holds the per-operator actuals.
+func runQuery(rt *Runtime, q *plan.Query, args []value.Value) ([]value.Row, *Stats, *blockCtx, error) {
 	before := rt.Pool.Stats().Snapshot()
 	evals := 0
 	mkStats := func(rows int) *Stats {
@@ -52,15 +59,15 @@ func RunQueryArgs(rt *Runtime, q *plan.Query, args []value.Value) ([]value.Row, 
 	}
 	ctx := newBlockCtx(rt, q, &evals)
 	if err := bindHostArgs(ctx, q, args); err != nil {
-		return nil, mkStats(0), err
+		return nil, mkStats(0), ctx, err
 	}
 	rows, err := ctx.run()
 	if err != nil {
 		// Stats are still returned so aborted statements (canceled, budget
 		// exceeded, storage fault) report the work done up to the abort.
-		return nil, mkStats(0), err
+		return nil, mkStats(0), ctx, err
 	}
-	return rows, mkStats(len(rows)), nil
+	return rows, mkStats(len(rows)), ctx, nil
 }
 
 // bindHostArgs validates the argument count against the block's host
@@ -89,6 +96,7 @@ type blockCtx struct {
 	subs    map[*sem.Subquery]*subState
 	aggVals []value.Value
 	evals   *int // shared subquery-evaluation counter
+	root    *op  // the block's operator tree, kept for EXPLAIN ANALYZE
 }
 
 func newBlockCtx(rt *Runtime, q *plan.Query, evals *int) *blockCtx {
@@ -105,106 +113,36 @@ func newBlockCtx(rt *Runtime, q *plan.Query, evals *int) *blockCtx {
 	return ctx
 }
 
-// run drives the block's plan to completion. The close is deferred before
-// open so that every exit path — including errors mid-open and panics —
-// releases the plan's scans; close errors surface unless an earlier error
+// fetchCount reads the buffer pool's page-fetch counter; operator
+// instrumentation takes before/after deltas of it.
+func (ctx *blockCtx) fetchCount() int64 { return ctx.rt.Pool.Stats().FetchCount() }
+
+// run drives the block's operator tree to completion. The close is deferred
+// before open so that every exit path — including errors mid-open and panics
+// — releases the plan's scans; close errors surface unless an earlier error
 // is already being returned.
 func (ctx *blockCtx) run() (rows []value.Row, err error) {
-	it, err := ctx.buildFlat(ctx.q.Root)
+	root, err := ctx.buildRoot()
 	if err != nil {
 		return nil, err
 	}
 	defer func() {
-		if cerr := it.close(); cerr != nil && err == nil {
+		if cerr := root.Close(); cerr != nil && err == nil {
 			rows, err = nil, cerr
 		}
 	}()
-	if err := it.open(); err != nil {
+	if err := root.Open(); err != nil {
 		return nil, err
 	}
 	for {
-		row, ok, err := it.next()
+		c, ok, err := root.Next()
 		if err != nil {
 			return nil, err
 		}
 		if !ok {
 			return rows, nil
 		}
-		rows = append(rows, row)
-	}
-}
-
-// compIter produces composite rows.
-type compIter interface {
-	open() error
-	next() (comp, bool, error)
-	close() error
-}
-
-// flatIter produces final output rows.
-type flatIter interface {
-	open() error
-	next() (value.Row, bool, error)
-	close() error
-}
-
-// buildFlat constructs the output stage of the plan.
-func (ctx *blockCtx) buildFlat(n plan.Node) (flatIter, error) {
-	switch x := n.(type) {
-	case *plan.Distinct:
-		in, err := ctx.buildFlat(x.Input)
-		if err != nil {
-			return nil, err
-		}
-		return &distinctIter{input: in}, nil
-	case *plan.Project:
-		in, err := ctx.buildComp(x.Input)
-		if err != nil {
-			return nil, err
-		}
-		return &projectIter{ctx: ctx, input: in, exprs: x.Exprs}, nil
-	case *plan.GroupAgg:
-		in, err := ctx.buildComp(x.Input)
-		if err != nil {
-			return nil, err
-		}
-		return &groupAggIter{ctx: ctx, input: in, node: x}, nil
-	default:
-		return nil, fmt.Errorf("exec: node %T cannot produce output rows", n)
-	}
-}
-
-// buildComp constructs the composite-row portion of the plan.
-func (ctx *blockCtx) buildComp(n plan.Node) (compIter, error) {
-	switch x := n.(type) {
-	case *plan.SegScan:
-		return &segScanIter{ctx: ctx, node: x}, nil
-	case *plan.IndexScan:
-		return &indexScanIter{ctx: ctx, node: x}, nil
-	case *plan.NLJoin:
-		outer, err := ctx.buildComp(x.Outer)
-		if err != nil {
-			return nil, err
-		}
-		return &nlJoinIter{ctx: ctx, node: x, outer: outer}, nil
-	case *plan.MergeJoin:
-		outer, err := ctx.buildComp(x.Outer)
-		if err != nil {
-			return nil, err
-		}
-		inner, err := ctx.buildComp(x.Inner)
-		if err != nil {
-			return nil, err
-		}
-		return &mergeJoinIter{ctx: ctx, node: x, outer: outer, inner: inner}, nil
-	case *plan.Sort:
-		in, err := ctx.buildComp(x.Input)
-		if err != nil {
-			return nil, err
-		}
-		return &sortIter{ctx: ctx, input: in, keys: x.Keys}, nil
-	default:
-		return nil, fmt.Errorf("exec: unsupported composite node %T", n)
+		rows = append(rows, outRow(c))
 	}
 }
 
@@ -249,459 +187,13 @@ func (ctx *blockCtx) applyResidual(c comp, exprs []sem.Expr) (bool, error) {
 	return true, nil
 }
 
-// ---- Scans ----
-
-type segScanIter struct {
-	ctx  *blockCtx
-	node *plan.SegScan
-	scan *rss.SegmentScan
-}
-
-func (it *segScanIter) open() error {
-	sargs, err := it.ctx.resolveSargs(nil, it.node.Sargs)
-	if err != nil {
-		return err
-	}
-	it.scan = &rss.SegmentScan{Table: it.node.Table, Pool: it.ctx.rt.Pool, Sargs: sargs, Budget: it.ctx.rt.Budget}
-	return it.scan.Open()
-}
-
-func (it *segScanIter) next() (comp, bool, error) {
-	for {
-		row, _, ok, err := it.scan.Next()
-		if err != nil || !ok {
-			return nil, false, err
-		}
-		c := make(comp, it.ctx.numRels())
-		c[it.node.RelIdx] = row
-		keep, err := it.ctx.applyResidual(c, it.node.Residual)
-		if err != nil {
-			return nil, false, err
-		}
-		if keep {
-			return c, true, nil
-		}
-	}
-}
-
-func (it *segScanIter) close() error {
-	if it.scan != nil {
-		return it.scan.Close()
-	}
-	return nil
-}
-
-type indexScanIter struct {
-	ctx   *blockCtx
-	node  *plan.IndexScan
-	scan  *rss.IndexScan
-	empty bool
-}
-
-func (it *indexScanIter) open() error {
-	// A NULL key bound can match nothing (comparisons with NULL are false):
-	// the scan is empty.
-	lo, hi, empty, err := it.ctx.resolveKeyBounds(it.node)
-	if err != nil {
-		return err
-	}
-	it.empty = empty
-	sargs, err := it.ctx.resolveSargs(nil, it.node.Sargs)
-	if err != nil {
-		return err
-	}
-	if it.empty {
-		return nil
-	}
-	it.scan = &rss.IndexScan{
-		Index: it.node.Index, Pool: it.ctx.rt.Pool,
-		Lo: lo, LoInc: it.node.LoInc, Hi: hi, HiInc: it.node.HiInc,
-		Sargs: sargs, Budget: it.ctx.rt.Budget,
-	}
-	return it.scan.Open()
-}
-
-func (it *indexScanIter) next() (comp, bool, error) {
-	if it.empty {
-		return nil, false, nil
-	}
-	for {
-		row, _, ok, err := it.scan.Next()
-		if err != nil || !ok {
-			return nil, false, err
-		}
-		c := make(comp, it.ctx.numRels())
-		c[it.node.RelIdx] = row
-		keep, err := it.ctx.applyResidual(c, it.node.Residual)
-		if err != nil {
-			return nil, false, err
-		}
-		if keep {
-			return c, true, nil
-		}
-	}
-}
-
-func (it *indexScanIter) close() error {
-	if it.scan != nil {
-		return it.scan.Close()
-	}
-	return nil
-}
-
-// ---- Nested-loop join ----
-
-type nlJoinIter struct {
-	ctx      *blockCtx
-	node     *plan.NLJoin
-	outer    compIter
-	curOuter comp
-	inner    compIter
-}
-
-func (it *nlJoinIter) open() error {
-	it.curOuter = nil
-	it.inner = nil
-	return it.outer.open()
-}
-
-func (it *nlJoinIter) next() (comp, bool, error) {
-	for {
-		if it.curOuter == nil {
-			oc, ok, err := it.outer.next()
-			if err != nil || !ok {
-				return nil, false, err
-			}
-			it.curOuter = oc
-			// Bind the outer tuple's join values into the parameters the
-			// inner scan's start/stop keys and SARGs reference, then
-			// (re-)open the inner scan — one inner scan per outer tuple, as
-			// the nested-loops cost formula assumes. The previous inner
-			// scan is closed first, and its close error propagates.
-			for _, b := range it.node.Binds {
-				row := oc[b.From.Rel]
-				if row == nil {
-					return nil, false, fmt.Errorf("exec: nested-loop bind from missing relation %d", b.From.Rel)
-				}
-				it.ctx.params[b.Param] = row[b.From.Col]
-			}
-			if it.inner != nil {
-				prev := it.inner
-				it.inner = nil
-				if err := prev.close(); err != nil {
-					return nil, false, err
-				}
-			}
-			inner, err := it.ctx.buildComp(it.node.Inner)
-			if err != nil {
-				return nil, false, err
-			}
-			it.inner = inner
-			if err := inner.open(); err != nil {
-				return nil, false, err
-			}
-		}
-		ic, ok, err := it.inner.next()
-		if err != nil {
-			return nil, false, err
-		}
-		if !ok {
-			it.curOuter = nil
-			continue
-		}
-		c := mergeComp(it.curOuter, ic)
-		keep, err := it.ctx.applyResidual(c, it.node.Residual)
-		if err != nil {
-			return nil, false, err
-		}
-		if keep {
-			return c, true, nil
-		}
-	}
-}
-
-// close releases both sides, returning the first error but always closing
-// the outer even when the inner's close fails.
-func (it *nlJoinIter) close() error {
-	var firstErr error
-	if it.inner != nil {
-		if err := it.inner.close(); err != nil {
-			firstErr = err
-		}
-		it.inner = nil
-	}
-	if err := it.outer.close(); err != nil && firstErr == nil {
-		firstErr = err
-	}
-	return firstErr
-}
-
-// ---- Merging-scans join ----
-
-// mergeJoinIter synchronizes two scans ordered on the join columns,
-// remembering the current inner join group so it is never rescanned
-// ("remembering where matching join groups are located", Section 5).
-type mergeJoinIter struct {
-	ctx   *blockCtx
-	node  *plan.MergeJoin
-	outer compIter
-	inner compIter
-
-	curOuter  comp
-	group     []comp
-	groupKey  value.Value
-	haveGroup bool
-	gi        int
-	lookahead comp
-	innerDone bool
-}
-
-func (it *mergeJoinIter) open() error {
-	it.curOuter, it.group, it.haveGroup, it.gi = nil, nil, false, 0
-	it.lookahead, it.innerDone = nil, false
-	if err := it.outer.open(); err != nil {
-		return err
-	}
-	return it.inner.open()
-}
-
-func (it *mergeJoinIter) innerNext() (comp, bool, error) {
-	if it.lookahead != nil {
-		c := it.lookahead
-		it.lookahead = nil
-		return c, true, nil
-	}
-	if it.innerDone {
-		return nil, false, nil
-	}
-	c, ok, err := it.inner.next()
-	if err != nil {
-		return nil, false, err
-	}
-	if !ok {
-		it.innerDone = true
-		return nil, false, nil
-	}
-	return c, true, nil
-}
-
-// loadGroup positions the inner group at the first key >= key and buffers
-// all inner rows equal to it.
-func (it *mergeJoinIter) loadGroup(key value.Value) error {
-	// Reuse the current group if it already matches.
-	if it.haveGroup && value.Compare(it.groupKey, key) == 0 {
-		return nil
-	}
-	// Skip groups below the outer key.
-	for {
-		if it.haveGroup && value.Compare(it.groupKey, key) >= 0 {
-			return nil
-		}
-		c, ok, err := it.innerNext()
-		if err != nil {
-			return err
-		}
-		if !ok {
-			it.haveGroup = false
-			it.group = nil
-			return nil
-		}
-		k := c[it.node.InnerCol.Rel][it.node.InnerCol.Col]
-		if k.IsNull() {
-			continue // NULL join keys match nothing
-		}
-		if value.Compare(k, key) < 0 {
-			continue
-		}
-		// Buffer the whole group with this key.
-		it.group = it.group[:0]
-		it.group = append(it.group, c)
-		it.groupKey = k
-		it.haveGroup = true
-		for {
-			nc, ok, err := it.innerNext()
-			if err != nil {
-				return err
-			}
-			if !ok {
-				break
-			}
-			nk := nc[it.node.InnerCol.Rel][it.node.InnerCol.Col]
-			if value.Compare(nk, k) == 0 {
-				it.group = append(it.group, nc)
-				continue
-			}
-			it.lookahead = nc
-			break
-		}
-		return nil
-	}
-}
-
-func (it *mergeJoinIter) next() (comp, bool, error) {
-	for {
-		if it.curOuter == nil {
-			oc, ok, err := it.outer.next()
-			if err != nil || !ok {
-				return nil, false, err
-			}
-			key := oc[it.node.OuterCol.Rel][it.node.OuterCol.Col]
-			if key.IsNull() {
-				continue
-			}
-			if err := it.loadGroup(key); err != nil {
-				return nil, false, err
-			}
-			if !it.haveGroup || value.Compare(it.groupKey, key) != 0 {
-				continue // no matching inner group
-			}
-			it.curOuter = oc
-			it.gi = 0
-		}
-		if it.gi >= len(it.group) {
-			it.curOuter = nil
-			continue
-		}
-		c := mergeComp(it.curOuter, it.group[it.gi])
-		it.gi++
-		keep, err := it.ctx.applyResidual(c, it.node.Residual)
-		if err != nil {
-			return nil, false, err
-		}
-		if keep {
-			return c, true, nil
-		}
-	}
-}
-
-func (it *mergeJoinIter) close() error {
-	firstErr := it.outer.close()
-	if err := it.inner.close(); err != nil && firstErr == nil {
-		firstErr = err
-	}
-	return firstErr
-}
-
-// ---- Sort (composite) ----
-
-// sortIter materializes its input into a temporary list ordered by the sort
-// keys, flattening composites through the row codec so the temp pages hold
-// real serialized tuples.
-type sortIter struct {
-	ctx    *blockCtx
-	input  compIter
-	keys   []sem.OrderKey
-	layout *compLayout
-	res    *xsort.Result
-}
-
-// compLayout maps (relation, column) to positions in a flattened row:
-// [flag, cols...] per relation, concatenated.
-type compLayout struct {
-	offsets []int // start of each relation's section
-	widths  []int // columns per relation
-	total   int
-}
-
-func newCompLayout(blk *sem.Block) *compLayout {
-	l := &compLayout{offsets: make([]int, len(blk.Rels)), widths: make([]int, len(blk.Rels))}
-	pos := 0
-	for i, r := range blk.Rels {
-		l.offsets[i] = pos
-		l.widths[i] = len(r.Table.Columns)
-		pos += 1 + l.widths[i]
-	}
-	l.total = pos
-	return l
-}
-
-func (l *compLayout) pos(id sem.ColumnID) int { return l.offsets[id.Rel] + 1 + id.Col }
-
-func (l *compLayout) flatten(c comp) value.Row {
-	out := make(value.Row, l.total)
-	for i := range l.offsets {
-		if c[i] == nil {
-			out[l.offsets[i]] = value.NewInt(0)
-			for j := 0; j < l.widths[i]; j++ {
-				out[l.offsets[i]+1+j] = value.Null()
-			}
-			continue
-		}
-		out[l.offsets[i]] = value.NewInt(1)
-		copy(out[l.offsets[i]+1:], c[i])
-	}
-	return out
-}
-
-func (l *compLayout) unflatten(row value.Row) comp {
-	c := make(comp, len(l.offsets))
-	for i := range l.offsets {
-		if row[l.offsets[i]].Int == 0 {
-			continue
-		}
-		r := make(value.Row, l.widths[i])
-		copy(r, row[l.offsets[i]+1:l.offsets[i]+1+l.widths[i]])
-		c[i] = r
-	}
-	return c
-}
-
-func (it *sortIter) open() (err error) {
-	if err := it.input.open(); err != nil {
-		return err
-	}
-	defer func() {
-		if cerr := it.input.close(); cerr != nil && err == nil {
-			err = cerr
-		}
-	}()
-	it.layout = newCompLayout(it.ctx.q.Block)
-	keys := make([]int, len(it.keys))
-	desc := make([]bool, len(it.keys))
-	for i, k := range it.keys {
-		keys[i] = it.layout.pos(k.Col)
-		desc[i] = k.Desc
-	}
-	res, err := xsort.Sort(xsort.Config{
-		Pool: it.ctx.rt.Pool, Disk: it.ctx.rt.Disk,
-		Keys: keys, Desc: desc, CountRSI: true,
-		Budget: it.ctx.rt.Budget,
-	}, func() (value.Row, bool, error) {
-		c, ok, err := it.input.next()
-		if err != nil || !ok {
-			return nil, false, err
-		}
-		return it.layout.flatten(c), true, nil
-	})
-	if err != nil {
-		return err
-	}
-	it.res = res
-	return nil
-}
-
-func (it *sortIter) next() (comp, bool, error) {
-	row, ok, err := it.res.Next()
-	if err != nil || !ok {
-		return nil, false, err
-	}
-	return it.layout.unflatten(row), true, nil
-}
-
-func (it *sortIter) close() error {
-	if it.res != nil {
-		it.res.Close()
-	}
-	return nil
-}
-
 // Cursor streams a planned query's output rows one at a time — the
 // tuple-at-a-time host-language interface the paper's Section 2 describes
 // (generated code returning tuples to PL/I or COBOL programs). Stats are
 // finalized when the cursor closes or drains.
 type Cursor struct {
 	rt     *Runtime
-	it     flatIter
+	root   *op
 	before storage.IOStatsSnapshot
 	evals  int
 	rows   int
@@ -723,15 +215,15 @@ func OpenQueryArgs(rt *Runtime, q *plan.Query, args []value.Value) (*Cursor, err
 	if err := bindHostArgs(ctx, q, args); err != nil {
 		return nil, err
 	}
-	it, err := ctx.buildFlat(q.Root)
+	root, err := ctx.buildRoot()
 	if err != nil {
 		return nil, err
 	}
-	if err := it.open(); err != nil {
-		it.close() // release partially-opened scans (e.g. a join's outer)
+	if err := root.Open(); err != nil {
+		root.Close() // release partially-opened scans (e.g. a join's outer)
 		return nil, err
 	}
-	c.it = it
+	c.root = root
 	return c, nil
 }
 
@@ -742,7 +234,7 @@ func (c *Cursor) Next() (value.Row, bool, error) {
 	if c.done {
 		return nil, false, nil
 	}
-	row, ok, err := c.it.next()
+	cr, ok, err := c.root.Next()
 	if err != nil {
 		c.finish()
 		return nil, false, err
@@ -751,7 +243,7 @@ func (c *Cursor) Next() (value.Row, bool, error) {
 		return nil, false, c.finish()
 	}
 	c.rows++
-	return row, true, nil
+	return outRow(cr), true, nil
 }
 
 // Close releases the cursor; safe to call at any point and idempotent. It
@@ -765,7 +257,7 @@ func (c *Cursor) Close() error {
 
 func (c *Cursor) finish() error {
 	c.done = true
-	err := c.it.close()
+	err := c.root.Close()
 	after := c.rt.Pool.Stats().Snapshot()
 	c.stats = &Stats{IO: after.Sub(c.before), SubqueryEvals: c.evals, Rows: c.rows}
 	return err

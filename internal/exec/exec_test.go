@@ -415,12 +415,15 @@ func TestRunQueryStatsPopulated(t *testing.T) {
 }
 
 func TestUnsupportedPlanNodeError(t *testing.T) {
-	ctx := &blockCtx{q: &plan.Query{Block: &sem.Block{}}}
-	if _, err := ctx.buildFlat(&plan.SegScan{}); err == nil {
+	ctx := &blockCtx{q: &plan.Query{Block: &sem.Block{}, Root: &plan.SegScan{}}}
+	if _, err := ctx.buildRoot(); err == nil {
 		t.Fatal("SegScan at root must be rejected")
 	}
-	if _, err := ctx.buildComp(&plan.Project{}); err == nil {
-		t.Fatal("Project below joins must be rejected")
+	if _, err := ctx.build(nil); err == nil {
+		t.Fatal("unknown plan node must be rejected")
+	}
+	if _, err := ctx.build(&plan.Distinct{Input: &plan.SegScan{}}); err == nil {
+		t.Fatal("DISTINCT over a non-output node must be rejected")
 	}
 }
 

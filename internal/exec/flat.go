@@ -1,7 +1,9 @@
 package exec
 
-// Output-stage iterators: projection, aggregation (GROUP BY on ordered
-// input), and duplicate elimination.
+// Output-stage operators: projection, aggregation (GROUP BY on ordered
+// input), and duplicate elimination. They emit final output rows as
+// single-slot composites (outComp/outRow) so they share the one Operator
+// interface with the relational operators below them.
 
 import (
 	"systemr/internal/plan"
@@ -10,17 +12,17 @@ import (
 	"systemr/internal/value"
 )
 
-// projectIter evaluates the block's output expressions per composite row.
-type projectIter struct {
+// projectOp evaluates the block's output expressions per composite row.
+type projectOp struct {
 	ctx   *blockCtx
-	input compIter
+	input *op
 	exprs []sem.Expr
 }
 
-func (it *projectIter) open() error { return it.input.open() }
+func (it *projectOp) open() error { return it.input.Open() }
 
-func (it *projectIter) next() (value.Row, bool, error) {
-	c, ok, err := it.input.next()
+func (it *projectOp) next() (comp, bool, error) {
+	c, ok, err := it.input.Next()
 	if err != nil || !ok {
 		return nil, false, err
 	}
@@ -32,17 +34,17 @@ func (it *projectIter) next() (value.Row, bool, error) {
 		}
 		out[i] = v
 	}
-	return out, true, nil
+	return outComp(out), true, nil
 }
 
-func (it *projectIter) close() error { return it.input.close() }
+func (it *projectOp) close() error { return it.input.Close() }
 
-// groupAggIter aggregates input already ordered on the grouping columns,
+// groupAggOp aggregates input already ordered on the grouping columns,
 // emitting one output row per group (or exactly one row for a scalar
 // aggregate over the whole input).
-type groupAggIter struct {
+type groupAggOp struct {
 	ctx   *blockCtx
-	input compIter
+	input *op
 	node  *plan.GroupAgg
 
 	curKey  value.Row
@@ -53,14 +55,14 @@ type groupAggIter struct {
 	pending comp // lookahead row belonging to the next group
 }
 
-func (it *groupAggIter) open() error {
+func (it *groupAggOp) open() error {
 	it.curKey, it.curRep, it.states = nil, nil, nil
 	it.started, it.done = false, false
 	it.pending = nil
-	return it.input.open()
+	return it.input.Open()
 }
 
-func (it *groupAggIter) groupKey(c comp) value.Row {
+func (it *groupAggOp) groupKey(c comp) value.Row {
 	key := make(value.Row, len(it.node.GroupCols))
 	for i, g := range it.node.GroupCols {
 		key[i] = c[g.Rel][g.Col]
@@ -68,7 +70,7 @@ func (it *groupAggIter) groupKey(c comp) value.Row {
 	return key
 }
 
-func (it *groupAggIter) next() (value.Row, bool, error) {
+func (it *groupAggOp) next() (comp, bool, error) {
 	if it.done {
 		return nil, false, nil
 	}
@@ -80,7 +82,7 @@ func (it *groupAggIter) next() (value.Row, bool, error) {
 			c, ok = it.pending, true
 			it.pending = nil
 		} else {
-			c, ok, err = it.input.next()
+			c, ok, err = it.input.Next()
 			if err != nil {
 				return nil, false, err
 			}
@@ -98,13 +100,13 @@ func (it *groupAggIter) next() (value.Row, bool, error) {
 				if err != nil || !keep {
 					return nil, false, err
 				}
-				return row, true, nil
+				return outComp(row), true, nil
 			}
 			row, keep, err := it.emit(it.curRep)
 			if err != nil || !keep {
 				return nil, false, err
 			}
-			return row, true, nil
+			return outComp(row), true, nil
 		}
 		if !it.started {
 			it.started = true
@@ -128,7 +130,7 @@ func (it *groupAggIter) next() (value.Row, bool, error) {
 					return nil, false, err
 				}
 				if keep {
-					return row, true, nil
+					return outComp(row), true, nil
 				}
 				continue
 			}
@@ -141,13 +143,13 @@ func (it *groupAggIter) next() (value.Row, bool, error) {
 
 // accumulatePending folds the lookahead row (first of the new group) into
 // the fresh aggregate states.
-func (it *groupAggIter) accumulatePending() error {
+func (it *groupAggOp) accumulatePending() error {
 	c := it.pending
 	it.pending = nil
 	return it.accumulate(c)
 }
 
-func (it *groupAggIter) accumulate(c comp) error {
+func (it *groupAggOp) accumulate(c comp) error {
 	for i, a := range it.node.Aggs {
 		if a.Star {
 			it.states[i].addRow()
@@ -165,7 +167,7 @@ func (it *groupAggIter) accumulate(c comp) error {
 // emit finalizes the current group: HAVING conjuncts filter it (ok=false),
 // otherwise the block's output expressions are evaluated over the group's
 // representative composite and the aggregate results.
-func (it *groupAggIter) emit(rep comp) (value.Row, bool, error) {
+func (it *groupAggOp) emit(rep comp) (value.Row, bool, error) {
 	aggVals := make([]value.Value, len(it.states))
 	for i := range it.states {
 		aggVals[i] = it.states[i].finish(it.node.Aggs[i].Name)
@@ -192,7 +194,7 @@ func (it *groupAggIter) emit(rep comp) (value.Row, bool, error) {
 	return out, true, nil
 }
 
-func (it *groupAggIter) close() error { return it.input.close() }
+func (it *groupAggOp) close() error { return it.input.Close() }
 
 // aggState accumulates one aggregate over one group.
 type aggState struct {
@@ -277,32 +279,32 @@ func (s *aggState) finish(name string) value.Value {
 	}
 }
 
-// distinctIter removes duplicate output rows. It hashes encoded rows and
+// distinctOp removes duplicate output rows. It hashes encoded rows and
 // preserves input order; see DESIGN.md for the deviation from System R's
 // sort-based duplicate elimination.
-type distinctIter struct {
-	input flatIter
+type distinctOp struct {
+	input *op
 	seen  map[string]bool
 }
 
-func (it *distinctIter) open() error {
+func (it *distinctOp) open() error {
 	it.seen = make(map[string]bool)
-	return it.input.open()
+	return it.input.Open()
 }
 
-func (it *distinctIter) next() (value.Row, bool, error) {
+func (it *distinctOp) next() (comp, bool, error) {
 	for {
-		row, ok, err := it.input.next()
+		c, ok, err := it.input.Next()
 		if err != nil || !ok {
 			return nil, false, err
 		}
-		key := string(storage.EncodeRow(row))
+		key := string(storage.EncodeRow(outRow(c)))
 		if it.seen[key] {
 			continue
 		}
 		it.seen[key] = true
-		return row, true, nil
+		return c, true, nil
 	}
 }
 
-func (it *distinctIter) close() error { return it.input.close() }
+func (it *distinctOp) close() error { return it.input.Close() }

@@ -1,0 +1,123 @@
+package exec
+
+// Leaf operators: the RSS access paths (segment scan and index scan) exposed
+// as physical operators. Both remember the TID of the last tuple returned so
+// DML can locate the stored tuple behind each qualifying row (tidSource).
+
+import (
+	"systemr/internal/plan"
+	"systemr/internal/rss"
+	"systemr/internal/storage"
+)
+
+type segScanOp struct {
+	ctx  *blockCtx
+	node *plan.SegScan
+	scan *rss.SegmentScan
+	tid  storage.TID
+}
+
+func (it *segScanOp) open() error {
+	sargs, err := it.ctx.resolveSargs(nil, it.node.Sargs)
+	if err != nil {
+		return err
+	}
+	it.scan = &rss.SegmentScan{Table: it.node.Table, Pool: it.ctx.rt.Pool, Sargs: sargs, Budget: it.ctx.rt.Budget}
+	return it.scan.Open()
+}
+
+func (it *segScanOp) next() (comp, bool, error) {
+	for {
+		row, tid, ok, err := it.scan.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		c := make(comp, it.ctx.numRels())
+		c[it.node.RelIdx] = row
+		keep, err := it.ctx.applyResidual(c, it.node.Residual)
+		if err != nil {
+			return nil, false, err
+		}
+		if keep {
+			it.tid = tid
+			return c, true, nil
+		}
+	}
+}
+
+// close releases the scan; nulling the handle makes repeated closes (tree
+// teardown after a nested-loop restart cycle) no-ops.
+func (it *segScanOp) close() error {
+	if it.scan != nil {
+		s := it.scan
+		it.scan = nil
+		return s.Close()
+	}
+	return nil
+}
+
+func (it *segScanOp) lastTID() storage.TID { return it.tid }
+
+type indexScanOp struct {
+	ctx   *blockCtx
+	node  *plan.IndexScan
+	scan  *rss.IndexScan
+	empty bool
+	tid   storage.TID
+}
+
+func (it *indexScanOp) open() error {
+	// A NULL key bound can match nothing (comparisons with NULL are false):
+	// the scan is empty.
+	lo, hi, empty, err := it.ctx.resolveKeyBounds(it.node)
+	if err != nil {
+		return err
+	}
+	it.empty = empty
+	sargs, err := it.ctx.resolveSargs(nil, it.node.Sargs)
+	if err != nil {
+		return err
+	}
+	if it.empty {
+		return nil
+	}
+	it.scan = &rss.IndexScan{
+		Index: it.node.Index, Pool: it.ctx.rt.Pool,
+		Lo: lo, LoInc: it.node.LoInc, Hi: hi, HiInc: it.node.HiInc,
+		Sargs: sargs, Budget: it.ctx.rt.Budget,
+	}
+	return it.scan.Open()
+}
+
+func (it *indexScanOp) next() (comp, bool, error) {
+	if it.empty {
+		return nil, false, nil
+	}
+	for {
+		row, tid, ok, err := it.scan.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		c := make(comp, it.ctx.numRels())
+		c[it.node.RelIdx] = row
+		keep, err := it.ctx.applyResidual(c, it.node.Residual)
+		if err != nil {
+			return nil, false, err
+		}
+		if keep {
+			it.tid = tid
+			return c, true, nil
+		}
+	}
+}
+
+func (it *indexScanOp) close() error {
+	if it.scan != nil {
+		s := it.scan
+		it.scan = nil
+		return s.Close()
+	}
+	return nil
+}
+
+func (it *indexScanOp) lastTID() storage.TID { return it.tid }

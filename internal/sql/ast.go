@@ -71,8 +71,13 @@ type UpdateStmt struct {
 // the refresh to one relation ("" = all).
 type UpdateStatsStmt struct{ Table string }
 
-// ExplainStmt is EXPLAIN <select>: print the chosen plan instead of running it.
-type ExplainStmt struct{ Stmt Statement }
+// ExplainStmt is EXPLAIN <select>: print the chosen plan instead of running
+// it. With Analyze set (EXPLAIN ANALYZE <select>) the statement also
+// executes and the plan is annotated with per-operator actuals.
+type ExplainStmt struct {
+	Stmt    Statement
+	Analyze bool
+}
 
 // SelectStmt is one query block.
 type SelectStmt struct {

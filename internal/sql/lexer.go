@@ -47,7 +47,7 @@ var keywords = map[string]bool{
 	"CREATE": true, "TABLE": true, "INDEX": true, "UNIQUE": true,
 	"CLUSTERED": true, "ON": true, "INSERT": true, "INTO": true,
 	"VALUES": true, "DELETE": true, "UPDATE": true, "SET": true,
-	"STATISTICS": true, "EXPLAIN": true, "DROP": true, "NULL": true,
+	"STATISTICS": true, "EXPLAIN": true, "ANALYZE": true, "DROP": true, "NULL": true,
 	"INTEGER": true, "INT": true, "FLOAT": true, "REAL": true,
 	"VARCHAR": true, "CHAR": true, "SEGMENT": true,
 	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,

@@ -102,16 +102,21 @@ func (p *parser) parseStatement() (Statement, error) {
 		return p.parseUpdate()
 	case p.at(tokKeyword, "EXPLAIN"):
 		p.next()
+		analyze := p.accept(tokKeyword, "ANALYZE")
 		inner, err := p.parseStatement()
 		if err != nil {
 			return nil, err
 		}
 		switch inner.(type) {
-		case *SelectStmt, *DeleteStmt, *UpdateStmt:
+		case *SelectStmt:
+		case *DeleteStmt, *UpdateStmt:
+			if analyze {
+				return nil, p.errorf("EXPLAIN ANALYZE supports SELECT statements")
+			}
 		default:
 			return nil, p.errorf("EXPLAIN supports SELECT, DELETE, and UPDATE statements")
 		}
-		return &ExplainStmt{Stmt: inner}, nil
+		return &ExplainStmt{Stmt: inner, Analyze: analyze}, nil
 	default:
 		return nil, p.errorf("expected a statement, found %s", p.peek())
 	}

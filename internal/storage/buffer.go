@@ -33,6 +33,15 @@ func (s *IOStats) Snapshot() IOStatsSnapshot {
 	}
 }
 
+// FetchCount returns the current page-fetch counter alone. The executor
+// reads it before and after each operator call to attribute fetches to
+// operators without the cost of a full snapshot.
+func (s *IOStats) FetchCount() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.PageFetches
+}
+
 // Reset zeroes the counters.
 func (s *IOStats) Reset() {
 	s.mu.Lock()

@@ -132,6 +132,7 @@ func hostValues(args []any) ([]value.Value, error) {
 // tuple-at-a-time interface application programs used in System R. The
 // statement's table locks are held until Close.
 type Rows struct {
+	db     *DB
 	cols   []string
 	cursor *exec.Cursor
 	held   *lock.Held
@@ -166,7 +167,7 @@ func (s *Stmt) OpenContext(ctx context.Context, args ...any) (*Rows, error) {
 	if cols == nil {
 		cols = []string{}
 	}
-	return &Rows{cols: cols, cursor: cur, held: held}, nil
+	return &Rows{db: s.db, cols: cols, cursor: cur, held: held}, nil
 }
 
 // Columns returns the output column names.
@@ -186,9 +187,14 @@ func (r *Rows) Next() (row []any, ok bool, err error) {
 }
 
 // Close releases the cursor and its locks; safe to call repeatedly. It
-// returns the first error seen while closing the plan's scans, once.
+// returns the first error seen while closing the plan's scans, once. Closing
+// — whether after draining or mid-stream — publishes the cursor's measured
+// statistics (rows streamed so far, fetches, RSI calls) as LastStats.
 func (r *Rows) Close() error {
 	err := r.cursor.Close()
+	if st := r.cursor.Stats(); st != nil {
+		r.db.setLast(execStatsFrom(st))
+	}
 	r.held.Release()
 	return err
 }

@@ -240,6 +240,23 @@ func (db *DB) ExplainContext(ctx context.Context, text string) (string, error) {
 	return res.Plan, nil
 }
 
+// ExplainAnalyze plans a SELECT, executes it, and returns the plan annotated
+// per operator with the optimizer's estimated rows and cost next to the
+// measured actual rows, attributed page fetches, and wall time.
+func (db *DB) ExplainAnalyze(text string) (string, error) {
+	return db.ExplainAnalyzeContext(context.Background(), text)
+}
+
+// ExplainAnalyzeContext is ExplainAnalyze observing ctx (see ExecContext);
+// the measured execution is governed like any other statement.
+func (db *DB) ExplainAnalyzeContext(ctx context.Context, text string) (string, error) {
+	res, err := db.ExecContext(ctx, "EXPLAIN ANALYZE "+text)
+	if err != nil {
+		return "", err
+	}
+	return res.Plan, nil
+}
+
 // LastStats returns the measured execution statistics of the most recent
 // statement.
 func (db *DB) LastStats() ExecStats {
@@ -366,7 +383,7 @@ func (db *DB) execStmt(ctx context.Context, stmt sql.Statement) (res *Result, er
 	case *sql.SelectStmt:
 		return db.execSelect(gov, st)
 	case *sql.ExplainStmt:
-		return db.execExplain(st)
+		return db.execExplain(gov, st)
 	case *sql.DeleteStmt:
 		return db.execDelete(gov, st)
 	case *sql.UpdateStmt:
@@ -499,7 +516,14 @@ func (db *DB) execSelect(gov *governor.Budget, sel *sql.SelectStmt) (*Result, er
 	return &Result{Columns: cols, Rows: out}, nil
 }
 
-func (db *DB) execExplain(st *sql.ExplainStmt) (*Result, error) {
+// execExplain plans (and for EXPLAIN ANALYZE also executes) the wrapped
+// statement under the same governor as any other statement: a canceled
+// context or exhausted budget aborts it, and ANALYZE's execution is governed
+// exactly like a plain SELECT.
+func (db *DB) execExplain(gov *governor.Budget, st *sql.ExplainStmt) (*Result, error) {
+	if err := gov.Check(); err != nil {
+		return nil, wrapGovErr(err, ExecStats{})
+	}
 	var blk *sem.Block
 	var err error
 	switch inner := st.Stmt.(type) {
@@ -519,7 +543,16 @@ func (db *DB) execExplain(st *sql.ExplainStmt) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Plan: q.Explain()}, nil
+	if !st.Analyze {
+		return &Result{Plan: q.Explain()}, nil
+	}
+	_, stats, analysis, err := exec.RunQueryAnalyze(db.runtime(gov), q, nil)
+	es := execStatsFrom(stats)
+	db.setLast(es)
+	if err != nil {
+		return nil, wrapGovErr(err, es)
+	}
+	return &Result{Plan: analysis.Format(db.cfg.W)}, nil
 }
 
 // collectMatches locates the tuples a DELETE/UPDATE affects through the
