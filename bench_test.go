@@ -409,9 +409,14 @@ func BenchmarkInterestingOrders(b *testing.B) {
 }
 
 // BenchmarkPrepareVsAdhoc measures the conclusion's amortization claim:
-// compiled statements skip parsing and optimization on every run.
+// compiled statements skip parsing and optimization on every run. The ad hoc
+// side runs with the plan cache disabled so it still pays full compilation
+// per statement (the cached ad hoc path is measured in plancache_bench_test.go).
 func BenchmarkPrepareVsAdhoc(b *testing.B) {
-	db := workload.NewEmpDB(workload.EmpConfig{Emps: 2000, Depts: 50, Jobs: 10, Seed: 43})
+	db := workload.NewEmpDB(workload.EmpConfig{
+		Emps: 2000, Depts: 50, Jobs: 10, Seed: 43,
+		Engine: systemr.Config{PlanCacheSize: -1},
+	})
 	query := "SELECT NAME FROM EMP WHERE DNO = 7 AND SAL > 20000 ORDER BY NAME"
 	b.Run("adhoc", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {

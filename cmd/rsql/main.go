@@ -4,6 +4,7 @@
 //
 //	\d          list tables, indexes, and statistics
 //	\stats      measured cost of the last statement
+//	\cache      plan cache counters and the current catalog version
 //	\timing     toggle automatic cost reporting after each statement
 //	\load emp   load the EMP/DEPT/JOB example database
 //	\dump       print a SQL script recreating the database
@@ -47,7 +48,7 @@ func run(input io.Reader, out io.Writer, sigc <-chan os.Signal, timing bool) {
 	in := bufio.NewScanner(input)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
 	fmt.Fprintln(out, "systemr — System R access path selection, reproduced.")
-	fmt.Fprintln(out, "Statements end with ';'.  \\d tables  \\stats cost  \\load emp  \\dump script  \\q quit")
+	fmt.Fprintln(out, "Statements end with ';'.  \\d tables  \\stats cost  \\cache plans  \\load emp  \\dump script  \\q quit")
 
 	var buf strings.Builder
 	prompt := func() {
@@ -69,6 +70,8 @@ func run(input io.Reader, out io.Writer, sigc <-chan os.Signal, timing bool) {
 				fmt.Fprint(out, db.Tables())
 			case trimmed == "\\stats":
 				printStats(out, db.LastStats())
+			case trimmed == "\\cache":
+				printCache(out, db.PlanCacheStats())
 			case trimmed == "\\timing":
 				timing = !timing
 				state := "off"
@@ -118,6 +121,13 @@ func run(input io.Reader, out io.Writer, sigc <-chan os.Signal, timing bool) {
 func printStats(out io.Writer, s systemr.ExecStats) {
 	fmt.Fprintf(out, "page fetches: %d  pages written: %d  RSI calls: %d  rows: %d  cost: %.2f\n",
 		s.PageFetches, s.PagesWritten, s.RSICalls, s.Rows, s.Cost(0.033))
+}
+
+// printCache renders the plan cache counters (the \cache command's output).
+func printCache(out io.Writer, s systemr.PlanCacheStats) {
+	fmt.Fprintf(out, "plan cache: %d/%d entries  hits: %d  misses: %d  invalidations: %d  evictions: %d\n",
+		s.Entries, s.Capacity, s.Hits, s.Misses, s.Invalidations, s.Evictions)
+	fmt.Fprintf(out, "compilations: %d  catalog version: %d\n", s.Compilations, s.CatalogVersion)
 }
 
 // execInterruptible runs one statement under a context canceled by the first

@@ -79,6 +79,25 @@ func TestShellTiming(t *testing.T) {
 	}
 }
 
+// TestShellCache runs a SELECT twice and checks \cache reports the repeat as
+// a hit, plus a catalog version that moved past 1 with the DDL.
+func TestShellCache(t *testing.T) {
+	out := script(t,
+		"CREATE TABLE T (A INTEGER);",
+		"INSERT INTO T VALUES (1);",
+		"SELECT A FROM T;",
+		"SELECT A FROM T;",
+		"\\cache",
+		"\\q",
+	)
+	if !strings.Contains(out, "hits: 1") || !strings.Contains(out, "misses: 1") {
+		t.Fatalf("\\cache counters:\n%s", out)
+	}
+	if !strings.Contains(out, "catalog version: 2") { // CREATE TABLE bumped 1 -> 2
+		t.Fatalf("\\cache catalog version:\n%s", out)
+	}
+}
+
 func TestShellLoadEmp(t *testing.T) {
 	out := script(t,
 		"\\load emp",

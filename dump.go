@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strings"
 
+	"systemr/internal/compile"
 	"systemr/internal/lock"
 	"systemr/internal/storage"
 	"systemr/internal/value"
@@ -23,7 +24,7 @@ import (
 func (db *DB) DumpSQL(w io.Writer) error {
 	tables := db.cat.Tables()
 	sort.Slice(tables, func(i, j int) bool { return tables[i].Name < tables[j].Name })
-	reqs := []lock.Request{{Table: catalogLock, Mode: lock.Shared}}
+	reqs := []lock.Request{{Table: compile.CatalogLock, Mode: lock.Shared}}
 	for _, t := range tables {
 		reqs = append(reqs, lock.Request{Table: t.Name, Mode: lock.Shared})
 	}

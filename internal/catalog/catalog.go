@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"systemr/internal/btree"
 	"systemr/internal/storage"
@@ -87,18 +88,28 @@ type IndexStats struct {
 // DefaultICard is assumed for unanalyzed indexes.
 const DefaultICard = 10
 
-// EffICard returns ICARD or its default, never below 1.
+// EffICard returns ICARD or its default, never below 1. An analyzed-but-
+// empty index (post-DML statistics can legitimately report ICARD = 0) floors
+// at 1 rather than falling back to the unanalyzed default, so 1/ICARD
+// selectivity estimates stay finite and in [0, 1].
 func (s IndexStats) EffICard() float64 {
-	if !s.HasStats || s.ICard < 1 {
+	if !s.HasStats {
 		return DefaultICard
+	}
+	if s.ICard < 1 {
+		return 1
 	}
 	return float64(s.ICard)
 }
 
-// EffICardLead returns the leading-column distinct count or its default.
+// EffICardLead returns the leading-column distinct count or its default,
+// floored at 1 for analyzed empty indexes (see EffICard).
 func (s IndexStats) EffICardLead() float64 {
-	if !s.HasStats || s.ICardLead < 1 {
+	if !s.HasStats {
 		return DefaultICard
+	}
+	if s.ICardLead < 1 {
+		return 1
 	}
 	return float64(s.ICardLead)
 }
@@ -182,20 +193,39 @@ type Catalog struct {
 	segments map[string]*storage.Segment
 	nextRel  storage.RelID
 	nextSeg  int
+	// version is the catalog's monotonically increasing version/stats epoch.
+	// It bumps on every dependency change a compiled plan could embed —
+	// CREATE/DROP TABLE, CREATE/DROP INDEX, and statistics refresh — so a
+	// plan compiled at version V is valid exactly while Version() == V
+	// (System R's access-module invalidation). Lazy system-catalog
+	// materialization does not bump: it only adds read-side tables no
+	// existing plan can reference.
+	version atomic.Uint64
 	// BTreeOrder overrides index fan-out (tests use small orders).
 	BTreeOrder int
 }
 
 // New creates an empty catalog over disk.
 func New(disk *storage.Disk) *Catalog {
-	return &Catalog{
+	c := &Catalog{
 		disk:     disk,
 		tables:   make(map[string]*Table),
 		byID:     make(map[storage.RelID]*Table),
 		segments: make(map[string]*storage.Segment),
 		nextRel:  1,
 	}
+	c.version.Store(1)
+	return c
 }
+
+// Version returns the current catalog version/stats epoch. Reading it while
+// holding the engine's shared catalog lock pins it: DDL and UPDATE
+// STATISTICS run under the exclusive catalog lock, so the version cannot
+// move under an executing statement.
+func (c *Catalog) Version() uint64 { return c.version.Load() }
+
+// bump advances the catalog version after a dependency change.
+func (c *Catalog) bump() { c.version.Add(1) }
 
 // Disk exposes the underlying simulated disk.
 func (c *Catalog) Disk() *storage.Disk { return c.disk }
@@ -234,6 +264,7 @@ func (c *Catalog) CreateTable(name string, cols []Column, segment string) (*Tabl
 	c.nextRel++
 	c.tables[key] = t
 	c.byID[t.ID] = t
+	c.bump()
 	return t, nil
 }
 
@@ -267,6 +298,7 @@ func (c *Catalog) DropTable(name string) error {
 	}
 	delete(c.tables, key)
 	delete(c.byID, t.ID)
+	c.bump()
 	return nil
 }
 
@@ -360,7 +392,34 @@ func (c *Catalog) CreateIndex(name, table string, columns []string, unique, clus
 		}
 	}
 	t.Indexes = append(t.Indexes, ix)
+	c.bump()
 	return ix, nil
+}
+
+// DropIndex removes an index (found by name on any table) from the catalog
+// and bumps the version, invalidating every plan compiled against it. The
+// index pages are not reclaimed, matching DropTable.
+func (c *Catalog) DropIndex(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	upper := strings.ToUpper(name)
+	for _, t := range c.tables {
+		for i, ix := range t.Indexes {
+			if ix.Name != upper {
+				continue
+			}
+			// Build a fresh slice: executing statements traverse the old one
+			// (they cannot run concurrently with DDL — the exclusive catalog
+			// lock excludes them — but cached plans may still hold it).
+			keep := make([]*Index, 0, len(t.Indexes)-1)
+			keep = append(keep, t.Indexes[:i]...)
+			keep = append(keep, t.Indexes[i+1:]...)
+			t.Indexes = keep
+			c.bump()
+			return nil
+		}
+	}
+	return fmt.Errorf("catalog: index %s does not exist", name)
 }
 
 // firstDuplicateKey scans the leaf chain for two entries sharing a full key.
@@ -447,6 +506,9 @@ func (c *Catalog) updateStatistics(only string) {
 			ix.Stats = IndexStats{HasStats: true, ICard: icard, ICardLead: icardLead, NIndx: nindx, Low: low, High: high}
 		}
 	}
+	// A statistics refresh changes what the optimizer would choose: advance
+	// the epoch so plans costed against the old statistics recompile.
+	c.bump()
 	// Publish the refreshed statistics through the queryable catalogs.
 	if err := c.refreshSystemCatalogsLocked(); err != nil {
 		// The catalogs are advisory; statistics themselves are already

@@ -230,3 +230,85 @@ func TestIndexKeyFor(t *testing.T) {
 		t.Fatal("index lookup by name failed")
 	}
 }
+
+// TestVersionBumps: every DDL statement and statistics refresh advances the
+// catalog version; reads and lazy system-catalog materialization do not.
+func TestVersionBumps(t *testing.T) {
+	c := newCat()
+	if c.Version() != 1 {
+		t.Fatalf("fresh catalog version = %d, want 1", c.Version())
+	}
+	step := func(what string, f func()) {
+		t.Helper()
+		before := c.Version()
+		f()
+		if c.Version() != before+1 {
+			t.Fatalf("%s: version %d -> %d, want +1", what, before, c.Version())
+		}
+	}
+	step("CREATE TABLE", func() { c.CreateTable("T", cols("A"), "") })
+	step("CREATE INDEX", func() { c.CreateIndex("T_A", "T", []string{"A"}, false, false) })
+	step("UPDATE STATISTICS", func() { c.UpdateStatistics() })
+	step("UPDATE STATISTICS FOR", func() { c.UpdateStatisticsFor("T") })
+	step("DROP INDEX", func() {
+		if err := c.DropIndex("T_A"); err != nil {
+			t.Fatal(err)
+		}
+	})
+	step("DROP TABLE", func() {
+		if err := c.DropTable("T"); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Reads — including the first Tables() call, which materializes the
+	// system catalogs lazily — must not move the version.
+	before := c.Version()
+	c.Tables()
+	c.Table("SYSTABLES")
+	if c.Version() != before {
+		t.Fatalf("read-side access bumped version %d -> %d", before, c.Version())
+	}
+}
+
+func TestDropIndex(t *testing.T) {
+	c := newCat()
+	tab, _ := c.CreateTable("T", cols("A", "B"), "")
+	c.CreateIndex("T_A", "T", []string{"A"}, false, false)
+	c.CreateIndex("T_B", "T", []string{"B"}, false, false)
+	held := tab.Indexes                        // a cached plan's view of the index list
+	if err := c.DropIndex("t_a"); err != nil { // case-insensitive
+		t.Fatal(err)
+	}
+	if len(tab.Indexes) != 1 || tab.Indexes[0].Name != "T_B" {
+		t.Fatalf("indexes after drop: %v", tab.Indexes)
+	}
+	if _, ok := c.Index("T_A"); ok {
+		t.Fatal("dropped index still resolvable by name")
+	}
+	// The pre-drop slice must be untouched: compiled plans may still hold it.
+	if len(held) != 2 {
+		t.Fatalf("drop mutated the previous index slice: %v", held)
+	}
+	if err := c.DropIndex("NOPE"); err == nil {
+		t.Fatal("dropping a missing index must fail")
+	}
+}
+
+// TestEffICardEmptyIndex: an analyzed index over an empty relation must not
+// fall back to DefaultICard (that would be treating measured emptiness as
+// missing statistics) nor divide selectivity by zero — it floors at 1.
+func TestEffICardEmptyIndex(t *testing.T) {
+	c := newCat()
+	c.CreateTable("T", cols("A"), "")
+	c.CreateIndex("T_A", "T", []string{"A"}, false, false)
+	c.UpdateStatistics()
+	tab, _ := c.Table("T")
+	st := tab.Indexes[0].Stats
+	if !st.HasStats {
+		t.Fatal("UPDATE STATISTICS should mark the index analyzed")
+	}
+	if st.EffICard() != 1 || st.EffICardLead() != 1 {
+		t.Fatalf("empty analyzed index: EffICard=%v EffICardLead=%v, want 1",
+			st.EffICard(), st.EffICardLead())
+	}
+}

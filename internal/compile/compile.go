@@ -1,0 +1,186 @@
+// Package compile is the statement compilation pipeline: parse → semantic
+// analysis → access path selection, producing an immutable CompiledPlan that
+// can be executed many times. It is the repo's analog of System R's
+// "compile once, run many" access modules: a plan embeds the catalog state
+// (table/index pointers, statistics-derived costs) of compile time, records
+// the catalog version it was compiled under, and is valid exactly while the
+// catalog still reports that version. DDL and UPDATE STATISTICS bump the
+// version, so stale plans are never executed — they are recompiled, the way
+// System R invalidated and recompiled access modules when a dependency
+// (table, index, statistics) changed.
+//
+// A shared, concurrency-safe LRU Cache (cache.go) sits in front of the
+// pipeline, keyed by normalized SQL text + host-variable type signature;
+// entries carry their compile-time version and are invalidated on lookup
+// when the catalog has moved.
+package compile
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"systemr/internal/catalog"
+	"systemr/internal/core"
+	"systemr/internal/governor"
+	"systemr/internal/lock"
+	"systemr/internal/plan"
+	"systemr/internal/sem"
+	"systemr/internal/sql"
+	"systemr/internal/value"
+)
+
+// CatalogLock is the pseudo-table serializing DDL against all statements:
+// every statement locks it shared, DDL and UPDATE STATISTICS lock it
+// exclusively. Holding it shared therefore pins the catalog version.
+const CatalogLock = "__CATALOG__"
+
+// LockRequests derives a statement's table lock set: shared on every table
+// read, exclusive on every table written, and DDL exclusively locks the
+// catalog. The set depends only on the statement text, so it is stored on
+// the compiled plan and stays valid across recompilations.
+func LockRequests(stmt sql.Statement) []lock.Request {
+	reqs := []lock.Request{{Table: CatalogLock, Mode: lock.Shared}}
+	switch stmt.(type) {
+	case *sql.CreateTableStmt, *sql.CreateIndexStmt, *sql.DropTableStmt,
+		*sql.DropIndexStmt, *sql.UpdateStatsStmt:
+		return []lock.Request{{Table: CatalogLock, Mode: lock.Exclusive}}
+	}
+	read, write := sql.TablesReferenced(stmt)
+	for _, t := range read {
+		reqs = append(reqs, lock.Request{Table: t, Mode: lock.Shared})
+	}
+	for _, t := range write {
+		reqs = append(reqs, lock.Request{Table: t, Mode: lock.Exclusive})
+	}
+	return reqs
+}
+
+// CompiledPlan is the immutable product of one trip through the pipeline —
+// the access module. It is safe to execute concurrently from many
+// goroutines: all execution state lives in the executor's per-run context.
+type CompiledPlan struct {
+	// Norm is the statement's normalized text (sql.Normalize) — the cache
+	// key base and the parseable text a stale plan recompiles from.
+	Norm string
+	// Version is the catalog version the plan was compiled under; the plan
+	// is executable exactly while the catalog still reports it.
+	Version uint64
+	// Query is the optimized physical plan.
+	Query *plan.Query
+	// Locks is the statement's lock set (derived from the text, stable
+	// across recompiles): acquire these before validating Version.
+	Locks []lock.Request
+}
+
+// Pipeline compiles statements against one catalog with one optimizer
+// configuration. It is stateless apart from a compilation counter and safe
+// for concurrent use (compilation itself must run under the engine's shared
+// catalog lock, like any statement).
+type Pipeline struct {
+	cat          *catalog.Catalog
+	cfg          core.Config
+	naive        bool
+	compilations atomic.Int64
+}
+
+// NewPipeline creates a compile pipeline over cat. naive selects the
+// no-optimizer baseline plans.
+func NewPipeline(cat *catalog.Catalog, cfg core.Config, naive bool) *Pipeline {
+	return &Pipeline{cat: cat, cfg: cfg, naive: naive}
+}
+
+// Compilations returns how many plans the optimizer has produced — the
+// counter cache-hit tests assert does NOT move on a repeated statement.
+func (p *Pipeline) Compilations() int64 { return p.compilations.Load() }
+
+// PlanBlock runs access path selection (or the naive baseline) over an
+// analyzed block. All compile paths — SELECT, EXPLAIN, DML match planning —
+// funnel through here, so Compilations counts every optimizer invocation.
+func (p *Pipeline) PlanBlock(blk *sem.Block) (*plan.Query, error) {
+	p.compilations.Add(1)
+	opt := core.New(p.cat, p.cfg)
+	if p.naive {
+		return core.NaivePlan(opt, blk)
+	}
+	return opt.Optimize(blk)
+}
+
+// CompileSelect runs the back half of the pipeline on an already-parsed
+// SELECT: semantic analysis, then optimization, under the statement's
+// governor budget (compilation is statement work too — a canceled or
+// deadline-expired statement aborts between phases). norm is the
+// statement's normalized text; gov may be nil (ungoverned).
+func (p *Pipeline) CompileSelect(gov *governor.Budget, sel *sql.SelectStmt, norm string) (*CompiledPlan, error) {
+	if err := gov.Check(); err != nil {
+		return nil, err
+	}
+	version := p.cat.Version()
+	blk, err := sem.Analyze(sel, p.cat)
+	if err != nil {
+		return nil, err
+	}
+	if err := gov.Check(); err != nil {
+		return nil, err
+	}
+	q, err := p.PlanBlock(blk)
+	if err != nil {
+		return nil, err
+	}
+	return &CompiledPlan{
+		Norm:    norm,
+		Version: version,
+		Query:   q,
+		Locks:   LockRequests(sel),
+	}, nil
+}
+
+// CompileSelectText is the full pipeline from statement text: parse,
+// normalize, analyze, optimize. Non-SELECT statements are rejected.
+func (p *Pipeline) CompileSelectText(gov *governor.Budget, text string) (*CompiledPlan, error) {
+	if err := gov.Check(); err != nil {
+		return nil, err
+	}
+	parsed, err := sql.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := parsed.(*sql.SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("compile: expected a SELECT statement, got %T", parsed)
+	}
+	norm, _ := sql.Normalize(text)
+	return p.CompileSelect(gov, sel, norm)
+}
+
+// Key builds the plan-cache key from normalized text and the host-variable
+// type signature. The catalog version is not part of the key — entries carry
+// their compile-time version and are invalidated on lookup — so one
+// statement occupies one slot instead of leaking an entry per epoch.
+func Key(norm, argSig string) string {
+	if argSig == "" {
+		return norm
+	}
+	return norm + "\x00" + argSig
+}
+
+// ArgSig summarizes host-variable argument types as one letter each, so a
+// statement run with different binding types occupies distinct cache slots.
+func ArgSig(args []value.Value) string {
+	if len(args) == 0 {
+		return ""
+	}
+	sig := make([]byte, len(args))
+	for i, a := range args {
+		switch a.Kind {
+		case value.KindInt:
+			sig[i] = 'I'
+		case value.KindFloat:
+			sig[i] = 'F'
+		case value.KindString:
+			sig[i] = 'S'
+		default:
+			sig[i] = 'N'
+		}
+	}
+	return string(sig)
+}

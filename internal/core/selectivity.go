@@ -31,8 +31,16 @@ const (
 	inListCap = 1.0 / 2
 )
 
-// selectivity assigns F to one boolean factor's expression.
+// selectivity assigns F to one boolean factor's expression. Whatever the
+// branch below produces, the result is clamped to [0, 1]: a selectivity
+// factor is a fraction of tuples, and letting a stats anomaly (empty index,
+// zero-cardinality relation, inverted min/max) push F outside that range
+// corrupts every downstream QCARD and cost product.
 func (o *Optimizer) selectivity(e sem.Expr) float64 {
+	return clamp01(o.selectivityRaw(e))
+}
+
+func (o *Optimizer) selectivityRaw(e sem.Expr) float64 {
 	switch x := e.(type) {
 	case *sem.Bin:
 		switch {

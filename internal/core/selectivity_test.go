@@ -231,3 +231,33 @@ func TestDefaultStatisticsSelectivities(t *testing.T) {
 	}
 	approx(t, o.factors[0].sel, 1.0/catalog.DefaultICard, "default icard eq")
 }
+
+// TestEmptyRelationSelectivities: an analyzed empty relation has ICARD = 0 on
+// every index; 1/ICARD must not produce Inf/NaN (EffICardLead floors at 1)
+// and every factor F stays in [0, 1].
+func TestEmptyRelationSelectivities(t *testing.T) {
+	cat := catalog.New(storage.NewDisk())
+	if _, err := cat.CreateTable("R", []catalog.Column{
+		{Name: "A", Type: value.KindInt},
+		{Name: "B", Type: value.KindInt},
+	}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.CreateIndex("R_A", "R", []string{"A"}, false, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.CreateIndex("R_B", "R", []string{"B"}, false, false); err != nil {
+		t.Fatal(err)
+	}
+	cat.UpdateStatistics() // analyzed, but every ICARD/NCARD is zero
+	preds := []string{
+		"A = 1", "A <> 1", "A = B", "A IN (1,2,3)",
+		"A > 5", "A BETWEEN 1 AND 2", "NOT A = 1",
+	}
+	for _, p := range preds {
+		f := factorSel(t, cat, "R", p)
+		if f < 0 || f > 1 || math.IsNaN(f) || math.IsInf(f, 0) {
+			t.Fatalf("empty-relation selectivity of %q out of range: %v", p, f)
+		}
+	}
+}

@@ -40,6 +40,10 @@ type CreateIndexStmt struct {
 // DropTableStmt is DROP TABLE name.
 type DropTableStmt struct{ Name string }
 
+// DropIndexStmt is DROP INDEX name — removing an access path, which (as in
+// System R) invalidates every compiled plan that depends on it.
+type DropIndexStmt struct{ Name string }
+
 // InsertStmt is INSERT INTO table VALUES (...), (...).
 type InsertStmt struct {
 	Table string
@@ -94,6 +98,7 @@ func (*SelectStmt) stmt()      {}
 func (*CreateTableStmt) stmt() {}
 func (*CreateIndexStmt) stmt() {}
 func (*DropTableStmt) stmt()   {}
+func (*DropIndexStmt) stmt()   {}
 func (*InsertStmt) stmt()      {}
 func (*DeleteStmt) stmt()      {}
 func (*UpdateStmt) stmt()      {}

@@ -1,0 +1,40 @@
+package sql
+
+import "strings"
+
+// Normalize returns the canonical one-line spelling of a statement: tokens
+// separated by single spaces, keywords upper-cased, comments dropped, `!=`
+// canonicalized to `<>`, string literals re-quoted, and trailing semicolons
+// removed. Identifier case is preserved — output column names derive from the
+// written spelling, so folding it would be observable. The result is itself
+// parseable SQL that reproduces the original statement's AST, which makes it
+// both the plan-cache key and the text a stale cache entry is recompiled
+// from. ok is false when the input does not lex (the parser will report the
+// error).
+func Normalize(input string) (norm string, ok bool) {
+	toks, err := lex(input)
+	if err != nil {
+		return "", false
+	}
+	// Drop trailing semicolons (the parser accepts one optional ';').
+	end := len(toks) - 1 // toks[end] is EOF
+	for end > 0 && toks[end-1].kind == tokPunct && toks[end-1].text == ";" {
+		end--
+	}
+	var b strings.Builder
+	b.Grow(len(input))
+	for i := 0; i < end; i++ {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		t := toks[i]
+		if t.kind == tokString {
+			b.WriteByte('\'')
+			b.WriteString(strings.ReplaceAll(t.text, "'", "''"))
+			b.WriteByte('\'')
+			continue
+		}
+		b.WriteString(t.text)
+	}
+	return b.String(), true
+}

@@ -1,0 +1,56 @@
+package sql
+
+import "testing"
+
+func TestNormalize(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{"select name from emp where dno = 50;", "SELECT name FROM emp WHERE dno = 50"},
+		{"SELECT  NAME\n\tFROM EMP -- comment\n WHERE DNO=50", "SELECT NAME FROM EMP WHERE DNO = 50"},
+		{"SELECT * FROM T WHERE A != 1", "SELECT * FROM T WHERE A <> 1"},
+		{"SELECT 'it''s' FROM T;;", "SELECT 'it''s' FROM T"},
+		{"SELECT V FROM T WHERE K = ?", "SELECT V FROM T WHERE K = ?"},
+	}
+	for _, c := range cases {
+		got, ok := Normalize(c.in)
+		if !ok {
+			t.Fatalf("Normalize(%q) failed to lex", c.in)
+		}
+		if got != c.want {
+			t.Errorf("Normalize(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestNormalizeRoundTrips asserts the normalized text is itself valid SQL
+// that normalizes to the same string — the fixed-point property stale cache
+// entries are recompiled through.
+func TestNormalizeRoundTrips(t *testing.T) {
+	stmts := []string{
+		"SELECT NAME, SAL FROM EMP E WHERE E.DNO IN (1, 2, 3) ORDER BY SAL DESC",
+		"select count(*) from emp group by dno having count(*) > 2",
+		"EXPLAIN ANALYZE SELECT A.V FROM A, B WHERE A.K = B.K AND B.W = 105",
+		"UPDATE STATISTICS EMP",
+		"DROP INDEX EMP_DNO",
+	}
+	for _, s := range stmts {
+		norm, ok := Normalize(s)
+		if !ok {
+			t.Fatalf("Normalize(%q) failed", s)
+		}
+		if _, err := Parse(norm); err != nil {
+			t.Fatalf("normalized %q does not parse: %v", norm, err)
+		}
+		again, ok := Normalize(norm)
+		if !ok || again != norm {
+			t.Fatalf("Normalize not a fixed point: %q -> %q", norm, again)
+		}
+	}
+}
+
+func TestNormalizeLexError(t *testing.T) {
+	if _, ok := Normalize("SELECT 'unterminated"); ok {
+		t.Fatal("Normalize should fail on a lex error")
+	}
+}

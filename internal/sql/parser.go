@@ -247,14 +247,22 @@ func (p *parser) parseCreateIndex(unique, clustered bool) (Statement, error) {
 
 func (p *parser) parseDrop() (Statement, error) {
 	p.next() // DROP
-	if _, err := p.expect(tokKeyword, "TABLE"); err != nil {
-		return nil, err
+	switch {
+	case p.accept(tokKeyword, "TABLE"):
+		name, err := p.identLike()
+		if err != nil {
+			return nil, err
+		}
+		return &DropTableStmt{Name: strings.ToUpper(name)}, nil
+	case p.accept(tokKeyword, "INDEX"):
+		name, err := p.identLike()
+		if err != nil {
+			return nil, err
+		}
+		return &DropIndexStmt{Name: strings.ToUpper(name)}, nil
+	default:
+		return nil, p.errorf("expected TABLE or INDEX after DROP")
 	}
-	name, err := p.identLike()
-	if err != nil {
-		return nil, err
-	}
-	return &DropTableStmt{Name: strings.ToUpper(name)}, nil
 }
 
 func (p *parser) parseInsert() (Statement, error) {

@@ -198,6 +198,11 @@ func TestParseDML(t *testing.T) {
 	if _, ok := mustParse(t, "DROP TABLE t").(*DropTableStmt); !ok {
 		t.Fatal("drop table")
 	}
+	di := mustParse(t, "DROP INDEX emp_dno").(*DropIndexStmt)
+	if di.Name != "EMP_DNO" {
+		t.Fatalf("%+v", di)
+	}
+	mustFail(t, "DROP emp", "expected TABLE or INDEX after DROP")
 }
 
 func TestParseExplain(t *testing.T) {

@@ -1,0 +1,311 @@
+package systemr_test
+
+// Plan cache regression tests: the compile-once/execute-many contract. A
+// repeated statement must skip parse/sem/optimize entirely (asserted through
+// the pipeline's compilation counter), and no statement — ad hoc or prepared
+// — may ever execute a plan compiled before a DDL statement or statistics
+// refresh (asserted through EXPLAIN plan flips and the invalidation counter).
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"systemr"
+	"systemr/internal/workload"
+)
+
+func empDB(t testing.TB) *systemr.DB {
+	t.Helper()
+	return workload.NewEmpDB(workload.EmpConfig{Emps: 2000, Depts: 50, Jobs: 10, Seed: 11})
+}
+
+// TestPlanCacheHitSkipsCompilation: the second execution of an identical
+// statement is served from the cache — the optimizer does not run again —
+// and text differences that normalize away (case, whitespace, comments,
+// trailing semicolon) still hit.
+func TestPlanCacheHitSkipsCompilation(t *testing.T) {
+	db := empDB(t)
+	const q = "SELECT NAME FROM EMP WHERE EMPNO = 100"
+	res1, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after1 := db.PlanCacheStats()
+	if after1.Misses < 1 {
+		t.Fatalf("first execution should miss: %+v", after1)
+	}
+	// Keyword case, whitespace, comments, and trailing semicolons normalize
+	// away; identifier spelling is part of the key (it names output columns).
+	for _, variant := range []string{
+		q,
+		"select NAME from EMP where EMPNO = 100;",
+		"  SELECT NAME\n FROM EMP -- comment\n WHERE EMPNO = 100",
+	} {
+		res2, err := db.Query(variant)
+		if err != nil {
+			t.Fatalf("%q: %v", variant, err)
+		}
+		if fmt.Sprint(res2.Rows) != fmt.Sprint(res1.Rows) ||
+			fmt.Sprint(res2.Columns) != fmt.Sprint(res1.Columns) {
+			t.Fatalf("%q: cached result differs: %v vs %v", variant, res2, res1)
+		}
+	}
+	after := db.PlanCacheStats()
+	if got := after.Hits - after1.Hits; got != 3 {
+		t.Fatalf("hits = %d, want 3: %+v", got, after)
+	}
+	if after.Compilations != after1.Compilations {
+		t.Fatalf("cache hits recompiled: %d -> %d optimizer runs",
+			after1.Compilations, after.Compilations)
+	}
+}
+
+// TestPlanCacheDisabled: PlanCacheSize < 0 restores recompile-every-time.
+func TestPlanCacheDisabled(t *testing.T) {
+	db := systemr.Open(systemr.Config{PlanCacheSize: -1})
+	db.MustExec("CREATE TABLE T (A INTEGER)")
+	db.MustExec("INSERT INTO T VALUES (1)")
+	before := db.PlanCacheStats()
+	db.MustExec("SELECT A FROM T")
+	db.MustExec("SELECT A FROM T")
+	after := db.PlanCacheStats()
+	if after.Hits != 0 || after.Misses != 0 || after.Capacity != 0 {
+		t.Fatalf("disabled cache recorded traffic: %+v", after)
+	}
+	if after.Compilations-before.Compilations != 2 {
+		t.Fatalf("disabled cache should compile each run: %+v", after)
+	}
+}
+
+// TestPlanCacheDropIndexInvalidation is the stale-plan regression test: a
+// cached plan probing an index must flip to a segment scan after DROP INDEX,
+// and back through an index scan after the index is recreated.
+func TestPlanCacheDropIndexInvalidation(t *testing.T) {
+	db := empDB(t)
+	const q = "SELECT NAME FROM EMP WHERE EMPNO = 100"
+	p1, err := db.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(p1, "INDEXSCAN EMP via EMP_EMPNO") {
+		t.Fatalf("expected unique-index probe before drop:\n%s", p1)
+	}
+	if _, err := db.Query(q); err != nil { // warm the cache with an execution
+		t.Fatal(err)
+	}
+	db.MustExec("DROP INDEX EMP_EMPNO")
+	p2, err := db.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(p2, "EMP_EMPNO") || !strings.Contains(p2, "SEGSCAN EMP") {
+		t.Fatalf("stale index-scan plan survived DROP INDEX:\n%s", p2)
+	}
+	res, err := db.Query(q) // executing the dropped-index plan would be unsound
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows after drop = %d, want 1", len(res.Rows))
+	}
+	if s := db.PlanCacheStats(); s.Invalidations < 1 {
+		t.Fatalf("no invalidation recorded: %+v", s)
+	}
+	db.MustExec("CREATE UNIQUE INDEX EMP_EMPNO ON EMP (EMPNO)")
+	db.MustExec("UPDATE STATISTICS EMP")
+	p3, err := db.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(p3, "INDEXSCAN EMP via EMP_EMPNO") {
+		t.Fatalf("plan did not flip back after index recreation:\n%s", p3)
+	}
+}
+
+// TestPlanCacheUpdateStatisticsInvalidation: a statistics refresh is a
+// dependency change — cached plans recompile against the new statistics.
+func TestPlanCacheUpdateStatisticsInvalidation(t *testing.T) {
+	db := empDB(t)
+	const q = "SELECT COUNT(*) FROM EMP WHERE DNO = 7"
+	if _, err := db.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	before := db.PlanCacheStats()
+	db.MustExec("UPDATE STATISTICS EMP")
+	after := db.PlanCacheStats()
+	if after.CatalogVersion != before.CatalogVersion+1 {
+		t.Fatalf("UPDATE STATISTICS did not bump the version: %+v -> %+v", before, after)
+	}
+	if _, err := db.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	final := db.PlanCacheStats()
+	if final.Invalidations != before.Invalidations+1 {
+		t.Fatalf("stale plan not invalidated after stats refresh: %+v", final)
+	}
+	if final.Compilations == before.Compilations {
+		t.Fatal("stale plan was served without recompilation")
+	}
+}
+
+// TestExplainCacheNote: EXPLAIN reports when the plan came from the cache,
+// and shares the plain SELECT's cache slot.
+func TestExplainCacheNote(t *testing.T) {
+	db := empDB(t)
+	const q = "SELECT NAME FROM EMP WHERE EMPNO = 3"
+	cold, err := db.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(cold, "plan cache: hit") {
+		t.Fatalf("cold EXPLAIN claims a cache hit:\n%s", cold)
+	}
+	warm, err := db.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("plan cache: hit (compiled at catalog version %d)",
+		db.PlanCacheStats().CatalogVersion)
+	if !strings.Contains(warm, want) {
+		t.Fatalf("warm EXPLAIN lacks %q:\n%s", want, warm)
+	}
+	// The EXPLAIN populated the SELECT's slot: executing the SELECT now hits.
+	before := db.PlanCacheStats()
+	if _, err := db.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	if after := db.PlanCacheStats(); after.Hits != before.Hits+1 {
+		t.Fatalf("SELECT did not share EXPLAIN's cache slot: %+v -> %+v", before, after)
+	}
+}
+
+// TestPreparedStmtRevalidation: a prepared statement must not execute a plan
+// compiled before a DDL change — each Run revalidates the catalog version and
+// transparently recompiles.
+func TestPreparedStmtRevalidation(t *testing.T) {
+	db := empDB(t)
+	stmt, err := db.Prepare("SELECT NAME FROM EMP WHERE EMPNO = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stmt.Explain(), "INDEXSCAN EMP via EMP_EMPNO") {
+		t.Fatalf("prepared plan should probe the unique index:\n%s", stmt.Explain())
+	}
+	v1 := stmt.Version()
+	res, err := stmt.Run(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(res.Rows))
+	}
+	db.MustExec("DROP INDEX EMP_EMPNO")
+	res, err = stmt.Run(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows after DROP INDEX = %d, want 1", len(res.Rows))
+	}
+	if stmt.Version() <= v1 {
+		t.Fatalf("prepared statement still holds the pre-DDL plan (version %d)", stmt.Version())
+	}
+	if strings.Contains(stmt.Explain(), "EMP_EMPNO") {
+		t.Fatalf("recompiled prepared plan still references the dropped index:\n%s", stmt.Explain())
+	}
+	// Same contract over the streaming cursor.
+	db.MustExec("CREATE UNIQUE INDEX EMP_EMPNO ON EMP (EMPNO)")
+	rows, err := stmt.Open(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		_, ok, err := rows.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("cursor rows = %d, want 1", n)
+	}
+	if !strings.Contains(stmt.Explain(), "INDEXSCAN EMP via EMP_EMPNO") {
+		t.Fatalf("cursor open did not recompile against the recreated index:\n%s", stmt.Explain())
+	}
+}
+
+// TestPreparedStmtRevalidationNoCache: the same contract with the cache
+// disabled — revalidation is the statement's own duty then.
+func TestPreparedStmtRevalidationNoCache(t *testing.T) {
+	db := workload.NewEmpDB(workload.EmpConfig{
+		Emps: 500, Seed: 3, Engine: systemr.Config{PlanCacheSize: -1},
+	})
+	stmt, err := db.Prepare("SELECT NAME FROM EMP WHERE EMPNO = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec("DROP INDEX EMP_EMPNO")
+	if _, err := stmt.Run(7); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(stmt.Explain(), "EMP_EMPNO") {
+		t.Fatalf("uncached prepared statement executed a stale plan:\n%s", stmt.Explain())
+	}
+}
+
+// TestPlanCacheConcurrent hammers the cached path from many goroutines while
+// DDL and statistics refreshes move the catalog version underneath them —
+// the race-enabled guard that no stale plan is ever executed and the cache's
+// counters stay coherent. Run with -race in CI.
+func TestPlanCacheConcurrent(t *testing.T) {
+	db := workload.NewEmpDB(workload.EmpConfig{Emps: 300, Depts: 10, Jobs: 5, Seed: 5})
+	queries := []string{
+		"SELECT NAME FROM EMP WHERE EMPNO = 17",
+		"SELECT COUNT(*) FROM EMP WHERE DNO = 3",
+		"SELECT E.NAME, D.DNAME FROM EMP E, DEPT D WHERE E.DNO = D.DNO AND E.EMPNO = 17",
+	}
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				q := queries[(g+i)%len(queries)]
+				res, err := db.QueryContext(ctx, q)
+				if err != nil {
+					t.Errorf("%s: %v", q, err)
+					return
+				}
+				if len(res.Rows) != 1 {
+					t.Errorf("%s: rows = %d, want 1", q, len(res.Rows))
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() { // the antagonist: DDL and stats churn under the readers
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			db.MustExec("DROP INDEX EMP_EMPNO")
+			db.MustExec("CREATE UNIQUE INDEX EMP_EMPNO ON EMP (EMPNO)")
+			db.MustExec("UPDATE STATISTICS EMP")
+		}
+	}()
+	wg.Wait()
+	s := db.PlanCacheStats()
+	if s.Hits == 0 {
+		t.Fatalf("concurrent run recorded no cache hits: %+v", s)
+	}
+	if db.Locks().Outstanding() != 0 {
+		t.Fatal("locks leaked by the concurrent cached path")
+	}
+}

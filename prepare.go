@@ -6,33 +6,41 @@ package systemr
 // (Conclusion). Prepare performs parsing, semantic analysis, and access path
 // selection once; each Run executes the stored plan.
 //
-// As in System R, a prepared plan embeds the catalog state of compile time:
-// statistics refreshes or schema changes after Prepare do not re-plan (System
-// R invalidated and recompiled stored plans on dependency changes; here the
-// caller re-Prepares).
+// As in System R, a prepared plan embeds the catalog state of compile time —
+// and, as in System R, it is invalidated and recompiled when a dependency
+// changes: each Run revalidates the plan's catalog version under the
+// statement's locks, and a stale plan (DDL or UPDATE STATISTICS since
+// compile) is transparently recompiled from the statement's normalized text.
+// The caller never re-Prepares and never executes a stale plan.
 
 import (
 	"context"
 	"fmt"
+	"sync"
 
+	"systemr/internal/compile"
 	"systemr/internal/exec"
 	"systemr/internal/governor"
 	"systemr/internal/lock"
-	"systemr/internal/plan"
-	"systemr/internal/sem"
 	"systemr/internal/sql"
 	"systemr/internal/value"
 )
 
-// Stmt is a compiled SELECT statement.
+// Stmt is a compiled SELECT statement. It is safe for concurrent use: the
+// compiled plan is immutable, and recompilation after a catalog change swaps
+// the current-plan pointer under a mutex.
 type Stmt struct {
-	db    *DB
-	text  string
-	query *plan.Query
-	locks []lock.Request
+	db   *DB
+	text string
+	norm string
+
+	mu sync.Mutex
+	cp *compile.CompiledPlan
 }
 
-// Prepare compiles a SELECT statement: the optimizer runs once, now.
+// Prepare compiles a SELECT statement: the optimizer runs once, now. When the
+// plan cache is enabled the compiled plan is shared with (and revalidated
+// through) the cache.
 func (db *DB) Prepare(text string) (*Stmt, error) {
 	parsed, err := sql.Parse(text)
 	if err != nil {
@@ -42,23 +50,55 @@ func (db *DB) Prepare(text string) (*Stmt, error) {
 	if !ok {
 		return nil, fmt.Errorf("systemr: Prepare supports SELECT statements, got %T", parsed)
 	}
-	reqs := lockRequests(parsed)
-	held := db.locks.Acquire(reqs)
+	norm, _ := sql.Normalize(text)
+	held := db.locks.Acquire(compile.LockRequests(parsed))
 	defer held.Release()
-	blk, err := sem.Analyze(sel, db.cat)
+	cp, _, err := db.resolveSelect(nil, norm, "", sel)
 	if err != nil {
 		return nil, err
 	}
-	q, err := db.planBlock(blk)
-	if err != nil {
-		return nil, err
-	}
-	return &Stmt{db: db, text: text, query: q, locks: reqs}, nil
+	return &Stmt{db: db, text: text, norm: norm, cp: cp}, nil
 }
 
-// Run executes the compiled plan (no parsing, no optimization), binding one
-// value per '?' host variable in statement order. Accepted argument types:
-// int, int64, float64, string, nil.
+// current returns the statement's current compiled plan.
+func (s *Stmt) current() *compile.CompiledPlan {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cp
+}
+
+// planFor returns a catalog-current plan for this statement, recompiling if
+// DDL or a statistics refresh has moved the catalog version since the held
+// plan was compiled. Must be called with the statement's locks held (the
+// shared catalog lock pins the version through execution). vals are the
+// run's host-variable bindings: with the cache enabled they select the cache
+// slot, so runs with different binding types keep distinct entries.
+func (s *Stmt) planFor(gov *governor.Budget, vals []value.Value) (*compile.CompiledPlan, error) {
+	if s.db.plans == nil {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.cp.Version != s.db.cat.Version() {
+			cp, err := s.db.compiler.CompileSelectText(gov, s.norm)
+			if err != nil {
+				return nil, wrapGovErr(err, ExecStats{})
+			}
+			s.cp = cp
+		}
+		return s.cp, nil
+	}
+	cp, _, err := s.db.resolveSelect(gov, s.norm, compile.ArgSig(vals), nil)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.cp = cp
+	s.mu.Unlock()
+	return cp, nil
+}
+
+// Run executes the compiled plan (no parsing, no re-optimization unless the
+// catalog changed), binding one value per '?' host variable in statement
+// order. Accepted argument types: int, int64, float64, string, nil.
 func (s *Stmt) Run(args ...any) (*Result, error) {
 	return s.RunContext(context.Background(), args...)
 }
@@ -75,12 +115,17 @@ func (s *Stmt) RunContext(ctx context.Context, args ...any) (*Result, error) {
 		ctx, cancel = context.WithTimeout(ctx, s.db.cfg.StatementTimeout)
 		defer cancel()
 	}
-	held, err := s.db.locks.AcquireContext(ctx, s.locks)
+	held, err := s.db.locks.AcquireContext(ctx, s.current().Locks)
 	if err != nil {
 		return nil, &StatementError{Err: governor.CtxErr(err)}
 	}
 	defer held.Release()
-	rows, stats, err := exec.RunQueryArgs(s.db.runtime(s.db.newGovernor(ctx)), s.query, vals)
+	gov := s.db.newGovernor(ctx)
+	cp, err := s.planFor(gov, vals)
+	if err != nil {
+		return nil, err
+	}
+	rows, stats, err := exec.RunQueryArgs(s.db.runtime(gov), cp.Query, vals)
 	es := execStatsFrom(stats)
 	s.db.setLast(es)
 	if err != nil {
@@ -90,18 +135,22 @@ func (s *Stmt) RunContext(ctx context.Context, args ...any) (*Result, error) {
 	for i, r := range rows {
 		out[i] = toNative(r)
 	}
-	cols := s.query.OutNames
+	cols := cp.Query.OutNames
 	if cols == nil {
 		cols = []string{}
 	}
 	return &Result{Columns: cols, Rows: out}, nil
 }
 
-// Explain returns the compiled plan.
-func (s *Stmt) Explain() string { return s.query.Explain() }
+// Explain returns the statement's current compiled plan.
+func (s *Stmt) Explain() string { return s.current().Query.Explain() }
 
 // Text returns the original statement text.
 func (s *Stmt) Text() string { return s.text }
+
+// Version returns the catalog version the statement's current plan was
+// compiled under.
+func (s *Stmt) Version() uint64 { return s.current().Version }
 
 // hostValues converts Go arguments to engine values.
 func hostValues(args []any) ([]value.Value, error) {
@@ -148,22 +197,30 @@ func (s *Stmt) Open(args ...any) (*Rows, error) {
 // OpenContext is Open observing ctx for the whole cursor lifetime: a
 // cancellation between Next calls aborts the next fetch. (StatementTimeout is
 // not layered here — a cursor's pacing belongs to the application; pass a
-// deadline ctx to bound it.)
+// deadline ctx to bound it.) Like RunContext, it revalidates the plan's
+// catalog version under the statement's locks, which are held until Close —
+// so the plan stays valid for the cursor's whole lifetime.
 func (s *Stmt) OpenContext(ctx context.Context, args ...any) (*Rows, error) {
 	vals, err := hostValues(args)
 	if err != nil {
 		return nil, err
 	}
-	held, err := s.db.locks.AcquireContext(ctx, s.locks)
+	held, err := s.db.locks.AcquireContext(ctx, s.current().Locks)
 	if err != nil {
 		return nil, &StatementError{Err: governor.CtxErr(err)}
 	}
-	cur, err := exec.OpenQueryArgs(s.db.runtime(s.db.newGovernor(ctx)), s.query, vals)
+	gov := s.db.newGovernor(ctx)
+	cp, err := s.planFor(gov, vals)
+	if err != nil {
+		held.Release()
+		return nil, err
+	}
+	cur, err := exec.OpenQueryArgs(s.db.runtime(gov), cp.Query, vals)
 	if err != nil {
 		held.Release()
 		return nil, wrapGovErr(err, ExecStats{})
 	}
-	cols := s.query.OutNames
+	cols := cp.Query.OutNames
 	if cols == nil {
 		cols = []string{}
 	}

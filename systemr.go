@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"systemr/internal/catalog"
+	"systemr/internal/compile"
 	"systemr/internal/core"
 	"systemr/internal/exec"
 	"systemr/internal/governor"
@@ -68,6 +69,13 @@ type Config struct {
 	// baseline of the evaluation harness.
 	Naive bool
 
+	// PlanCacheSize bounds the shared compiled-plan cache in entries: a
+	// repeated SELECT (same normalized text, same host-variable types,
+	// unchanged catalog version) executes its cached plan and skips
+	// parse/sem/optimize entirely. 0 means the default (256); negative
+	// disables caching, recompiling every statement as the seed engine did.
+	PlanCacheSize int
+
 	// Execution governor knobs (0 = unlimited). Violations surface as a
 	// *StatementError wrapping ErrBudgetExceeded, with the partial ExecStats
 	// attached.
@@ -89,15 +97,21 @@ type Config struct {
 // and DDL serialize per table. Measured statistics (LastStats) describe the
 // whole engine and are only meaningful for single-client measurement runs.
 type DB struct {
-	mu    sync.Mutex // guards last
-	cfg   Config
-	disk  *storage.Disk
-	stats *storage.IOStats
-	pool  *storage.BufferPool
-	cat   *catalog.Catalog
-	locks *lock.Manager
-	last  ExecStats
+	mu       sync.Mutex // guards last
+	cfg      Config
+	disk     *storage.Disk
+	stats    *storage.IOStats
+	pool     *storage.BufferPool
+	cat      *catalog.Catalog
+	locks    *lock.Manager
+	compiler *compile.Pipeline
+	plans    *compile.Cache // nil when caching is disabled
+	last     ExecStats
 }
+
+// DefaultPlanCacheSize is the plan cache's entry bound when
+// Config.PlanCacheSize is zero.
+const DefaultPlanCacheSize = 256
 
 // Result is the outcome of a statement.
 type Result struct {
@@ -139,7 +153,7 @@ func Open(cfg Config) *DB {
 	stats := &storage.IOStats{}
 	cat := catalog.New(disk)
 	cat.BTreeOrder = cfg.BTreeOrder
-	return &DB{
+	db := &DB{
 		cfg:   cfg,
 		disk:  disk,
 		stats: stats,
@@ -147,28 +161,15 @@ func Open(cfg Config) *DB {
 		cat:   cat,
 		locks: lock.NewManager(),
 	}
-}
-
-// catalogLock is a pseudo-table serializing DDL against all statements.
-const catalogLock = "__CATALOG__"
-
-// lockRequests derives the statement's table lock set: shared on every table
-// read, exclusive on every table written, and DDL exclusively locks the
-// catalog (every statement holds it shared).
-func lockRequests(stmt sql.Statement) []lock.Request {
-	reqs := []lock.Request{{Table: catalogLock, Mode: lock.Shared}}
-	switch stmt.(type) {
-	case *sql.CreateTableStmt, *sql.CreateIndexStmt, *sql.DropTableStmt, *sql.UpdateStatsStmt:
-		return []lock.Request{{Table: catalogLock, Mode: lock.Exclusive}}
+	db.compiler = compile.NewPipeline(cat, db.OptimizerConfig(), cfg.Naive)
+	if cfg.PlanCacheSize >= 0 {
+		size := cfg.PlanCacheSize
+		if size == 0 {
+			size = DefaultPlanCacheSize
+		}
+		db.plans = compile.NewCache(size)
 	}
-	read, write := sql.TablesReferenced(stmt)
-	for _, t := range read {
-		reqs = append(reqs, lock.Request{Table: t, Mode: lock.Shared})
-	}
-	for _, t := range write {
-		reqs = append(reqs, lock.Request{Table: t, Mode: lock.Exclusive})
-	}
-	return reqs
+	return db
 }
 
 // Exec parses and executes one SQL statement under statement-scope table
@@ -178,26 +179,98 @@ func (db *DB) Exec(text string) (*Result, error) {
 }
 
 // ExecContext is Exec observing ctx: cancellation or an expired deadline
-// aborts the statement — during lock acquisition or mid-scan, within a
-// bounded number of RSI calls — releasing its locks and scans and returning
-// a *StatementError wrapping ErrCanceled or ErrBudgetExceeded. The
-// configured StatementTimeout, if any, is layered onto ctx.
+// aborts the statement — during lock acquisition, compilation, or mid-scan,
+// within a bounded number of RSI calls — releasing its locks and scans and
+// returning a *StatementError wrapping ErrCanceled or ErrBudgetExceeded.
+// The configured StatementTimeout, if any, is layered onto ctx.
+//
+// A SELECT whose normalized text is in the plan cache takes the compiled
+// fast path: the cached entry supplies the lock set, and parse, semantic
+// analysis, and optimization are all skipped (the System R premise —
+// compile once, execute many).
 func (db *DB) ExecContext(ctx context.Context, text string) (*Result, error) {
-	stmt, err := sql.Parse(text)
-	if err != nil {
-		return nil, err
-	}
 	if db.cfg.StatementTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, db.cfg.StatementTimeout)
 		defer cancel()
 	}
-	held, err := db.locks.AcquireContext(ctx, lockRequests(stmt))
+	norm, normOK := sql.Normalize(text)
+	if normOK && db.plans != nil {
+		if e, ok := db.plans.Peek(compile.Key(norm, "")); ok {
+			return db.execCachedSelect(ctx, norm, e)
+		}
+	}
+	stmt, err := sql.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	held, err := db.locks.AcquireContext(ctx, compile.LockRequests(stmt))
 	if err != nil {
 		return nil, &StatementError{Err: governor.CtxErr(err)}
 	}
 	defer held.Release()
-	return db.execStmt(ctx, stmt)
+	return db.execStmt(ctx, norm, stmt)
+}
+
+// execCachedSelect is the plan-cache fast path. The peeked entry supplies
+// the statement's lock set; the catalog-version check happens after those
+// locks are held (the shared catalog lock excludes DDL, pinning the
+// version), so a plan that went stale between the peek and the acquire is
+// recompiled, never executed.
+func (db *DB) execCachedSelect(ctx context.Context, norm string, e *compile.CompiledPlan) (res *Result, err error) {
+	held, lerr := db.locks.AcquireContext(ctx, e.Locks)
+	if lerr != nil {
+		return nil, &StatementError{Err: governor.CtxErr(lerr)}
+	}
+	defer held.Release()
+	gov := db.newGovernor(ctx)
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	cp, _, err := db.resolveSelect(gov, norm, "", nil)
+	if err != nil {
+		return nil, err
+	}
+	return db.runSelect(gov, cp)
+}
+
+// resolveSelect produces an executable plan for a SELECT: served from the
+// plan cache when the cached entry's catalog version still matches, else
+// compiled under the statement's governor budget and cached. It must run
+// while the statement's locks are held — the shared catalog lock pins the
+// version between the check and execution. sel, when non-nil, is the
+// already-parsed statement matching norm (the cold path reuses its parse);
+// otherwise norm itself is parsed (Normalize preserves identifier case, so
+// the recompiled plan is textually faithful, output names included).
+func (db *DB) resolveSelect(gov *governor.Budget, norm, argSig string, sel *sql.SelectStmt) (*compile.CompiledPlan, bool, error) {
+	key := compile.Key(norm, argSig)
+	version := db.cat.Version()
+	if db.plans != nil {
+		if e, ok := db.plans.Peek(key); ok {
+			if e.Version == version {
+				db.plans.Hit(key)
+				return e, true, nil
+			}
+			db.plans.Invalidate(key, e)
+		}
+	}
+	var cp *compile.CompiledPlan
+	var err error
+	if sel != nil {
+		cp, err = db.compiler.CompileSelect(gov, sel, norm)
+	} else {
+		cp, err = db.compiler.CompileSelectText(gov, norm)
+	}
+	if err != nil {
+		return nil, false, wrapGovErr(err, ExecStats{})
+	}
+	if db.plans != nil {
+		db.plans.Miss()
+		db.plans.Put(key, cp)
+	}
+	return cp, false, nil
 }
 
 // MustExec is Exec, panicking on error — for setup code and examples.
@@ -310,7 +383,8 @@ func (db *DB) OptimizerConfig() core.Config {
 	}
 }
 
-// PlanSelect analyzes and optimizes a SELECT without executing it.
+// PlanSelect analyzes and optimizes a SELECT without executing it
+// (ungoverned, uncached — the experiment drivers' entry point).
 func (db *DB) PlanSelect(text string) (*plan.Query, error) {
 	stmt, err := sql.Parse(text)
 	if err != nil {
@@ -324,25 +398,59 @@ func (db *DB) PlanSelect(text string) (*plan.Query, error) {
 	if err != nil {
 		return nil, err
 	}
-	return db.planBlock(blk)
+	return db.planBlock(nil, blk)
 }
 
-// planBlock runs either access path selection or the naive baseline,
-// according to the configuration.
-func (db *DB) planBlock(blk *sem.Block) (*plan.Query, error) {
-	opt := core.New(db.cat, db.OptimizerConfig())
-	if db.cfg.Naive {
-		return core.NaivePlan(opt, blk)
+// planBlock runs access path selection (or the naive baseline) through the
+// compile pipeline, under the statement's governor budget when one is given.
+func (db *DB) planBlock(gov *governor.Budget, blk *sem.Block) (*plan.Query, error) {
+	if err := gov.Check(); err != nil {
+		return nil, wrapGovErr(err, ExecStats{})
 	}
-	return opt.Optimize(blk)
+	return db.compiler.PlanBlock(blk)
+}
+
+// PlanCacheStats reports plan-cache observability: served hits, compiling
+// misses, version invalidations, LRU evictions, occupancy, the pipeline's
+// total optimizer invocations, and the current catalog version. All zero
+// counters with Capacity 0 means caching is disabled.
+type PlanCacheStats struct {
+	Hits          int64
+	Misses        int64
+	Invalidations int64
+	Evictions     int64
+	Entries       int
+	Capacity      int
+	// Compilations counts every optimizer invocation (cached or not) — the
+	// counter that must NOT move when a repeated statement hits the cache.
+	Compilations int64
+	// CatalogVersion is the catalog's current version/stats epoch.
+	CatalogVersion uint64
+}
+
+// PlanCacheStats returns a snapshot of the plan cache counters.
+func (db *DB) PlanCacheStats() PlanCacheStats {
+	s := PlanCacheStats{
+		Compilations:   db.compiler.Compilations(),
+		CatalogVersion: db.cat.Version(),
+	}
+	if db.plans != nil {
+		cs := db.plans.Stats()
+		s.Hits, s.Misses = cs.Hits, cs.Misses
+		s.Invalidations, s.Evictions = cs.Invalidations, cs.Evictions
+		s.Entries, s.Capacity = cs.Entries, cs.Capacity
+	}
+	return s
 }
 
 // execStmt dispatches one parsed statement under a fresh governor budget.
-// It is the panic-containment boundary: an internal panic is recovered here
-// and converted to a *PanicError. The caller's deferred Held.Release and the
-// executor's deferred scan closes run during the unwind, so the database
-// stays usable — no locks or scans survive the failed statement.
-func (db *DB) execStmt(ctx context.Context, stmt sql.Statement) (res *Result, err error) {
+// norm is the statement's normalized text ("" only if normalization failed,
+// which implies parsing failed first). execStmt is the panic-containment
+// boundary: an internal panic is recovered here and converted to a
+// *PanicError. The caller's deferred Held.Release and the executor's
+// deferred scan closes run during the unwind, so the database stays usable —
+// no locks or scans survive the failed statement.
+func (db *DB) execStmt(ctx context.Context, norm string, stmt sql.Statement) (res *Result, err error) {
 	gov := db.newGovernor(ctx)
 	defer func() {
 		if r := recover(); r != nil {
@@ -369,6 +477,11 @@ func (db *DB) execStmt(ctx context.Context, stmt sql.Statement) (res *Result, er
 			return nil, err
 		}
 		return &Result{}, nil
+	case *sql.DropIndexStmt:
+		if err := db.cat.DropIndex(st.Name); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
 	case *sql.UpdateStatsStmt:
 		if st.Table != "" {
 			if !db.cat.UpdateStatisticsFor(st.Table) {
@@ -381,9 +494,9 @@ func (db *DB) execStmt(ctx context.Context, stmt sql.Statement) (res *Result, er
 	case *sql.InsertStmt:
 		return db.execInsert(gov, st)
 	case *sql.SelectStmt:
-		return db.execSelect(gov, st)
+		return db.execSelect(gov, norm, st)
 	case *sql.ExplainStmt:
-		return db.execExplain(gov, st)
+		return db.execExplain(gov, norm, st)
 	case *sql.DeleteStmt:
 		return db.execDelete(gov, st)
 	case *sql.UpdateStmt:
@@ -490,16 +603,21 @@ func (db *DB) execInsert(gov *governor.Budget, st *sql.InsertStmt) (*Result, err
 	return &Result{Affected: n}, nil
 }
 
-func (db *DB) execSelect(gov *governor.Budget, sel *sql.SelectStmt) (*Result, error) {
-	blk, err := sem.Analyze(sel, db.cat)
+// execSelect is the cold (cache-miss or cache-disabled) SELECT path: resolve
+// a plan — which caches the freshly compiled plan for next time — then run it.
+func (db *DB) execSelect(gov *governor.Budget, norm string, sel *sql.SelectStmt) (*Result, error) {
+	cp, _, err := db.resolveSelect(gov, norm, "", sel)
 	if err != nil {
 		return nil, err
 	}
-	q, err := db.planBlock(blk)
-	if err != nil {
-		return nil, err
-	}
-	rows, stats, err := exec.RunQuery(db.runtime(gov), q)
+	return db.runSelect(gov, cp)
+}
+
+// runSelect executes a compiled plan under the statement's governor and
+// materializes the result. The plan itself is never mutated — all execution
+// state lives in the run — so cached plans execute concurrently.
+func (db *DB) runSelect(gov *governor.Budget, cp *compile.CompiledPlan) (*Result, error) {
+	rows, stats, err := exec.RunQuery(db.runtime(gov), cp.Query)
 	es := execStatsFrom(stats)
 	db.setLast(es)
 	if err != nil {
@@ -509,42 +627,63 @@ func (db *DB) execSelect(gov *governor.Budget, sel *sql.SelectStmt) (*Result, er
 	for i, r := range rows {
 		out[i] = toNative(r)
 	}
-	cols := q.OutNames
+	cols := cp.Query.OutNames
 	if cols == nil {
 		cols = []string{}
 	}
 	return &Result{Columns: cols, Rows: out}, nil
 }
 
+// selectNorm recovers a SELECT's normalized text from its EXPLAIN wrapper's,
+// so EXPLAIN SELECT ... shares (and reports on) the plain SELECT's cache slot.
+func selectNorm(norm string) string {
+	norm = strings.TrimPrefix(norm, "EXPLAIN ")
+	return strings.TrimPrefix(norm, "ANALYZE ")
+}
+
 // execExplain plans (and for EXPLAIN ANALYZE also executes) the wrapped
 // statement under the same governor as any other statement: a canceled
 // context or exhausted budget aborts it, and ANALYZE's execution is governed
-// exactly like a plain SELECT.
-func (db *DB) execExplain(gov *governor.Budget, st *sql.ExplainStmt) (*Result, error) {
+// exactly like a plain SELECT. EXPLAIN of a SELECT goes through the plan
+// cache — sharing the plain SELECT's slot — and annotates the plan with a
+// note when it was served from cache.
+func (db *DB) execExplain(gov *governor.Budget, norm string, st *sql.ExplainStmt) (*Result, error) {
 	if err := gov.Check(); err != nil {
 		return nil, wrapGovErr(err, ExecStats{})
 	}
-	var blk *sem.Block
-	var err error
+	var q *plan.Query
+	var cacheNote string
 	switch inner := st.Stmt.(type) {
 	case *sql.SelectStmt:
-		blk, err = sem.Analyze(inner, db.cat)
+		cp, hit, err := db.resolveSelect(gov, selectNorm(norm), "", inner)
+		if err != nil {
+			return nil, err
+		}
+		if hit {
+			cacheNote = fmt.Sprintf("plan cache: hit (compiled at catalog version %d)\n", cp.Version)
+		}
+		q = cp.Query
 	case *sql.DeleteStmt:
-		blk, err = sem.AnalyzeDelete(inner, db.cat)
+		blk, err := sem.AnalyzeDelete(inner, db.cat)
+		if err != nil {
+			return nil, err
+		}
+		if q, err = db.planBlock(gov, blk); err != nil {
+			return nil, err
+		}
 	case *sql.UpdateStmt:
-		blk, _, err = sem.AnalyzeUpdate(inner, db.cat)
+		blk, _, err := sem.AnalyzeUpdate(inner, db.cat)
+		if err != nil {
+			return nil, err
+		}
+		if q, err = db.planBlock(gov, blk); err != nil {
+			return nil, err
+		}
 	default:
 		return nil, fmt.Errorf("systemr: EXPLAIN does not support %T", st.Stmt)
 	}
-	if err != nil {
-		return nil, err
-	}
-	q, err := db.planBlock(blk)
-	if err != nil {
-		return nil, err
-	}
 	if !st.Analyze {
-		return &Result{Plan: q.Explain()}, nil
+		return &Result{Plan: q.Explain() + cacheNote}, nil
 	}
 	_, stats, analysis, err := exec.RunQueryAnalyze(db.runtime(gov), q, nil)
 	es := execStatsFrom(stats)
@@ -552,14 +691,14 @@ func (db *DB) execExplain(gov *governor.Budget, st *sql.ExplainStmt) (*Result, e
 	if err != nil {
 		return nil, wrapGovErr(err, es)
 	}
-	return &Result{Plan: analysis.Format(db.cfg.W)}, nil
+	return &Result{Plan: analysis.Format(db.cfg.W) + cacheNote}, nil
 }
 
 // collectMatches locates the tuples a DELETE/UPDATE affects through the
 // optimizer's chosen access path (the paper: "retrieval for data
 // manipulation is treated similarly").
 func (db *DB) collectMatches(gov *governor.Budget, blk *sem.Block) ([]storage.TID, []value.Row, error) {
-	q, err := db.planBlock(blk)
+	q, err := db.planBlock(gov, blk)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -606,7 +745,7 @@ func (db *DB) execUpdate(gov *governor.Budget, st *sql.UpdateStmt) (*Result, err
 	if err != nil {
 		return nil, err
 	}
-	q, err := db.planBlock(blk)
+	q, err := db.planBlock(gov, blk)
 	if err != nil {
 		return nil, err
 	}
