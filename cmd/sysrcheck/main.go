@@ -1,0 +1,96 @@
+// Command sysrcheck runs the project's static-analysis suite over the
+// module:
+//
+//	go run ./cmd/sysrcheck ./...
+//
+// It loads and type-checks the matched packages (standard library only —
+// no module proxy needed), applies every analyzer in the suite, prints the
+// surviving diagnostics in file/line order, and exits non-zero when any
+// remain. CI runs it as a hard gate; //sysrcheck:ignore directives (with a
+// mandatory reason) are the only way past a finding.
+//
+// Flags:
+//
+//	-checks a,b   run only the named analyzers
+//	-list         print the suite and exit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"systemr/internal/analysis"
+)
+
+func main() {
+	checks := flag.String("checks", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.Suite {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	suite, err := selectAnalyzers(*checks)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sysrcheck:", err)
+		os.Exit(2)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sysrcheck:", err)
+		os.Exit(2)
+	}
+	root, err := analysis.ModuleRoot(wd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sysrcheck:", err)
+		os.Exit(2)
+	}
+	pkgs, err := analysis.Load(root, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sysrcheck:", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(pkgs, suite)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sysrcheck:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "sysrcheck: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func selectAnalyzers(names string) ([]*analysis.Analyzer, error) {
+	if names == "" {
+		return analysis.Suite, nil
+	}
+	byName := make(map[string]*analysis.Analyzer)
+	for _, a := range analysis.Suite {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

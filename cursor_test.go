@@ -140,3 +140,47 @@ func TestCursorMidStreamClose(t *testing.T) {
 		})
 	}
 }
+
+// A second Close is a no-op: it returns nil and must not republish the
+// cursor's statistics over LastStats published by statements run in
+// between.
+func TestRowsCloseIdempotent(t *testing.T) {
+	testutil.AssertNoLeaks(t)
+	db := newEmpDeptJobDB(t)
+	stmt, err := db.Prepare("SELECT NAME FROM EMP WHERE DNO = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := stmt.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := rows.Next(); err != nil || !ok {
+		t.Fatalf("first row: ok=%v err=%v", ok, err)
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatalf("first close: %v", err)
+	}
+	cursorStats := db.LastStats()
+
+	// Run another statement, then re-close the drained cursor.
+	if _, err := db.Query("SELECT NAME, SAL, DNO, JOB FROM EMP"); err != nil {
+		t.Fatal(err)
+	}
+	fullScan := db.LastStats()
+	if fullScan == cursorStats {
+		t.Fatalf("full scan stats %+v indistinguishable from cursor stats", fullScan)
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if got := db.LastStats(); got != fullScan {
+		t.Fatalf("second Close republished stats: got %+v, want %+v", got, fullScan)
+	}
+
+	// Locks released exactly once: a writer proceeds, and the scan-leak
+	// accounting registered above stays balanced.
+	if _, err := db.Exec("UPDATE EMP SET SAL = SAL WHERE DNO = 3"); err != nil {
+		t.Fatalf("write after double close: %v", err)
+	}
+}

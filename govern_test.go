@@ -303,3 +303,39 @@ func TestExplainCanceledContext(t *testing.T) {
 	assertClean(t, db)
 	assertUsable(t, db, 2000)
 }
+
+// An ORDER BY over the row budget aborts inside the sort (run generation
+// and spill reads are governed loops, not just the operator boundary) and
+// still leaves no scans or locks behind.
+func TestMaxRowsScannedDuringSort(t *testing.T) {
+	testutil.AssertNoLeaks(t)
+	db := workload.NewEmpDB(workload.EmpConfig{Emps: 300, Depts: 10, Jobs: 4,
+		Engine: systemr.Config{MaxRowsScanned: 100}})
+	_, err := db.Query("SELECT NAME, SAL FROM EMP ORDER BY SAL")
+	if !errors.Is(err, systemr.ErrBudgetExceeded) {
+		t.Fatalf("sorted scan over row budget: got %v, want ErrBudgetExceeded", err)
+	}
+	assertClean(t, db)
+	// The same query under a sufficient budget completes.
+	relaxed := workload.NewEmpDB(workload.EmpConfig{Emps: 50, Depts: 10, Jobs: 4,
+		Engine: systemr.Config{MaxRowsScanned: 10000}})
+	if _, err := relaxed.Query("SELECT NAME, SAL FROM EMP ORDER BY SAL"); err != nil {
+		t.Fatalf("sorted scan under budget: %v", err)
+	}
+	assertClean(t, relaxed)
+}
+
+// A canceled context aborts an ORDER BY whose input scan has already
+// drained: the only remaining work is inside the sorter's merge and
+// delivery loops, which must observe the governor on their own.
+func TestCancellationDuringSortDelivery(t *testing.T) {
+	testutil.AssertNoLeaks(t)
+	db := newHeavyDB(t, workload.EmpConfig{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := db.QueryContext(ctx, "SELECT NAME, SAL FROM EMP ORDER BY SAL")
+	if !errors.Is(err, systemr.ErrCanceled) {
+		t.Fatalf("sorted scan under canceled context: got %v, want ErrCanceled", err)
+	}
+	assertClean(t, db)
+}

@@ -1,0 +1,250 @@
+// Package analysis is sysrcheck: a project-specific static-analysis suite
+// that enforces this codebase's load-bearing invariants at build time —
+// the ones the governor (PR 1), the operator contract (PR 2), and the
+// selectivity clamp (PR 3) introduced but nothing enforced:
+//
+//   - rsiclose: RSI scans, lock grants, and opened operator trees are
+//     closed/released on every path out of the acquiring function.
+//   - govtick: tuple/page-producing loops in the executor, the RSS, and the
+//     sorter contain a governor budget checkpoint.
+//   - selclamp: selectivity factors pass through internal/core's single
+//     clamp entry point; raw float arithmetic never flows into F unclamped.
+//   - nakedpanic: library code panics only through the sanctioned
+//     internal/check helper (contained at the execStmt boundary).
+//   - errlost: errors from Close/Unlock/Release are not silently dropped.
+//   - noprint: library code never writes to stdout/stderr.
+//
+// The suite mirrors the shape of golang.org/x/tools/go/analysis (Analyzer /
+// Pass / Diagnostic, a multichecker driver in cmd/sysrcheck, want-annotated
+// fixtures) but is built on the standard library alone: the container this
+// repository builds in has no module proxy access, so the x/tools dependency
+// is gated off and the small subset sysrcheck needs is implemented here.
+// Should x/tools become available, each Analyzer converts mechanically (the
+// Run signature is the same modulo package types).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant check, same shape as
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //sysrcheck:ignore directives.
+	Name string
+	// Doc is the one-line invariant statement.
+	Doc string
+	// Run inspects one package and reports diagnostics through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	// Facts is shared across every package of one Run, in dependency
+	// order: an analyzer can record properties of a package's functions
+	// (e.g. "contains a governor checkpoint") and read them when analyzing
+	// the packages that import it.
+	Facts *Facts
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one reported invariant violation.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Facts is the cross-package store for one Run. Objects are shared between
+// packages because every package of a Run is type-checked in one universe,
+// so a map keyed by types.Object resolves references across package
+// boundaries.
+type Facts struct {
+	// Governed marks functions whose body (transitively) contains a
+	// statement-governor checkpoint; computed by govtick.
+	Governed map[types.Object]bool
+}
+
+// NewFacts creates an empty fact store.
+func NewFacts() *Facts {
+	return &Facts{Governed: make(map[types.Object]bool)}
+}
+
+// Suite is the full sysrcheck analyzer set, the order diagnostics sort in.
+var Suite = []*Analyzer{
+	RSIClose,
+	GovTick,
+	SelClamp,
+	NakedPanic,
+	ErrLost,
+	NoPrint,
+}
+
+// Run applies the analyzers to every package (which must be in dependency
+// order, as Load returns them) and returns the surviving diagnostics sorted
+// by position. //sysrcheck:ignore directives suppress matching diagnostics;
+// a directive without a reason is itself a diagnostic.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	facts := NewFacts()
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		dirs := collectDirectives(pkg)
+		for _, d := range dirs.malformed {
+			diags = append(diags, d)
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Pkg:      pkg,
+				Facts:    facts,
+				report: func(d Diagnostic) {
+					if !dirs.suppresses(d) {
+						diags = append(diags, d)
+					}
+				},
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// ---- shared helpers used by several analyzers ----
+
+// pathTail returns the last segment of an import path: the analyzers match
+// packages by tail ("exec", "rss", ...) so the same rules apply to
+// systemr/internal/exec and to a fixture's fixture/exec.
+func pathTail(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// inCmd reports whether the import path has a "cmd" segment: main programs
+// own their stdout and may panic on startup errors.
+func inCmd(path string) bool {
+	for _, seg := range strings.Split(path, "/") {
+		if seg == "cmd" {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeFunc resolves a call expression to the *types.Func it invokes
+// (method or package function), or nil for builtins, conversions, and calls
+// of function-typed values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fn
+	case *ast.SelectorExpr:
+		id = fn.Sel
+	default:
+		return nil
+	}
+	f, _ := info.Uses[id].(*types.Func)
+	return f
+}
+
+// recvNamed returns the named type of a method's receiver (unwrapping one
+// pointer), or nil for package-level functions.
+func recvNamed(f *types.Func) *types.Named {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// isMethodOn reports whether f is a method named name on type typeName
+// declared in a package whose path tail is pkgTail.
+func isMethodOn(f *types.Func, name, pkgTail, typeName string) bool {
+	if f == nil || f.Name() != name {
+		return false
+	}
+	n := recvNamed(f)
+	if n == nil || n.Obj().Name() != typeName {
+		return false
+	}
+	p := n.Obj().Pkg()
+	return p != nil && pathTail(p.Path()) == pkgTail
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// enclosingFuncName returns the name of the innermost FuncDecl in stack
+// (a []ast.Node path from the file root), or "".
+func enclosingFuncName(stack []ast.Node) string {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			return fd.Name.Name
+		}
+	}
+	return ""
+}
+
+// walkWithStack visits every node of root, giving the visitor the ancestor
+// path (root first, node's parent last).
+func walkWithStack(root ast.Node, visit func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !visit(n, stack) {
+			// Children are skipped, so no balancing nil callback follows.
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}

@@ -1,0 +1,25 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestRSICloseFixture(t *testing.T) { runFixture(t, RSIClose, "rsiclose") }
+
+func TestGovTickFixture(t *testing.T) {
+	diags := runFixture(t, GovTick, "govtick")
+	// The reasonless directive is itself a finding, reported at the
+	// directive's own line.
+	path := filepath.Join("testdata", "govtick", "exec", "loops.go")
+	line := lineOfTrimmed(t, path, "//sysrcheck:ignore govtick")
+	expectAt(t, diags, path, line, "requires a reason")
+}
+
+func TestSelClampFixture(t *testing.T) { runFixture(t, SelClamp, "selclamp") }
+
+func TestNakedPanicFixture(t *testing.T) { runFixture(t, NakedPanic, "nakedpanic") }
+
+func TestErrLostFixture(t *testing.T) { runFixture(t, ErrLost, "errlost") }
+
+func TestNoPrintFixture(t *testing.T) { runFixture(t, NoPrint, "noprint") }

@@ -1,0 +1,87 @@
+package analysis
+
+// The //sysrcheck:ignore escape hatch. A directive names the analyzer it
+// silences and must carry a reason — the convention is
+//
+//	//sysrcheck:ignore govtick index maintenance loop is bounded by the
+//	index count, not by data volume
+//
+// placed on the flagged line or the line directly above it. A directive
+// without a reason is itself reported: the escape hatch exists to record
+// *why* an invariant does not apply, not to turn checks off silently.
+
+import (
+	"go/token"
+	"strings"
+)
+
+const directivePrefix = "//sysrcheck:ignore"
+
+// directiveSet indexes one package's ignore directives by file and line.
+type directiveSet struct {
+	// byLine maps file name and line to the analyzer names ignored there.
+	byLine    map[string]map[int][]string
+	malformed []Diagnostic
+}
+
+func collectDirectives(pkg *Package) *directiveSet {
+	ds := &directiveSet{byLine: make(map[string]map[int][]string)}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, directivePrefix)
+				pos := pkg.Fset.Position(c.Pos())
+				ds.add(pos, rest)
+			}
+		}
+	}
+	return ds
+}
+
+func (ds *directiveSet) add(pos token.Position, rest string) {
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		ds.malformed = append(ds.malformed, Diagnostic{
+			Pos:      pos,
+			Analyzer: "sysrcheck",
+			Message:  "ignore directive must name an analyzer and give a reason",
+		})
+		return
+	}
+	name := strings.TrimSuffix(fields[0], ":")
+	reason := strings.TrimSpace(strings.Join(fields[1:], " "))
+	if reason == "" {
+		ds.malformed = append(ds.malformed, Diagnostic{
+			Pos:      pos,
+			Analyzer: "sysrcheck",
+			Message:  "ignore directive for " + name + " requires a reason",
+		})
+		return
+	}
+	lines := ds.byLine[pos.Filename]
+	if lines == nil {
+		lines = make(map[int][]string)
+		ds.byLine[pos.Filename] = lines
+	}
+	lines[pos.Line] = append(lines[pos.Line], name)
+}
+
+// suppresses reports whether a well-formed directive for the diagnostic's
+// analyzer sits on its line or the line above.
+func (ds *directiveSet) suppresses(d Diagnostic) bool {
+	lines := ds.byLine[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		for _, name := range lines[line] {
+			if name == d.Analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,72 @@
+package analysis
+
+// errlost: a Close that fails is the only notification a caller gets that
+// buffered work was lost (the paper's RSS surfaces I/O errors at close
+// time; this tree surfaces deferred close errors through Cursor.finish).
+// Dropping it on the floor silently un-publishes statistics and leaks
+// fault-injection failures, so errors from Close/Unlock/Release methods
+// must be assigned or propagated:
+//
+//	v.Close()                 // flagged: error discarded
+//	defer v.Close()           // flagged: deferred error discarded
+//	_ = v.Close()             // allowed: explicit discard, greppable
+//	return v.Close()          // allowed
+//	if err := v.Close(); ...  // allowed
+//
+// Only methods returning exactly one value of type error are considered,
+// so sync.Mutex.Unlock and lock.Held.Release (both void) are naturally
+// exempt. Test files are not loaded by the driver, so tests may stay
+// loose.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrLost is the dropped-close-error analyzer.
+var ErrLost = &Analyzer{
+	Name: "errlost",
+	Doc:  "errors from Close/Unlock/Release must be assigned or propagated, not dropped",
+	Run:  runErrLost,
+}
+
+func runErrLost(pass *Pass) error {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := st.X.(*ast.CallExpr); ok {
+					if name := errReturningCloser(info, call); name != "" {
+						pass.Reportf(st.Pos(), "error from %s is dropped; assign it (or `_ =` to discard explicitly)", name)
+					}
+				}
+			case *ast.DeferStmt:
+				if name := errReturningCloser(info, st.Call); name != "" {
+					pass.Reportf(st.Pos(), "deferred %s drops its error; close in a func literal and propagate or `_ =` it", name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// errReturningCloser returns a display name when call invokes a method
+// named Close, Unlock, or Release whose only result is an error.
+func errReturningCloser(info *types.Info, call *ast.CallExpr) string {
+	f := calleeFunc(info, call)
+	if f == nil {
+		return ""
+	}
+	switch f.Name() {
+	case "Close", "Unlock", "Release":
+	default:
+		return ""
+	}
+	sig := f.Type().(*types.Signature)
+	if sig.Recv() == nil || sig.Results().Len() != 1 || !isErrorType(sig.Results().At(0).Type()) {
+		return ""
+	}
+	return describeCall(call)
+}

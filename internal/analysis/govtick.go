@@ -1,0 +1,225 @@
+package analysis
+
+// govtick enforces the PR 1 invariant that no tuple- or page-producing loop
+// runs ungoverned: inside internal/exec, internal/rss, and internal/xsort,
+// every loop whose body produces tuples or pages must reach a statement-
+// governor checkpoint, so a canceled or over-budget statement aborts even
+// when the work happens below the operator boundary (spill loops, page
+// walks, run merges).
+//
+// A loop is governed when its body either calls a *governor.Budget method
+// directly, or calls only producers that are themselves governed — the
+// governed property is computed per function (to a fixpoint, so helpers
+// that delegate to governed functions inherit it) and shared across
+// packages through the fact store: exec loops driving rss scan Next calls
+// pass because rss's Next methods check the budget internally.
+//
+// Producers are: methods named Next/next returning (..., bool, error);
+// storage.BufferPool.Fetch; storage.Segment.Insert; and calls of
+// function-typed values with a (..., bool, error) result shape (e.g. a
+// sorter input). Dynamic calls can never be proven governed, so loops
+// driving them need their own checkpoint.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GovTick is the governor-checkpoint analyzer.
+var GovTick = &Analyzer{
+	Name: "govtick",
+	Doc:  "tuple/page-producing loops in exec, rss, and xsort must contain a governor budget check",
+	Run:  runGovTick,
+}
+
+// govtickPackages are the path tails the loop rule applies to. Fact
+// computation runs everywhere so governed helpers in other packages (e.g.
+// storage) are visible.
+var govtickPackages = map[string]bool{"exec": true, "rss": true, "xsort": true}
+
+func runGovTick(pass *Pass) error {
+	computeGovernedFacts(pass)
+	if !govtickPackages[pathTail(pass.Pkg.Path)] {
+		return nil
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch loop := n.(type) {
+			case *ast.ForStmt:
+				body = loop.Body
+			case *ast.RangeStmt:
+				body = loop.Body
+			default:
+				return true
+			}
+			checkGovLoop(pass, info, n, body)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkGovLoop(pass *Pass, info *types.Info, loop ast.Node, body *ast.BlockStmt) {
+	if containsBudgetCall(info, body) {
+		return
+	}
+	var offending ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if offending != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		kind, governed := classifyProducer(pass, info, call)
+		if kind != "" && !governed {
+			offending = call
+		}
+		return true
+	})
+	if offending != nil {
+		pass.Reportf(loop.Pos(),
+			"loop produces tuples/pages (%s) without a governor budget check; add a Budget.Tick/Check or call only governed producers",
+			describeCall(offending.(*ast.CallExpr)))
+	}
+}
+
+// classifyProducer reports whether call produces tuples or pages, and if
+// so whether the callee is known to contain its own governor checkpoint.
+func classifyProducer(pass *Pass, info *types.Info, call *ast.CallExpr) (kind string, governed bool) {
+	if f := calleeFunc(info, call); f != nil {
+		if (f.Name() == "Next" || f.Name() == "next") && producerShape(f.Type().(*types.Signature)) {
+			return "Next", pass.Facts.Governed[f]
+		}
+		if isMethodOn(f, "Fetch", "storage", "BufferPool") {
+			return "page fetch", pass.Facts.Governed[f]
+		}
+		if isMethodOn(f, "Insert", "storage", "Segment") {
+			return "page insert", pass.Facts.Governed[f]
+		}
+		return "", false
+	}
+	// Dynamic call of a function-typed value: a producer if it has the
+	// row-stream shape; never provably governed.
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.IsType() { // conversions are not calls
+		return "", false
+	}
+	if sig, ok := tv.Type.Underlying().(*types.Signature); ok && producerShape(sig) {
+		return "dynamic producer", false
+	}
+	return "", false
+}
+
+// producerShape matches result lists ending in (bool, error): the
+// row-stream convention used by every Next in the tree.
+func producerShape(sig *types.Signature) bool {
+	res := sig.Results()
+	n := res.Len()
+	if n < 2 {
+		return false
+	}
+	if !isErrorType(res.At(n - 1).Type()) {
+		return false
+	}
+	b, ok := res.At(n - 2).Type().(*types.Basic)
+	return ok && b.Kind() == types.Bool
+}
+
+// containsBudgetCall reports whether any call on a *governor.Budget occurs
+// in n (function literals included: a checkpoint inside a closure invoked
+// by the loop still counts, and over-approximating here only silences the
+// lint, never breaks the build).
+func containsBudgetCall(info *types.Info, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if f := calleeFunc(info, call); f != nil {
+			if nm := recvNamed(f); nm != nil && nm.Obj().Name() == "Budget" {
+				if p := nm.Obj().Pkg(); p != nil && pathTail(p.Path()) == "governor" {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// computeGovernedFacts marks this package's functions that (transitively)
+// reach a governor checkpoint. Packages are analyzed in dependency order,
+// so facts about imported packages are already present.
+func computeGovernedFacts(pass *Pass) {
+	info := pass.Pkg.Info
+	type fn struct {
+		obj  types.Object
+		body *ast.BlockStmt
+	}
+	var fns []fn
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj := info.Defs[fd.Name]
+			if obj == nil {
+				continue
+			}
+			fns = append(fns, fn{obj: obj, body: fd.Body})
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, f := range fns {
+			if pass.Facts.Governed[f.obj] {
+				continue
+			}
+			if containsBudgetCall(info, f.body) || callsGovernedFunc(pass, info, f.body) {
+				pass.Facts.Governed[f.obj] = true
+				changed = true
+			}
+		}
+	}
+}
+
+func callsGovernedFunc(pass *Pass, info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if f := calleeFunc(info, call); f != nil && pass.Facts.Governed[f] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func describeCall(call *ast.CallExpr) string {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fn.Name + "()"
+	case *ast.SelectorExpr:
+		if id, ok := ast.Unparen(fn.X).(*ast.Ident); ok {
+			return id.Name + "." + fn.Sel.Name + "()"
+		}
+		return fn.Sel.Name + "()"
+	default:
+		return "call"
+	}
+}

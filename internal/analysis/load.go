@@ -1,0 +1,285 @@
+package analysis
+
+// Package loading for the sysrcheck driver and its fixture tests. Built on
+// the standard library only: `go list -json` supplies package metadata,
+// go/parser and go/types do the rest, and standard-library imports are
+// type-checked from GOROOT source via go/importer (no export data and no
+// network are needed, which is what lets the suite run in the offline build
+// container).
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"io/fs"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// Path is the import path; analyzers match on its segments.
+	Path string
+	// Name is the package name.
+	Name string
+	// Files holds the parsed non-test sources (with comments).
+	Files []*ast.File
+	Fset  *token.FileSet
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader uses.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+}
+
+// Load resolves the patterns (e.g. "./...") relative to dir with the go
+// tool, then parses and type-checks every matched package plus its
+// intra-module dependencies, returning them in dependency order.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errBuf bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errBuf
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, errBuf.String())
+	}
+	byPath := make(map[string]*listedPackage)
+	dec := json.NewDecoder(&out)
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		byPath[lp.ImportPath] = &lp
+	}
+	// Dependencies inside the module must be type-checked first. `go list`
+	// with a ./... pattern already covers them (this module has no external
+	// dependencies); restrict edges to listed packages.
+	order, err := toposort(byPath)
+	if err != nil {
+		return nil, err
+	}
+	return typecheck(order, byPath, func(lp *listedPackage) ([]string, error) {
+		files := make([]string, len(lp.GoFiles))
+		for i, f := range lp.GoFiles {
+			files[i] = filepath.Join(lp.Dir, f)
+		}
+		return files, nil
+	})
+}
+
+// LoadFixture loads a fixture tree rooted at root: every directory holding
+// .go files becomes a package whose import path is "fixture" plus the
+// directory's relative path — so a fixture's exec/ directory gets the same
+// path tail as the real internal/exec and triggers the same rules.
+func LoadFixture(root string) ([]*Package, error) {
+	byPath := make(map[string]*listedPackage)
+	err := filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(p, ".go") {
+			return err
+		}
+		dir := filepath.Dir(p)
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return err
+		}
+		ip := "fixture"
+		if rel != "." {
+			ip = "fixture/" + filepath.ToSlash(rel)
+		}
+		lp := byPath[ip]
+		if lp == nil {
+			lp = &listedPackage{ImportPath: ip, Dir: dir}
+			byPath[ip] = lp
+		}
+		lp.GoFiles = append(lp.GoFiles, d.Name())
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Imports are discovered by parsing; fill them before sorting.
+	fset := token.NewFileSet()
+	parsed := make(map[string][]*ast.File)
+	for ip, lp := range byPath {
+		sort.Strings(lp.GoFiles)
+		for _, f := range lp.GoFiles {
+			file, err := parser.ParseFile(fset, filepath.Join(lp.Dir, f), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			parsed[ip] = append(parsed[ip], file)
+			for _, imp := range file.Imports {
+				p, _ := strconv.Unquote(imp.Path.Value)
+				lp.Imports = append(lp.Imports, p)
+			}
+		}
+	}
+	order, err := toposort(byPath)
+	if err != nil {
+		return nil, err
+	}
+	return typecheckParsed(order, byPath, fset, parsed)
+}
+
+// toposort orders the packages so every intra-set import precedes its
+// importer.
+func toposort(byPath map[string]*listedPackage) ([]string, error) {
+	const (
+		white = iota
+		grey
+		black
+	)
+	color := make(map[string]int, len(byPath))
+	var order []string
+	var visit func(string) error
+	visit = func(ip string) error {
+		switch color[ip] {
+		case grey:
+			return fmt.Errorf("import cycle through %s", ip)
+		case black:
+			return nil
+		}
+		color[ip] = grey
+		deps := append([]string(nil), byPath[ip].Imports...)
+		sort.Strings(deps)
+		for _, dep := range deps {
+			if _, ok := byPath[dep]; ok {
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
+		color[ip] = black
+		order = append(order, ip)
+		return nil
+	}
+	roots := make([]string, 0, len(byPath))
+	for ip := range byPath {
+		roots = append(roots, ip)
+	}
+	sort.Strings(roots)
+	for _, ip := range roots {
+		if err := visit(ip); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+func typecheck(order []string, byPath map[string]*listedPackage, sources func(*listedPackage) ([]string, error)) ([]*Package, error) {
+	fset := token.NewFileSet()
+	parsed := make(map[string][]*ast.File)
+	for _, ip := range order {
+		paths, err := sources(byPath[ip])
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range paths {
+			file, err := parser.ParseFile(fset, p, nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			parsed[ip] = append(parsed[ip], file)
+		}
+	}
+	return typecheckParsed(order, byPath, fset, parsed)
+}
+
+// moduleImporter serves module-local packages from the set already checked
+// in this load and everything else (the standard library) from GOROOT
+// source.
+type moduleImporter struct {
+	std  types.Importer
+	pkgs map[string]*types.Package
+}
+
+func (im *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := im.pkgs[path]; ok {
+		return p, nil
+	}
+	return im.std.Import(path)
+}
+
+func typecheckParsed(order []string, byPath map[string]*listedPackage, fset *token.FileSet, parsed map[string][]*ast.File) ([]*Package, error) {
+	im := &moduleImporter{
+		std:  importer.ForCompiler(fset, "source", nil),
+		pkgs: make(map[string]*types.Package, len(order)),
+	}
+	var pkgs []*Package
+	for _, ip := range order {
+		files := parsed[ip]
+		if len(files) == 0 {
+			continue
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		}
+		var tcErrs []error
+		conf := types.Config{
+			Importer: im,
+			Error:    func(err error) { tcErrs = append(tcErrs, err) },
+		}
+		tpkg, _ := conf.Check(ip, fset, files, info)
+		if len(tcErrs) > 0 {
+			return nil, fmt.Errorf("type-checking %s: %v", ip, tcErrs[0])
+		}
+		im.pkgs[ip] = tpkg
+		pkgs = append(pkgs, &Package{
+			Path:  ip,
+			Name:  tpkg.Name(),
+			Files: files,
+			Fset:  fset,
+			Types: tpkg,
+			Info:  info,
+		})
+	}
+	return pkgs, nil
+}
+
+// ModuleRoot walks up from dir to the directory holding go.mod (the place
+// `go list ./...` must run to see the whole module).
+func ModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

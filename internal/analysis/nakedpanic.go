@@ -1,0 +1,55 @@
+package analysis
+
+// nakedpanic keeps panics out of library code. The PR 1 governor contains
+// panics at the statement boundary and converts them to *PanicError, but
+// that containment is a last line of defense, not an error-handling
+// strategy: library packages must return errors, and the few places where
+// an unreachable state genuinely warrants crashing go through
+// internal/check's sanctioned helper so they are greppable and carry a
+// uniform message shape.
+//
+// Exempt: main packages and anything under a cmd/ segment (a program may
+// panic on its own startup errors), functions whose name starts with Must
+// (the documented panic-on-error convention), and internal/check itself
+// (the helper has to panic to exist).
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NakedPanic is the library-panic analyzer.
+var NakedPanic = &Analyzer{
+	Name: "nakedpanic",
+	Doc:  "library code must not call panic directly; use internal/check or return an error",
+	Run:  runNakedPanic,
+}
+
+func runNakedPanic(pass *Pass) error {
+	if inCmd(pass.Pkg.Path) || pass.Pkg.Name == "main" || pathTail(pass.Pkg.Path) == "check" {
+		return nil
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		walkWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+				return true // a local function shadowing the builtin
+			}
+			if fn := enclosingFuncName(stack); strings.HasPrefix(fn, "Must") || strings.HasPrefix(fn, "must") {
+				return true
+			}
+			pass.Reportf(call.Pos(), "naked panic in library code: use check.Failf (contained at the statement boundary) or return an error")
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+package analysis
+
+// noprint keeps library output on the API surface. EXPLAIN and trace
+// output render into strings or a caller-supplied io.Writer; nothing in a
+// library package writes to the process's stdout or stderr, which belong
+// to the embedding program (cmd/rsql pipes query results; a stray Printf
+// corrupts that stream).
+//
+// Flagged in non-main, non-cmd packages: fmt.Print/Printf/Println,
+// fmt.Fprint* directed at os.Stdout or os.Stderr, method calls on
+// os.Stdout/os.Stderr (Write, WriteString, ...), and the print/println
+// builtins.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NoPrint is the stray-output analyzer.
+var NoPrint = &Analyzer{
+	Name: "noprint",
+	Doc:  "library code must not write to stdout/stderr; render to strings or an io.Writer",
+	Run:  runNoPrint,
+}
+
+func runNoPrint(pass *Pass) error {
+	if inCmd(pass.Pkg.Path) || pass.Pkg.Name == "main" {
+		return nil
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && (id.Name == "print" || id.Name == "println") {
+					pass.Reportf(call.Pos(), "%s builtin writes to stderr; render to a string or io.Writer", id.Name)
+					return true
+				}
+			}
+			// Methods on os.Stdout / os.Stderr (Write, WriteString, ...).
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && isStdStream(info, sel.X) {
+				pass.Reportf(call.Pos(), "direct write to os.%s from library code; take an io.Writer from the caller", stdStreamName(sel.X))
+				return true
+			}
+			f := calleeFunc(info, call)
+			if f == nil || f.Pkg() == nil || f.Pkg().Path() != "fmt" {
+				return true
+			}
+			if strings.HasPrefix(f.Name(), "Print") {
+				pass.Reportf(call.Pos(), "fmt.%s writes to stdout from library code; render to a string or io.Writer", f.Name())
+			} else if strings.HasPrefix(f.Name(), "Fprint") && len(call.Args) > 0 && isStdStream(info, call.Args[0]) {
+				pass.Reportf(call.Pos(), "fmt.%s to os.%s from library code; take an io.Writer from the caller", f.Name(), stdStreamName(call.Args[0]))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isStdStream matches the os.Stdout / os.Stderr package variables.
+func isStdStream(info *types.Info, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Stdout" && sel.Sel.Name != "Stderr") {
+		return false
+	}
+	v, ok := info.Uses[sel.Sel].(*types.Var)
+	return ok && v.Pkg() != nil && v.Pkg().Path() == "os"
+}
+
+func stdStreamName(e ast.Expr) string {
+	if sel, ok := ast.Unparen(e).(*ast.SelectorExpr); ok {
+		return sel.Sel.Name
+	}
+	return "Stdout"
+}

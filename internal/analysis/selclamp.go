@@ -1,0 +1,208 @@
+package analysis
+
+// selclamp enforces the PR 3 selectivity discipline: a selectivity factor
+// is a fraction of tuples and must stay in [0, 1], and internal/core's
+// clamp01 is the single place that guarantees it. The analyzer flags raw
+// float arithmetic flowing into selectivity-named destinations unclamped:
+//
+//   - compound assignment (`sel *= x`, `f += x`) to a sel-named float —
+//     inherently unclamped arithmetic;
+//   - plain assignment of top-level arithmetic (or an out-of-range
+//     literal) to a sel-named float;
+//   - `return 1 / icard`-shaped results inside sel-named functions
+//     (closures included — the Table 1 helpers compute through immediately
+//     invoked literals);
+//   - composite-literal fields such as AccessPath{F: a * b};
+//   - declaring another clamp01/Clamp01 outside internal/core, which
+//     would fork the entry point the invariant hangs on.
+//
+// A name is selectivity-ish when one of its camelCase words is exactly
+// "f", "sel", or "selectivity" — so matchSel and selSarg match while
+// baseline and selfFetches do not. Wrapping the arithmetic in clamp01 (or
+// any call — calls are audited at their own return sites) satisfies the
+// check. Constant declarations are exempt: their values are visible at the
+// declaration and cannot drift at runtime.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// SelClamp is the selectivity-clamp analyzer.
+var SelClamp = &Analyzer{
+	Name: "selclamp",
+	Doc:  "selectivity values must pass through internal/core's clamp01; no raw float arithmetic into F",
+	Run:  runSelClamp,
+}
+
+func runSelClamp(pass *Pass) error {
+	info := pass.Pkg.Info
+	inCore := pathTail(pass.Pkg.Path) == "core"
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				if !inCore {
+					checkClampDecl(pass, decl)
+				}
+				continue
+			}
+			if !inCore && isClampName(fd.Name.Name) {
+				pass.Reportf(fd.Pos(), "%s declared outside internal/core: the selectivity clamp has a single entry point", fd.Name.Name)
+			}
+			if fd.Body == nil {
+				continue
+			}
+			selFunc := selName(fd.Name.Name)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch st := n.(type) {
+				case *ast.AssignStmt:
+					checkSelAssign(pass, info, st)
+				case *ast.ReturnStmt:
+					if selFunc {
+						checkSelReturn(pass, info, st)
+					}
+				case *ast.CompositeLit:
+					checkSelComposite(pass, info, st)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkClampDecl reports clamp01-named function values bound at package
+// level outside core (`var Clamp01 = func ...`).
+func checkClampDecl(pass *Pass, decl ast.Decl) {
+	gd, ok := decl.(*ast.GenDecl)
+	if !ok || gd.Tok != token.VAR {
+		return
+	}
+	for _, spec := range gd.Specs {
+		vs := spec.(*ast.ValueSpec)
+		for _, name := range vs.Names {
+			if isClampName(name.Name) {
+				pass.Reportf(name.Pos(), "%s declared outside internal/core: the selectivity clamp has a single entry point", name.Name)
+			}
+		}
+	}
+}
+
+func checkSelAssign(pass *Pass, info *types.Info, st *ast.AssignStmt) {
+	compound := st.Tok != token.ASSIGN && st.Tok != token.DEFINE
+	for i, lhs := range st.Lhs {
+		name, ok := selTarget(lhs)
+		if !ok || !isFloat(info.TypeOf(lhs)) {
+			continue
+		}
+		if compound {
+			pass.Reportf(st.Pos(), "unclamped arithmetic into selectivity %s: wrap the result in clamp01", name)
+			continue
+		}
+		if i < len(st.Rhs) && rawArith(st.Rhs[i]) {
+			pass.Reportf(st.Pos(), "unclamped value assigned to selectivity %s: wrap the expression in clamp01", name)
+		}
+	}
+}
+
+func checkSelReturn(pass *Pass, info *types.Info, st *ast.ReturnStmt) {
+	for _, r := range st.Results {
+		if rawArith(r) && isFloat(info.TypeOf(r)) {
+			pass.Reportf(r.Pos(), "selectivity function returns unclamped arithmetic: wrap the expression in clamp01")
+		}
+	}
+}
+
+func checkSelComposite(pass *Pass, info *types.Info, lit *ast.CompositeLit) {
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || !selName(key.Name) {
+			continue
+		}
+		if rawArith(kv.Value) && isFloat(info.TypeOf(kv.Value)) {
+			pass.Reportf(kv.Value.Pos(), "unclamped value for selectivity field %s: wrap the expression in clamp01", key.Name)
+		}
+	}
+}
+
+// selTarget returns the name of an assignable selectivity destination:
+// a bare identifier or a field selector.
+func selTarget(lhs ast.Expr) (string, bool) {
+	switch e := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		return e.Name, selName(e.Name)
+	case *ast.SelectorExpr:
+		return e.Sel.Name, selName(e.Sel.Name)
+	}
+	return "", false
+}
+
+// rawArith reports whether the expression's top level is unclamped float
+// arithmetic: a binary arithmetic operation, a negation, or a numeric
+// literal outside [0, 1]. Calls are not raw — their return sites are
+// checked where they are written.
+func rawArith(e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.ADD, token.SUB, token.MUL, token.QUO:
+			return true
+		}
+	case *ast.UnaryExpr:
+		return x.Op == token.SUB
+	case *ast.BasicLit:
+		if x.Kind == token.INT || x.Kind == token.FLOAT {
+			if v, err := strconv.ParseFloat(x.Value, 64); err == nil {
+				return v < 0 || v > 1
+			}
+		}
+	}
+	return false
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isClampName(name string) bool {
+	return name == "clamp01" || name == "Clamp01"
+}
+
+// selName reports whether one of the identifier's camelCase words is
+// exactly "f", "sel", or "selectivity".
+func selName(name string) bool {
+	for _, w := range camelWords(name) {
+		switch w {
+		case "f", "sel", "selectivity":
+			return true
+		}
+	}
+	return false
+}
+
+// camelWords splits an identifier into lower-cased camelCase words.
+func camelWords(name string) []string {
+	var words []string
+	start := 0
+	for i, r := range name {
+		if i > 0 && unicode.IsUpper(r) {
+			words = append(words, strings.ToLower(name[start:i]))
+			start = i
+		}
+	}
+	words = append(words, strings.ToLower(name[start:]))
+	return words
+}

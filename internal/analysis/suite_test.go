@@ -1,0 +1,29 @@
+package analysis
+
+import "testing"
+
+// TestTreeIsClean is the in-repo mirror of the CI hard gate: the full
+// sysrcheck suite over the whole module must report nothing. A change that
+// reintroduces a leak path, an ungoverned loop, an unclamped selectivity,
+// a naked panic, a dropped close error, or a stray print fails `go test`
+// before it ever reaches CI.
+func TestTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the entire module")
+	}
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(pkgs, Suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,47 @@
+// The errlost cases: error-returning Close/Unlock/Release results must
+// not be silently dropped; void closers are naturally exempt.
+package lib
+
+type Cursor struct{}
+
+func (c *Cursor) Close() error { return nil }
+
+type Held struct{}
+
+func (h *Held) Release() {} // void: exempt everywhere
+
+type Mutex struct{}
+
+func (m *Mutex) Unlock() error { return nil }
+
+func drop(c *Cursor) {
+	c.Close() // want "error from c.Close.. is dropped"
+}
+
+func dropDeferred(c *Cursor) {
+	defer c.Close() // want "deferred c.Close.. drops its error"
+}
+
+func dropUnlock(m *Mutex) {
+	m.Unlock() // want "error from m.Unlock.. is dropped"
+}
+
+func explicit(c *Cursor) {
+	_ = c.Close() // ok: explicit, greppable discard
+}
+
+func propagated(c *Cursor) error {
+	if err := c.Close(); err != nil { // ok: assigned
+		return err
+	}
+	return c.Close() // ok: propagated
+}
+
+func deferredLiteral(c *Cursor) {
+	defer func() { _ = c.Close() }() // ok: explicit inside the literal
+}
+
+func voidCloser(h *Held) {
+	h.Release()       // ok: returns nothing
+	defer h.Release() // ok: returns nothing
+}

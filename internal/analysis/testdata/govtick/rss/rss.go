@@ -1,0 +1,19 @@
+// Package rss supplies a governed producer for the cross-package fact
+// test: Next checks the budget internally, so loops driving it from other
+// packages need no checkpoint of their own.
+package rss
+
+import "fixture/governor"
+
+type Row []int
+
+type Scan struct {
+	b *governor.Budget
+}
+
+func (s *Scan) Next() (Row, bool, error) {
+	if err := s.b.Tick(); err != nil {
+		return nil, false, err
+	}
+	return Row{1}, true, nil
+}

@@ -1,0 +1,13 @@
+// Package storage mirrors the page-producing surface the govtick analyzer
+// knows about: BufferPool.Fetch and Segment.Insert.
+package storage
+
+type Page struct{}
+
+type BufferPool struct{}
+
+func (bp *BufferPool) Fetch(id int) (*Page, error) { return &Page{}, nil }
+
+type Segment struct{}
+
+func (s *Segment) Insert(n int, rec []byte) (int, error) { return 0, nil }

@@ -1,0 +1,7 @@
+// Programs own their crash behavior: anything under a cmd/ segment is
+// exempt.
+package main
+
+func main() {
+	panic("startup") // ok: cmd/ package
+}

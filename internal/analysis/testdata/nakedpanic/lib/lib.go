@@ -1,0 +1,26 @@
+// The nakedpanic cases for a library package.
+package lib
+
+import "errors"
+
+var errBad = errors.New("bad")
+
+func Do(x int) error {
+	if x < 0 {
+		panic("negative") // want "naked panic in library code"
+	}
+	return errBad
+}
+
+// The Must prefix is the documented panic-on-error convention.
+func MustDo(x int) {
+	if err := Do(x); err != nil {
+		panic(err) // ok: Must* helper
+	}
+}
+
+func mustInternal(x int) {
+	if x < 0 {
+		panic("negative") // ok: must* helper
+	}
+}

@@ -1,0 +1,25 @@
+// The noprint cases: library output goes to strings or a caller-supplied
+// writer, never to the process's stdout/stderr.
+package lib
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+func bad() {
+	fmt.Println("hello")              // want "fmt.Println writes to stdout from library code"
+	fmt.Printf("%d\n", 1)             // want "fmt.Printf writes to stdout from library code"
+	fmt.Fprintf(os.Stdout, "x")       // want "fmt.Fprintf to os.Stdout from library code"
+	fmt.Fprintln(os.Stderr, "x")      // want "fmt.Fprintln to os.Stderr from library code"
+	_, _ = os.Stderr.WriteString("x") // want "direct write to os.Stderr from library code"
+	println("dbg")                    // want "println builtin writes to stderr"
+}
+
+// Rendering into strings or a caller's writer is the supported shape —
+// this is how EXPLAIN output works in the real tree.
+func Render(w io.Writer, rows int) string {
+	fmt.Fprintf(w, "rows=%d\n", rows) // ok: caller-supplied writer
+	return fmt.Sprintf("rows=%d", rows)
+}

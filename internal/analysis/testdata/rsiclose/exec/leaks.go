@@ -1,0 +1,120 @@
+// The rsiclose cases: every function is one path shape the analyzer must
+// get right — leaks flagged, closes / escapes / error guards not.
+package exec
+
+import (
+	"errors"
+
+	"fixture/lock"
+	"fixture/rss"
+)
+
+var errBusy = errors.New("busy")
+
+func tooBig() bool { return false }
+
+// The canonical leak: an early return between acquire and release.
+func leakEarlyReturn(m *lock.Manager) error {
+	h, err := m.AcquireContext()
+	if err != nil {
+		return err // the acquisition's own failure path: exempt
+	}
+	if tooBig() {
+		return errBusy // want "h acquired from AcquireContext .* may not be released on this return path"
+	}
+	h.Release()
+	return nil
+}
+
+// A resource that is simply never released.
+func neverReleased(m *lock.Manager) {
+	h := m.Acquire() // want "h acquired from Acquire is never released"
+	h.ID()
+}
+
+// Open-protocol leak: scan opened, then an error return skips the close.
+func leakAfterOpen(s *rss.Scan) error {
+	if err := s.Open(); err != nil {
+		return err // exempt: Open failed, nothing to close
+	}
+	if tooBig() {
+		return errBusy // want "s acquired from s.Open .* may not be closed on this return path"
+	}
+	return s.Close()
+}
+
+// A deferred close anywhere in the function covers every path...
+func deferredClose(m *lock.Manager) error {
+	h, err := m.AcquireContext()
+	if err != nil {
+		return err
+	}
+	defer h.Release()
+	if tooBig() {
+		return errBusy
+	}
+	return nil
+}
+
+// ...including a defer registered before the Open it covers (the
+// blockCtx.run pattern in the real executor).
+func deferBeforeOpen(s *rss.Scan) error {
+	defer func() { _ = s.Close() }()
+	if err := s.Open(); err != nil {
+		return err
+	}
+	_, _, err := s.Next()
+	return err
+}
+
+// Closing on both arms of a branch satisfies both paths.
+func closeBothArms(m *lock.Manager) error {
+	h, err := m.AcquireContext()
+	if err != nil {
+		return err
+	}
+	if tooBig() {
+		h.Release()
+		return errBusy
+	}
+	h.Release()
+	return nil
+}
+
+// Returning the resource transfers ownership to the caller.
+func handOut() (*rss.Scan, error) {
+	s, err := rss.OpenSegScan()
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Storing the resource into another value transfers ownership too.
+type cursor struct{ scan *rss.Scan }
+
+func stash(c *cursor) error {
+	s, err := rss.OpenSegScan()
+	if err != nil {
+		return err
+	}
+	c.scan = s
+	return nil
+}
+
+// Rebinding the acquisition's error variable invalidates the guard: the
+// second `err != nil` return no longer means "nothing was acquired".
+func reboundErr(m *lock.Manager) error {
+	h, err := m.AcquireContext()
+	if err != nil {
+		return err
+	}
+	err = probe()
+	if err != nil {
+		return err // want "h acquired from AcquireContext .* may not be released on this return path"
+	}
+	h.Release()
+	return nil
+}
+
+func probe() error { return nil }

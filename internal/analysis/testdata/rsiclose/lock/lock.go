@@ -1,0 +1,15 @@
+// Package lock mirrors the real internal/lock: Acquire hands out a *Held
+// that must be released.
+package lock
+
+type Manager struct{}
+
+type Held struct{ n int }
+
+func (m *Manager) Acquire() *Held { return &Held{} }
+
+func (m *Manager) AcquireContext() (*Held, error) { return &Held{}, nil }
+
+func (h *Held) Release() {}
+
+func (h *Held) ID() int { return h.n }

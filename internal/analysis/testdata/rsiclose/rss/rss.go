@@ -1,0 +1,23 @@
+// Package rss mirrors the shape of the real internal/rss for the rsiclose
+// fixtures: a closable scan with the Open/Next/Close protocol. The path
+// tail "rss" is what makes Scan a tracked resource.
+package rss
+
+type Row []int
+
+type Scan struct{ open bool }
+
+func (s *Scan) Open() error {
+	s.open = true
+	return nil
+}
+
+func (s *Scan) Next() (Row, bool, error) { return nil, false, nil }
+
+func (s *Scan) Close() error {
+	s.open = false
+	return nil
+}
+
+// OpenSegScan is an acquiring constructor: Open prefix, closable result.
+func OpenSegScan() (*Scan, error) { return &Scan{open: true}, nil }

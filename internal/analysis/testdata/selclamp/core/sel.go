@@ -1,0 +1,66 @@
+// The selclamp cases inside the clamp's home package (path tail "core"):
+// declaring clamp01 here is legal; raw arithmetic into selectivity names
+// is not.
+package core
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// A selectivity-named function: its returns are checked, closures
+// included (the Table 1 helpers compute through immediately invoked
+// literals).
+func colSel(icard float64) float64 {
+	f := func() float64 {
+		if icard > 0 {
+			return 1 / icard // want "selectivity function returns unclamped arithmetic"
+		}
+		return clamp01(1 / 10.0) // ok: wrapped
+	}()
+	return f
+}
+
+func applySel(sel float64, factors []float64) float64 {
+	for _, fi := range factors {
+		sel *= fi // want "unclamped arithmetic into selectivity sel"
+	}
+	sel = clamp01(sel * 0.5) // ok: wrapped
+	return sel
+}
+
+// Non-selectivity names are out of scope even when the words contain
+// "sel" or "f" as substrings.
+func notSelNames(xs []float64) float64 {
+	baseline := 2.0 // ok: "baseline" is one word
+	for _, x := range xs {
+		baseline *= x // ok
+	}
+	sumFloat := 0.0
+	sumFloat += baseline // ok: "float" is not "f"
+	return sumFloat
+}
+
+type estimate struct {
+	F     float64
+	QCard float64
+}
+
+// Composite-literal F fields and field assignments are destinations too.
+func makeEstimate(a, b float64) estimate {
+	return estimate{
+		F:     a * b,   // want "unclamped value for selectivity field F"
+		QCard: a*b + 1, // ok: cardinality, not a selectivity
+	}
+}
+
+func fixEstimate(e *estimate, a, b float64) {
+	e.F = clamp01(a * b) // ok: wrapped
+	e.F = 1.5            // want "unclamped value assigned to selectivity F"
+	e.F = 0.5            // ok: literal in range
+}

@@ -1,0 +1,12 @@
+// Outside internal/core the clamp entry point may not be forked, and
+// selectivity arithmetic is flagged the same way.
+package other
+
+func Clamp01(v float64) float64 { // want "Clamp01 declared outside internal/core"
+	return v
+}
+
+func Scale(sel float64, k float64) float64 {
+	sel *= k // want "unclamped arithmetic into selectivity sel"
+	return sel
+}

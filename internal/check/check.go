@@ -1,0 +1,17 @@
+// Package check is the sanctioned panic point for library code. The
+// sysrcheck nakedpanic analyzer forbids direct panic calls in library
+// packages; genuinely unreachable states — a corrupt row tag, an access to
+// a page the disk never allocated — route through Failf instead, so every
+// intentional crash site is greppable, carries a uniform message shape,
+// and is contained at the statement boundary by the execution governor
+// (surfacing as a *governor-wrapped PanicError, not a process crash).
+package check
+
+import "fmt"
+
+// Failf panics with a formatted invariant-violation message. Use it only
+// for states that indicate corruption or a programming error — never for
+// conditions a caller could plausibly handle; those return errors.
+func Failf(format string, args ...any) {
+	panic(fmt.Sprintf(format, args...))
+}

@@ -77,15 +77,15 @@ func (o *Optimizer) genPaths(rel int, pushed []pushedPred) []pathCand {
 	// Selectivity bookkeeping.
 	selSarg, selAll := 1.0, 1.0
 	for _, fi := range sargable {
-		selSarg *= fi.sel
-		selAll *= fi.sel
+		selSarg = clamp01(selSarg * fi.sel)
+		selAll = clamp01(selAll * fi.sel)
 	}
 	for _, fi := range residual {
-		selAll *= fi.sel
+		selAll = clamp01(selAll * fi.sel)
 	}
 	for _, p := range pushed {
-		selSarg *= p.sel
-		selAll *= p.sel
+		selSarg = clamp01(selSarg * p.sel)
+		selAll = clamp01(selAll * p.sel)
 	}
 	ncard := st.EffNCard()
 	rsicard := ncard * selSarg
@@ -273,7 +273,7 @@ func (o *Optimizer) indexPath(rel int, ix *catalog.Index, pushed []pushedPred,
 			if src.eq {
 				lo = append(lo, *src.lo)
 				hi = append(hi, *src.hi)
-				matchSel *= src.sel
+				matchSel = clamp01(matchSel * src.sel)
 				eqCols++
 				matched = true
 				found = true
@@ -304,7 +304,7 @@ func (o *Optimizer) indexPath(rel int, ix *catalog.Index, pushed []pushedPred,
 				used = true
 			}
 			if used {
-				matchSel *= src.sel
+				matchSel = clamp01(matchSel * src.sel)
 				matched = true
 			}
 		}

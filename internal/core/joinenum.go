@@ -406,11 +406,11 @@ func (o *Optimizer) localSel(rel int) (selSarg, selAll float64) {
 	selSarg, selAll = 1, 1
 	sargable, residual := o.localFactors(rel)
 	for _, fi := range sargable {
-		selSarg *= fi.sel
-		selAll *= fi.sel
+		selSarg = clamp01(selSarg * fi.sel)
+		selAll = clamp01(selAll * fi.sel)
 	}
 	for _, fi := range residual {
-		selAll *= fi.sel
+		selAll = clamp01(selAll * fi.sel)
 	}
 	return selSarg, selAll
 }

@@ -161,11 +161,11 @@ func (o *Optimizer) colColSel(op sem.BinOp, l, r *sem.Col) float64 {
 		li, ri := o.icardOf(l.ID), o.icardOf(r.ID)
 		switch {
 		case li > 0 && ri > 0:
-			return 1 / math.Max(li, ri)
+			return clamp01(1 / math.Max(li, ri))
 		case li > 0:
-			return 1 / li
+			return clamp01(1 / li)
 		case ri > 0:
-			return 1 / ri
+			return clamp01(1 / ri)
 		default:
 			return defEq
 		}
@@ -185,7 +185,7 @@ func (o *Optimizer) colValueSel(op sem.BinOp, col *sem.Col, other sem.Expr) floa
 		// F = 1/ICARD(column index) if there is an index on column — "assumes
 		// an even distribution of tuples among the index key values".
 		if st != nil && st.HasStats {
-			return 1 / st.EffICardLead()
+			return clamp01(1 / st.EffICardLead())
 		}
 		return defEq
 	case sem.OpNe:

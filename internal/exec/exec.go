@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"errors"
 	"fmt"
 
 	"systemr/internal/governor"
@@ -220,7 +221,11 @@ func OpenQueryArgs(rt *Runtime, q *plan.Query, args []value.Value) (*Cursor, err
 		return nil, err
 	}
 	if err := root.Open(); err != nil {
-		root.Close() // release partially-opened scans (e.g. a join's outer)
+		// Release partially-opened scans (e.g. a join's outer); a close
+		// failure rides along rather than vanishing.
+		if cerr := root.Close(); cerr != nil {
+			err = errors.Join(err, cerr)
+		}
 		return nil, err
 	}
 	c.root = root

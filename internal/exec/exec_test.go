@@ -527,3 +527,45 @@ func TestCollectTIDsViaIndexPath(t *testing.T) {
 		t.Fatalf("residual path collected %d", len(tids2))
 	}
 }
+
+// Close is idempotent: a second Close returns nil and keeps the statistics
+// snapshot taken by the first one (finish must not run twice).
+func TestCursorCloseIdempotent(t *testing.T) {
+	e := newEnv(t)
+	e.loadPair(t)
+	st, err := sql.Parse("SELECT K, V FROM L")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk, err := sem.Analyze(st.(*sql.SelectStmt), e.cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := core.New(e.cat, core.Config{}).Optimize(blk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := OpenQuery(e.rt, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := cur.Next(); err != nil || !ok {
+		t.Fatalf("first row: ok=%v err=%v", ok, err)
+	}
+	if err := cur.Close(); err != nil {
+		t.Fatalf("first close: %v", err)
+	}
+	first := cur.Stats()
+	if first == nil {
+		t.Fatal("stats not published at close")
+	}
+	if err := cur.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if cur.Stats() != first {
+		t.Fatal("second Close replaced the statistics snapshot")
+	}
+	if _, ok, err := cur.Next(); ok || err != nil {
+		t.Fatalf("Next after close: ok=%v err=%v", ok, err)
+	}
+}

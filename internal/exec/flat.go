@@ -202,7 +202,7 @@ type aggState struct {
 	rows     int64 // all rows
 	count    int64 // non-NULL inputs
 	sumI     int64
-	sumF     float64
+	sumFloat float64
 	isFloat  bool
 	min, max value.Value
 }
@@ -226,10 +226,10 @@ func (s *aggState) addValue(v value.Value) {
 	switch v.Kind {
 	case value.KindInt:
 		s.sumI += v.Int
-		s.sumF += float64(v.Int)
+		s.sumFloat += float64(v.Int)
 	case value.KindFloat:
 		s.isFloat = true
-		s.sumF += v.Float
+		s.sumFloat += v.Float
 	}
 	if s.count == 1 {
 		s.min, s.max = v, v
@@ -256,14 +256,14 @@ func (s *aggState) finish(name string) value.Value {
 			return value.Null()
 		}
 		if s.isFloat {
-			return value.NewFloat(s.sumF)
+			return value.NewFloat(s.sumFloat)
 		}
 		return value.NewInt(s.sumI)
 	case "AVG":
 		if s.count == 0 {
 			return value.Null()
 		}
-		return value.NewFloat(s.sumF / float64(s.count))
+		return value.NewFloat(s.sumFloat / float64(s.count))
 	case "MIN":
 		if s.count == 0 {
 			return value.Null()

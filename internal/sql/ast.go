@@ -6,8 +6,8 @@
 package sql
 
 import (
-	"fmt"
 	"strings"
+	"systemr/internal/check"
 
 	"systemr/internal/value"
 )
@@ -177,7 +177,8 @@ func (op BinOp) CmpOp() value.CmpOp {
 	case OpGe:
 		return value.OpGe
 	}
-	panic(fmt.Sprintf("sql: %v is not a comparison", op))
+	check.Failf("sql: %v is not a comparison", op)
+	return 0
 }
 
 // Expr is a parsed expression tree node.

@@ -1,8 +1,8 @@
 package storage
 
 import (
-	"fmt"
 	"sync"
+	"systemr/internal/check"
 )
 
 // Disk is the simulated non-volatile store: a growable array of pages.
@@ -49,13 +49,13 @@ func (d *Disk) AllocVirtual() PageID {
 // statistics collection, which the paper's measurements exclude.
 func (d *Disk) Page(id PageID) *Page { return d.page(id) }
 
-// page returns the frame for id, panicking on out-of-range access: a page ID
-// always originates from AllocPage, so a miss is a bug, not an input error.
+// page returns the frame for id, failing hard on out-of-range access: a page
+// ID always originates from AllocPage, so a miss is a bug, not an input error.
 func (d *Disk) page(id PageID) *Page {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if int(id) >= len(d.pages) {
-		panic(fmt.Sprintf("storage: access to unallocated page %d", id))
+		check.Failf("storage: access to unallocated page %d", id)
 	}
 	return d.pages[id]
 }

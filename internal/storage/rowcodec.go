@@ -3,8 +3,8 @@ package storage
 import (
 	"encoding/binary"
 	"errors"
-	"fmt"
 	"math"
+	"systemr/internal/check"
 
 	"systemr/internal/value"
 )
@@ -43,7 +43,7 @@ func EncodeRow(r value.Row) []byte {
 			buf = binary.AppendUvarint(buf, uint64(len(v.Str)))
 			buf = append(buf, v.Str...)
 		default:
-			panic(fmt.Sprintf("storage: cannot encode kind %v", v.Kind))
+			check.Failf("storage: cannot encode kind %v", v.Kind)
 		}
 	}
 	return buf

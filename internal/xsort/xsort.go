@@ -55,12 +55,13 @@ type run struct {
 }
 
 type runReader struct {
-	disk  *storage.Disk
-	bpool *storage.BufferPool
-	pages []storage.PageID
-	pi    int
-	slot  uint16
-	page  *storage.Page
+	disk   *storage.Disk
+	bpool  *storage.BufferPool
+	budget *governor.Budget
+	pages  []storage.PageID
+	pi     int
+	slot   uint16
+	page   *storage.Page
 }
 
 type heapEntry struct {
@@ -100,6 +101,9 @@ func Sort(cfg Config, in Input) (*Result, error) {
 		return nil
 	}
 	for {
+		if err := cfg.Budget.Tick(); err != nil {
+			return nil, err
+		}
 		row, ok, err := in()
 		if err != nil {
 			return nil, err
@@ -171,6 +175,9 @@ func sortRows(rows []value.Row, keys []int, desc []bool) {
 func writeRun(cfg Config, rows []value.Row, countRSI bool) (*run, error) {
 	seg := storage.NewSegment(-1, cfg.Disk)
 	for _, row := range rows {
+		if err := cfg.Budget.Tick(); err != nil {
+			return nil, err
+		}
 		if _, err := seg.Insert(1, storage.EncodeRow(row)); err != nil {
 			return nil, fmt.Errorf("xsort: writing temporary list: %w", err)
 		}
@@ -230,13 +237,16 @@ func releaseRun(cfg Config, r *run) {
 }
 
 func newRunReader(cfg Config, r *run) *runReader {
-	return &runReader{disk: cfg.Disk, bpool: cfg.Pool, pages: r.pages}
+	return &runReader{disk: cfg.Disk, bpool: cfg.Pool, budget: cfg.Budget, pages: r.pages}
 }
 
 // next reads the following row of the run, fetching temp pages through the
 // buffer pool.
 func (rd *runReader) next() (value.Row, bool, error) {
 	for {
+		if err := rd.budget.Tick(); err != nil {
+			return nil, false, err
+		}
 		if rd.page == nil || rd.slot >= rd.page.NumSlots() {
 			if rd.pi >= len(rd.pages) {
 				return nil, false, nil

@@ -1,10 +1,13 @@
 package xsort
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"sort"
 	"testing"
 
+	"systemr/internal/governor"
 	"systemr/internal/storage"
 	"systemr/internal/value"
 )
@@ -264,5 +267,66 @@ func TestSortDescTailDefaultsAscending(t *testing.T) {
 		if c0 == 0 && value.Compare(got[i-1][1], got[i][1]) > 0 {
 			t.Fatalf("second key not ascending at %d", i)
 		}
+	}
+}
+
+// A canceled statement aborts during run generation: the phase-1 input
+// loop ticks the governor, so the sort stops within one check interval
+// instead of draining its whole input first.
+func TestSortCanceledDuringRunGeneration(t *testing.T) {
+	cfg, _ := newEnv(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg.Budget = governor.New(ctx, governor.Limits{}, nil)
+	cfg.Keys = []int{0}
+	cfg.BufferBytes = 256 // force spilled runs
+	rnd := rand.New(rand.NewSource(7))
+	rows := randomRows(rnd, 500)
+	consumed := 0
+	in := func() (value.Row, bool, error) {
+		if consumed >= len(rows) {
+			return nil, false, nil
+		}
+		r := rows[consumed]
+		consumed++
+		return r, true, nil
+	}
+	res, err := Sort(cfg, in)
+	if err == nil {
+		res.Close()
+		t.Fatal("sort under canceled context succeeded")
+	}
+	if !errors.Is(err, governor.ErrCanceled) {
+		t.Fatalf("got %v, want ErrCanceled", err)
+	}
+	if consumed >= len(rows) {
+		t.Fatalf("input fully drained (%d rows) despite canceled budget", consumed)
+	}
+}
+
+// A page-fetch budget aborts the sort while it reads spilled runs back:
+// the merge passes and the run readers fetch temp pages through the
+// governed loops, so ErrBudgetExceeded surfaces mid-sort, not after.
+func TestSortBudgetExceededDuringSpillReads(t *testing.T) {
+	cfg, stats := newEnv(4)
+	cfg.Keys = []int{0}
+	cfg.BufferBytes = 256 // many runs -> intermediate merge passes
+	cfg.Budget = governor.New(context.Background(), governor.Limits{MaxPageFetches: 2}, stats)
+	rnd := rand.New(rand.NewSource(8))
+	res, err := Sort(cfg, sliceInput(randomRows(rnd, 400)))
+	if err == nil {
+		// If the runs fit the first merge, the budget trips on delivery.
+		defer res.Close()
+		for err == nil {
+			_, ok, nerr := res.Next()
+			if nerr != nil {
+				err = nerr
+			} else if !ok {
+				break
+			}
+		}
+	}
+	if !errors.Is(err, governor.ErrBudgetExceeded) {
+		t.Fatalf("got %v, want ErrBudgetExceeded", err)
 	}
 }

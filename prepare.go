@@ -185,6 +185,7 @@ type Rows struct {
 	cols   []string
 	cursor *exec.Cursor
 	held   *lock.Held
+	closed bool
 }
 
 // Open begins streaming execution of the compiled plan, binding one value
@@ -246,8 +247,14 @@ func (r *Rows) Next() (row []any, ok bool, err error) {
 // Close releases the cursor and its locks; safe to call repeatedly. It
 // returns the first error seen while closing the plan's scans, once. Closing
 // — whether after draining or mid-stream — publishes the cursor's measured
-// statistics (rows streamed so far, fetches, RSI calls) as LastStats.
+// statistics (rows streamed so far, fetches, RSI calls) as LastStats exactly
+// once: a second Close is a no-op returning nil, so it cannot clobber
+// LastStats published by statements run in between.
 func (r *Rows) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
 	err := r.cursor.Close()
 	if st := r.cursor.Stats(); st != nil {
 		r.db.setLast(execStatsFrom(st))
