@@ -41,6 +41,7 @@ func TestExplainAnalyzeGolden(t *testing.T) {
 		"          INDEXSCAN E via EMP_JOB(JOB) key:[$3 .. $3] sarg: (c2 = $3)  {est rows=75.0 cost=4.0 | act rows=75 fetches=5 time=X}",
 		"      SORT into temp list by [1.0]  {est rows=30.0 cost=6.0 | act rows=30 fetches=1 time=X}",
 		"        SEGSCAN D (DEPT)  {est rows=30.0 cost=2.0 | act rows=30 fetches=1 time=X}",
+		"statement: fetches=9 writes=2 rsi=316 cost=21.4 (W=0.033)",
 		"",
 	}, "\n")
 	if scrubTimes(got) != want {
@@ -133,15 +134,24 @@ func TestExplainAnalyzeEstimateVsActual(t *testing.T) {
 
 // TestExplainAnalyzeSubqueryCounts pins how nested blocks render: estimates
 // only, with the parent reporting how often the block was evaluated under
-// the Section 6 same-value cache.
+// the Section 6 same-value cache and how many page fetches the block spent
+// across those evaluations (I/O that is excluded from the outer operators'
+// attribution).
 func TestExplainAnalyzeSubqueryCounts(t *testing.T) {
 	db := newEmpDeptJobDB(t)
+	db.Pool().Flush()
 	got, err := db.ExplainAnalyze("SELECT NAME FROM EMP WHERE SAL > " +
 		"(SELECT AVG(SAL) FROM EMP)")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(got, "QUERY BLOCK (subquery #1)  [evaluated 1 time; estimates only]") {
-		t.Fatalf("subquery block header missing eval count:\n%s", got)
+	if !strings.Contains(got, "QUERY BLOCK (subquery #1)  [evaluated 1 time, fetches=3; estimates only]") {
+		t.Fatalf("subquery block header missing eval count and fetches:\n%s", got)
+	}
+	// The subquery's fetches belong to its block: the outer scan re-reads the
+	// same (now resident) pages, so its own line attributes zero fetches and
+	// the outer tree does not double-count the subquery's I/O.
+	if !strings.Contains(got, "SEGSCAN EMP sarg: (c3 > (subquery#1))  {est rows=100.0 cost=6.3 | act rows=150 fetches=0 ") {
+		t.Fatalf("outer scan double-counted subquery fetches:\n%s", got)
 	}
 }

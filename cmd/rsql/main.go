@@ -5,6 +5,7 @@
 //	\d          list tables, indexes, and statistics
 //	\stats      measured cost of the last statement
 //	\cache      plan cache counters and the current catalog version
+//	\metrics    engine metrics registry in Prometheus text format
 //	\timing     toggle automatic cost reporting after each statement
 //	\load emp   load the EMP/DEPT/JOB example database
 //	\dump       print a SQL script recreating the database
@@ -48,7 +49,7 @@ func run(input io.Reader, out io.Writer, sigc <-chan os.Signal, timing bool) {
 	in := bufio.NewScanner(input)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
 	fmt.Fprintln(out, "systemr — System R access path selection, reproduced.")
-	fmt.Fprintln(out, "Statements end with ';'.  \\d tables  \\stats cost  \\cache plans  \\load emp  \\dump script  \\q quit")
+	fmt.Fprintln(out, "Statements end with ';'.  \\d tables  \\stats cost  \\cache plans  \\metrics registry  \\load emp  \\dump script  \\q quit")
 
 	var buf strings.Builder
 	prompt := func() {
@@ -72,6 +73,10 @@ func run(input io.Reader, out io.Writer, sigc <-chan os.Signal, timing bool) {
 				printStats(out, db.LastStats())
 			case trimmed == "\\cache":
 				printCache(out, db.PlanCacheStats())
+			case trimmed == "\\metrics":
+				if _, err := db.Metrics().WriteTo(out); err != nil {
+					fmt.Fprintln(out, "error:", err)
+				}
 			case trimmed == "\\timing":
 				timing = !timing
 				state := "off"

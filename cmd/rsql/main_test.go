@@ -98,6 +98,31 @@ func TestShellCache(t *testing.T) {
 	}
 }
 
+// TestShellMetrics checks \metrics emits the Prometheus exposition with the
+// statement counters and buffer-pool gauges populated by the session so far.
+func TestShellMetrics(t *testing.T) {
+	out := script(t,
+		"CREATE TABLE T (A INTEGER);",
+		"INSERT INTO T VALUES (1), (2);",
+		"SELECT A FROM T;",
+		"\\metrics",
+		"\\q",
+	)
+	for _, frag := range []string{
+		"# TYPE systemr_statements_total counter",
+		"systemr_statements_total 3",
+		"# TYPE systemr_statement_seconds histogram",
+		"systemr_statement_seconds_count 3",
+		"# TYPE systemr_buffer_hit_ratio gauge",
+		"systemr_plan_cache_misses 1",
+		"systemr_cost_w 0.033",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("\\metrics output lacks %q:\n%s", frag, out)
+		}
+	}
+}
+
 func TestShellLoadEmp(t *testing.T) {
 	out := script(t,
 		"\\load emp",

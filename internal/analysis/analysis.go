@@ -13,6 +13,9 @@
 //     internal/check helper (contained at the execStmt boundary).
 //   - errlost: errors from Close/Unlock/Release are not silently dropped.
 //   - noprint: library code never writes to stdout/stderr.
+//   - stmtio: the executor layers never read the buffer pool's DB-global
+//     IOStats for per-operator deltas — attribution goes through the
+//     statement's own StmtIO accumulator (PR 5).
 //
 // The suite mirrors the shape of golang.org/x/tools/go/analysis (Analyzer /
 // Pass / Diagnostic, a multichecker driver in cmd/sysrcheck, want-annotated
@@ -100,6 +103,7 @@ var Suite = []*Analyzer{
 	NakedPanic,
 	ErrLost,
 	NoPrint,
+	StmtIO,
 }
 
 // Run applies the analyzers to every package (which must be in dependency

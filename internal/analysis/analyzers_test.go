@@ -23,3 +23,5 @@ func TestNakedPanicFixture(t *testing.T) { runFixture(t, NakedPanic, "nakedpanic
 func TestErrLostFixture(t *testing.T) { runFixture(t, ErrLost, "errlost") }
 
 func TestNoPrintFixture(t *testing.T) { runFixture(t, NoPrint, "noprint") }
+
+func TestStmtIOFixture(t *testing.T) { runFixture(t, StmtIO, "stmtio") }

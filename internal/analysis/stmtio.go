@@ -1,0 +1,49 @@
+package analysis
+
+// stmtio enforces the PR 5 per-statement I/O accounting discipline. The
+// executor attributes page fetches to operators by differencing a counter
+// before and after each call — and under concurrency that counter must be
+// the statement's own accumulator (storage.StmtIO over Runtime.IO), never
+// the buffer pool's DB-global IOStats: a global read in those layers
+// reintroduces the cross-statement attribution bug, where one statement's
+// fetches land in a concurrent statement's EXPLAIN ANALYZE deltas.
+//
+// The analyzer forbids BufferPool.Stats() calls in the accounting-sensitive
+// packages (exec, rss, xsort). DB-wide aggregation (the metrics layer, the
+// experiment drivers) lives outside those packages and remains free to read
+// the global ledger.
+
+import (
+	"go/ast"
+)
+
+// StmtIO is the per-statement accounting analyzer.
+var StmtIO = &Analyzer{
+	Name: "stmtio",
+	Doc:  "executor layers must not read the pool's DB-global IOStats for per-operator deltas; use the statement's StmtIO accumulator",
+	Run:  runStmtIO,
+}
+
+// stmtIOPkgs are the package tails where per-operator/per-statement deltas
+// are computed and a global counter read would mis-attribute concurrent I/O.
+var stmtIOPkgs = map[string]bool{"exec": true, "rss": true, "xsort": true}
+
+func runStmtIO(pass *Pass) error {
+	if !stmtIOPkgs[pathTail(pass.Pkg.Path)] {
+		return nil
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isMethodOn(calleeFunc(info, call), "Stats", "storage", "BufferPool") {
+				pass.Reportf(call.Pos(), "reads the buffer pool's DB-global IOStats: per-operator deltas must come from the statement's StmtIO accumulator")
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,9 @@
+// Outside the accounting-sensitive packages the global ledger is the right
+// source for DB-wide aggregates (metrics, experiment drivers): no finding.
+package other
+
+import "fixture/storage"
+
+func aggregate(bp *storage.BufferPool) int64 {
+	return bp.Stats().FetchCount()
+}

@@ -236,14 +236,12 @@ func (t *BTree) Delete(key value.Row, tid storage.TID) bool {
 }
 
 // seekLeaf descends to the leaf that may contain the first entry with
-// key-prefix >= prefix, touching every node on the way through pool.
-func (t *BTree) seekLeaf(pool *storage.BufferPool, prefix []value.Value) (*node, int) {
+// key-prefix >= prefix, accounting every node touched through io.
+func (t *BTree) seekLeaf(io storage.StmtIO, prefix []value.Value) (*node, int) {
 	n := t.root
 	probe := Entry{Key: value.Row(prefix)}
 	for {
-		if pool != nil {
-			pool.Touch(n.pageID)
-		}
+		io.Touch(n.pageID)
 		if n.leaf {
 			break
 		}
@@ -270,31 +268,32 @@ func (t *BTree) seekLeaf(pool *storage.BufferPool, prefix []value.Value) (*node,
 // leaf visited (the chained-leaf property: NEXTs never re-touch upper
 // levels).
 type Iterator struct {
-	pool *storage.BufferPool
-	n    *node
-	i    int
+	io storage.StmtIO
+	n  *node
+	i  int
 }
 
 // Seek returns an iterator positioned at the first entry whose key has
 // prefix >= the given prefix (nil or empty prefix = the first entry).
-func (t *BTree) Seek(pool *storage.BufferPool, prefix []value.Value) *Iterator {
+// Page touches are accounted through io — a statement-scoped view so
+// concurrent statements' index descents stay separately attributed; the zero
+// StmtIO walks without accounting (catalog probes).
+func (t *BTree) Seek(io storage.StmtIO, prefix []value.Value) *Iterator {
 	if len(prefix) == 0 {
 		n := t.firstLeaf
-		if pool != nil {
-			// Locating the first leaf still costs a root-to-leaf descent.
-			for d, c := 0, t.root; d < t.height; d++ {
-				pool.Touch(c.pageID)
-				if !c.leaf {
-					c = c.children[0]
-				}
+		// Locating the first leaf still costs a root-to-leaf descent.
+		for d, c := 0, t.root; d < t.height; d++ {
+			io.Touch(c.pageID)
+			if !c.leaf {
+				c = c.children[0]
 			}
 		}
-		it := &Iterator{pool: pool, n: n, i: 0}
+		it := &Iterator{io: io, n: n, i: 0}
 		it.skipEmpty(false)
 		return it
 	}
-	n, i := t.seekLeaf(pool, prefix)
-	it := &Iterator{pool: pool, n: n, i: i}
+	n, i := t.seekLeaf(io, prefix)
+	it := &Iterator{io: io, n: n, i: i}
 	it.skipEmpty(true)
 	return it
 }
@@ -307,8 +306,8 @@ func (it *Iterator) skipEmpty(touched bool) {
 		it.i = 0
 		touched = false
 	}
-	if it.n != nil && !touched && it.pool != nil {
-		it.pool.Touch(it.n.pageID)
+	if it.n != nil && !touched {
+		it.io.Touch(it.n.pageID)
 	}
 }
 
@@ -322,8 +321,8 @@ func (it *Iterator) Next() (Entry, bool) {
 	if it.i >= len(it.n.entries) {
 		it.n = it.n.next
 		it.i = 0
-		if it.n != nil && it.pool != nil {
-			it.pool.Touch(it.n.pageID)
+		if it.n != nil {
+			it.io.Touch(it.n.pageID)
 		}
 		it.skipEmpty(true)
 	}

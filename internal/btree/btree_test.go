@@ -39,7 +39,7 @@ func TestInsertAndIterate(t *testing.T) {
 	if err := tree.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	it := tree.Seek(nil, nil)
+	it := tree.Seek(storage.StmtIO{}, nil)
 	for want := 0; want < n; want++ {
 		e, ok := it.Next()
 		if !ok {
@@ -80,7 +80,7 @@ func TestSeekPrefix(t *testing.T) {
 			tree.Insert(key(i, j), tid(int(i*10+j)))
 		}
 	}
-	it := tree.Seek(nil, []value.Value{value.NewInt(4)})
+	it := tree.Seek(storage.StmtIO{}, []value.Value{value.NewInt(4)})
 	count := 0
 	for {
 		e, ok := it.Next()
@@ -93,13 +93,13 @@ func TestSeekPrefix(t *testing.T) {
 		t.Fatalf("prefix seek found %d entries with leading key 4, want 10", count)
 	}
 	// Full-key seek.
-	it = tree.Seek(nil, []value.Value{value.NewInt(4), value.NewInt(7)})
+	it = tree.Seek(storage.StmtIO{}, []value.Value{value.NewInt(4), value.NewInt(7)})
 	e, ok := it.Next()
 	if !ok || e.Key[0].Int != 4 || e.Key[1].Int != 7 {
 		t.Fatalf("full-key seek landed on %v", e.Key)
 	}
 	// Seek past the end.
-	it = tree.Seek(nil, []value.Value{value.NewInt(99)})
+	it = tree.Seek(storage.StmtIO{}, []value.Value{value.NewInt(99)})
 	if _, ok := it.Next(); ok {
 		t.Fatal("seek past end should be empty")
 	}
@@ -137,7 +137,7 @@ func TestDeleteAgainstOracle(t *testing.T) {
 		}
 		return remaining[i].t.Less(remaining[j].t)
 	})
-	it := tree.Seek(nil, nil)
+	it := tree.Seek(storage.StmtIO{}, nil)
 	for i, e := range remaining {
 		got, ok := it.Next()
 		if !ok {
@@ -199,7 +199,7 @@ func TestPageAccounting(t *testing.T) {
 
 	// A point seek touches one node per level.
 	// Boundary keys may step into the following leaf, so allow height+1.
-	tree.Seek(pool, []value.Value{value.NewInt(150)})
+	tree.Seek(pool.View(nil), []value.Value{value.NewInt(150)})
 	descent := stats.Snapshot().LogicalReads
 	if descent < int64(tree.Height()) || descent > int64(tree.Height())+1 {
 		t.Fatalf("descent touched %d pages, height is %d", descent, tree.Height())
@@ -209,7 +209,7 @@ func TestPageAccounting(t *testing.T) {
 	// (chained leaves: NEXT never re-touches upper levels).
 	stats.Reset()
 	pool.Flush()
-	it := tree.Seek(pool, nil)
+	it := tree.Seek(pool.View(nil), nil)
 	for {
 		if _, ok := it.Next(); !ok {
 			break
@@ -227,7 +227,7 @@ func TestPageAccounting(t *testing.T) {
 
 func TestEmptyTree(t *testing.T) {
 	tree, _ := newTestTree(4)
-	if _, ok := tree.Seek(nil, nil).Next(); ok {
+	if _, ok := tree.Seek(storage.StmtIO{}, nil).Next(); ok {
 		t.Fatal("empty tree must iterate nothing")
 	}
 	if tree.Delete(key(1), tid(1)) {
@@ -260,7 +260,7 @@ func TestMixedTypeKeys(t *testing.T) {
 	tree.Insert(value.Row{value.NewString("bob")}, tid(1))
 	tree.Insert(value.Row{value.NewString("alice")}, tid(2))
 	tree.Insert(value.Row{value.NewString("carol")}, tid(3))
-	it := tree.Seek(nil, []value.Value{value.NewString("b")})
+	it := tree.Seek(storage.StmtIO{}, []value.Value{value.NewString("b")})
 	e, ok := it.Next()
 	if !ok || e.Key[0].Str != "bob" {
 		t.Fatalf("string seek landed on %v", e.Key)
@@ -289,7 +289,7 @@ func TestBulkLoadMatchesIncrementalBuild(t *testing.T) {
 	if err := bulk.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	itA, itB := bulk.Seek(nil, nil), inc.Seek(nil, nil)
+	itA, itB := bulk.Seek(storage.StmtIO{}, nil), inc.Seek(storage.StmtIO{}, nil)
 	for {
 		a, okA := itA.Next()
 		b, okB := itB.Next()
@@ -334,7 +334,7 @@ func TestBulkLoadEdgeSizes(t *testing.T) {
 		}
 		// Every key findable via point seek.
 		for i := 0; i < n; i++ {
-			it := tree.Seek(nil, key(int64(i)))
+			it := tree.Seek(storage.StmtIO{}, key(int64(i)))
 			e, ok := it.Next()
 			if !ok || e.Key[0].Int != int64(i) {
 				t.Fatalf("n=%d: key %d not found", n, i)

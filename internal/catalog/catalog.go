@@ -424,7 +424,7 @@ func (c *Catalog) DropIndex(name string) error {
 
 // firstDuplicateKey scans the leaf chain for two entries sharing a full key.
 func firstDuplicateKey(tree *btree.BTree) (value.Row, bool) {
-	it := tree.Seek(nil, nil)
+	it := tree.Seek(storage.StmtIO{}, nil)
 	prev, ok := it.Next()
 	if !ok {
 		return nil, false

@@ -93,7 +93,7 @@ func TestCreateIndexAndBulkLoad(t *testing.T) {
 	if ix.Tree.Len() != 3 {
 		t.Fatalf("bulk load inserted %d entries", ix.Tree.Len())
 	}
-	it := ix.Tree.Seek(nil, nil)
+	it := ix.Tree.Seek(storage.StmtIO{}, nil)
 	prev := int64(-1)
 	for {
 		e, ok := it.Next()

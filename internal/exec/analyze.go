@@ -12,18 +12,27 @@ import (
 	"time"
 
 	"systemr/internal/plan"
+	"systemr/internal/storage"
 	"systemr/internal/value"
 )
 
 // Analysis is the outcome of an instrumented execution: the plan, the
-// operator tree holding per-operator actuals, and how often each top-level
-// subquery block was evaluated.
+// operator tree holding per-operator actuals, how often each top-level
+// subquery block was evaluated (and what it fetched), and the statement's
+// measured I/O totals.
 type Analysis struct {
 	Query *plan.Query
 	Root  Operator
 	// SubEvals[i] counts evaluations of Query.Subs[i] (the same-value cache
 	// of Section 6 makes this smaller than the candidate-tuple count).
 	SubEvals []int
+	// SubFetches[i] counts the statement-local page fetches spent inside
+	// Query.Subs[i] across all of its evaluations (nested blocks included) —
+	// I/O excluded from the enclosing operators' attribution.
+	SubFetches []int64
+	// IO is the statement's measured totals, from its own accumulator: the
+	// quantities of COST = PAGE FETCHES + W*(RSI CALLS).
+	IO storage.IOStatsSnapshot
 }
 
 // RunQueryAnalyze is RunQueryArgs keeping the instrumented operator tree for
@@ -35,10 +44,17 @@ func RunQueryAnalyze(rt *Runtime, q *plan.Query, args []value.Value) ([]value.Ro
 	if ctx == nil || ctx.root == nil {
 		return rows, stats, nil, err
 	}
-	a := &Analysis{Query: q, Root: ctx.root, SubEvals: make([]int, len(q.Subs))}
+	a := &Analysis{
+		Query:      q,
+		Root:       ctx.root,
+		SubEvals:   make([]int, len(q.Subs)),
+		SubFetches: make([]int64, len(q.Subs)),
+		IO:         stats.IO,
+	}
 	for i, sp := range q.Subs {
 		if st, ok := ctx.subs[sp.Sub]; ok {
 			a.SubEvals[i] = st.evals
+			a.SubFetches[i] = st.fetches
 		}
 	}
 	return rows, stats, a, err
@@ -60,10 +76,12 @@ func (a *Analysis) Format(w float64) string {
 		if a.SubEvals[i] == 1 {
 			times = "time"
 		}
-		fmt.Fprintf(&b, "QUERY BLOCK (%s #%d)  [evaluated %d %s; estimates only]\n",
-			kind, sp.Sub.ID, a.SubEvals[i], times)
+		fmt.Fprintf(&b, "QUERY BLOCK (%s #%d)  [evaluated %d %s, fetches=%d; estimates only]\n",
+			kind, sp.Sub.ID, a.SubEvals[i], times, a.SubFetches[i])
 		formatEstOnly(&b, sp.Query)
 	}
+	fmt.Fprintf(&b, "statement: fetches=%d writes=%d rsi=%d cost=%.1f (W=%g)\n",
+		a.IO.PageFetches, a.IO.PagesWritten, a.IO.RSICalls, a.IO.Cost(w), w)
 	return b.String()
 }
 

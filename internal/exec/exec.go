@@ -17,14 +17,31 @@ import (
 // internal/governor.
 type Budget = governor.Budget
 
-// Runtime carries the shared execution environment: the buffer pool through
-// which all page accesses flow (and which therefore measures PAGE FETCHES
-// and RSI CALLS), the simulated disk for temporary lists, and the
-// statement's governor budget (nil = ungoverned, e.g. experiment drivers).
+// Runtime carries one statement's execution environment: the buffer pool
+// through which all page accesses flow, the simulated disk for temporary
+// lists, the statement's governor budget (nil = ungoverned, e.g. experiment
+// drivers), and the statement's own I/O accumulator. A Runtime belongs to
+// the single statement executing through it.
 type Runtime struct {
 	Pool   *storage.BufferPool
 	Disk   *storage.Disk
 	Budget *Budget
+	// IO is the statement's own I/O accumulator: every page access and RSI
+	// call of this statement is counted into it (in addition to the pool's
+	// DB-global aggregate), so PAGE FETCHES and RSI CALLS are measured
+	// per-statement — exact even under concurrent statements. Nil is allowed
+	// and replaced with a fresh accumulator on first use.
+	IO *storage.IOStats
+}
+
+// ensureIO guarantees the runtime carries a statement accumulator, creating
+// a fresh one for callers (tests, experiment drivers) that did not supply
+// one.
+func (rt *Runtime) ensureIO() *storage.IOStats {
+	if rt.IO == nil {
+		rt.IO = &storage.IOStats{}
+	}
+	return rt.IO
 }
 
 // Stats summarizes one statement's measured execution.
@@ -52,10 +69,10 @@ func RunQueryArgs(rt *Runtime, q *plan.Query, args []value.Value) ([]value.Row, 
 // the block and return the rows, the statement stats, and the block context
 // whose operator tree now holds the per-operator actuals.
 func runQuery(rt *Runtime, q *plan.Query, args []value.Value) ([]value.Row, *Stats, *blockCtx, error) {
-	before := rt.Pool.Stats().Snapshot()
+	before := rt.ensureIO().Snapshot()
 	evals := 0
 	mkStats := func(rows int) *Stats {
-		after := rt.Pool.Stats().Snapshot()
+		after := rt.IO.Snapshot()
 		return &Stats{IO: after.Sub(before), SubqueryEvals: evals, Rows: rows}
 	}
 	ctx := newBlockCtx(rt, q, &evals)
@@ -92,21 +109,31 @@ func bindHostArgs(ctx *blockCtx, q *plan.Query, args []value.Value) error {
 // blockCtx is the runtime state of one executing query block instance.
 type blockCtx struct {
 	rt      *Runtime
+	io      storage.StmtIO // statement-scoped accounting view of the pool
 	q       *plan.Query
 	params  []value.Value
 	subs    map[*sem.Subquery]*subState
 	aggVals []value.Value
 	evals   *int // shared subquery-evaluation counter
-	root    *op  // the block's operator tree, kept for EXPLAIN ANALYZE
+	// subFetches tracks, across the whole statement, the page fetches spent
+	// inside subquery evaluations. Operator instrumentation deltas
+	// (fetchCount - subFetches), so a correlated subquery re-evaluated in the
+	// middle of an outer operator's Next is attributed to its own query
+	// block, not double-counted against the operator. Shared (like evals)
+	// between a block and its subquery blocks.
+	subFetches *int64
+	root       *op // the block's operator tree, kept for EXPLAIN ANALYZE
 }
 
 func newBlockCtx(rt *Runtime, q *plan.Query, evals *int) *blockCtx {
 	ctx := &blockCtx{
-		rt:     rt,
-		q:      q,
-		params: make([]value.Value, q.NumParams),
-		subs:   make(map[*sem.Subquery]*subState, len(q.Subs)),
-		evals:  evals,
+		rt:         rt,
+		io:         rt.Pool.View(rt.ensureIO()),
+		q:          q,
+		params:     make([]value.Value, q.NumParams),
+		subs:       make(map[*sem.Subquery]*subState, len(q.Subs)),
+		evals:      evals,
+		subFetches: new(int64),
 	}
 	for _, sp := range q.Subs {
 		ctx.subs[sp.Sub] = &subState{sp: sp}
@@ -114,9 +141,14 @@ func newBlockCtx(rt *Runtime, q *plan.Query, evals *int) *blockCtx {
 	return ctx
 }
 
-// fetchCount reads the buffer pool's page-fetch counter; operator
-// instrumentation takes before/after deltas of it.
-func (ctx *blockCtx) fetchCount() int64 { return ctx.rt.Pool.Stats().FetchCount() }
+// fetchCount reads the statement's page-fetch counter — this statement's
+// fetches only, so attribution stays exact under concurrent statements.
+func (ctx *blockCtx) fetchCount() int64 { return ctx.io.FetchCount() }
+
+// opFetchBase is the counter operator instrumentation deltas: the
+// statement's fetches minus those spent inside subquery evaluations (which
+// are attributed to the subquery's own block).
+func (ctx *blockCtx) opFetchBase() int64 { return ctx.io.FetchCount() - *ctx.subFetches }
 
 // run drives the block's operator tree to completion. The close is deferred
 // before open so that every exit path — including errors mid-open and panics
@@ -211,7 +243,7 @@ func OpenQuery(rt *Runtime, q *plan.Query) (*Cursor, error) {
 // OpenQueryArgs begins streaming execution with host-variable values bound.
 // A failed open releases any scans the plan managed to open before failing.
 func OpenQueryArgs(rt *Runtime, q *plan.Query, args []value.Value) (*Cursor, error) {
-	c := &Cursor{rt: rt, before: rt.Pool.Stats().Snapshot()}
+	c := &Cursor{rt: rt, before: rt.ensureIO().Snapshot()}
 	ctx := newBlockCtx(rt, q, &c.evals)
 	if err := bindHostArgs(ctx, q, args); err != nil {
 		return nil, err
@@ -263,7 +295,7 @@ func (c *Cursor) Close() error {
 func (c *Cursor) finish() error {
 	c.done = true
 	err := c.root.Close()
-	after := c.rt.Pool.Stats().Snapshot()
+	after := c.rt.IO.Snapshot()
 	c.stats = &Stats{IO: after.Sub(c.before), SubqueryEvals: c.evals, Rows: c.rows}
 	return err
 }

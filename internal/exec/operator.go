@@ -25,6 +25,8 @@ import (
 // EXPLAIN ANALYZE. Fetches and Elapsed are inclusive of the operator's
 // children (a child's Next runs inside its parent's); self-attribution is
 // inclusive minus the sum of the children, computed at rendering time.
+// Fetches are deltas of the statement's own counter (with subquery
+// evaluations excluded), so a concurrent statement's I/O never appears here.
 type OpStats struct {
 	// Opens counts Open calls — re-opens of a nested-loop inner make this
 	// the join's loop count.
@@ -101,10 +103,10 @@ func (o *op) Open() error {
 		return err
 	}
 	start := time.Now()
-	f0 := o.ctx.fetchCount()
+	f0 := o.ctx.opFetchBase()
 	err := o.impl.open()
 	o.stats.Opens++
-	o.stats.Fetches += o.ctx.fetchCount() - f0
+	o.stats.Fetches += o.ctx.opFetchBase() - f0
 	o.stats.Elapsed += time.Since(start)
 	return err
 }
@@ -117,13 +119,13 @@ func (o *op) Next() (c comp, ok bool, err error) {
 		return nil, false, err
 	}
 	start := time.Now()
-	f0 := o.ctx.fetchCount()
+	f0 := o.ctx.opFetchBase()
 	c, ok, err = o.impl.next()
 	o.stats.Nexts++
 	if ok {
 		o.stats.Rows++
 	}
-	o.stats.Fetches += o.ctx.fetchCount() - f0
+	o.stats.Fetches += o.ctx.opFetchBase() - f0
 	o.stats.Elapsed += time.Since(start)
 	return c, ok, err
 }

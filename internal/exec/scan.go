@@ -22,7 +22,7 @@ func (it *segScanOp) open() error {
 	if err != nil {
 		return err
 	}
-	it.scan = &rss.SegmentScan{Table: it.node.Table, Pool: it.ctx.rt.Pool, Sargs: sargs, Budget: it.ctx.rt.Budget}
+	it.scan = &rss.SegmentScan{Table: it.node.Table, Pool: it.ctx.rt.Pool, Sargs: sargs, Stmt: it.ctx.rt.IO, Budget: it.ctx.rt.Budget}
 	return it.scan.Open()
 }
 
@@ -84,7 +84,7 @@ func (it *indexScanOp) open() error {
 	it.scan = &rss.IndexScan{
 		Index: it.node.Index, Pool: it.ctx.rt.Pool,
 		Lo: lo, LoInc: it.node.LoInc, Hi: hi, HiInc: it.node.HiInc,
-		Sargs: sargs, Budget: it.ctx.rt.Budget,
+		Sargs: sargs, Stmt: it.ctx.rt.IO, Budget: it.ctx.rt.Budget,
 	}
 	return it.scan.Open()
 }

@@ -91,7 +91,7 @@ func (it *sortOp) open() (err error) {
 	res, err := xsort.Sort(xsort.Config{
 		Pool: it.ctx.rt.Pool, Disk: it.ctx.rt.Disk,
 		Keys: keys, Desc: desc, CountRSI: true,
-		Budget: it.ctx.rt.Budget,
+		Stmt: it.ctx.rt.IO, Budget: it.ctx.rt.Budget,
 	}, func() (value.Row, bool, error) {
 		c, ok, err := it.input.Next()
 		if err != nil || !ok {

@@ -27,6 +27,7 @@ type subState struct {
 	scalar  value.Value
 	set     map[string]bool
 	evals   int
+	fetches int64 // statement-local page fetches spent across evaluations
 }
 
 // bindChildParams computes the child block's correlation parameter values
@@ -79,8 +80,20 @@ func (ctx *blockCtx) evaluate(c comp, sub *sem.Subquery) (*subState, error) {
 		return st, nil
 	}
 	child := newBlockCtx(ctx.rt, st.sp.Query, ctx.evals)
+	// The subquery-fetch tracker is shared down the nesting so every level's
+	// operator attribution excludes the same evaluations.
+	child.subFetches = ctx.subFetches
+	sub0 := *ctx.subFetches
+	f0 := ctx.fetchCount()
 	copy(child.params, childParams)
 	rows, err := child.run()
+	// Everything this evaluation fetched — nested sub-subqueries included —
+	// belongs to the subquery's block: exclude it from the enclosing
+	// operator's delta exactly once (overwrite, don't add, so fetches a
+	// nested evaluation already registered are not counted twice).
+	delta := ctx.fetchCount() - f0
+	*ctx.subFetches = sub0 + delta
+	st.fetches += delta
 	if err != nil {
 		return nil, err
 	}

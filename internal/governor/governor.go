@@ -57,17 +57,27 @@ type Budget struct {
 	sinceCheck   int
 }
 
-// New creates a budget for one statement. stats is the engine's shared I/O
-// counter; the fetch budget is enforced against the delta from now. (Under
-// concurrent statements the shared counter makes fetch enforcement
-// conservative — another statement's fetches count against this budget too —
-// matching the engine's documented single-client measurement model.)
+// New creates a budget for one statement. stats is the statement's own I/O
+// accumulator (the same one the executor threads to its scans through a
+// storage.StmtIO view); the fetch budget is enforced against the delta from
+// now, so only this statement's fetches count against it — concurrent
+// statements cannot spend each other's budgets.
 func New(ctx context.Context, limits Limits, stats *storage.IOStats) *Budget {
 	b := &Budget{ctx: ctx, limits: limits, stats: stats}
 	if stats != nil {
 		b.startFetches = stats.Snapshot().PageFetches
 	}
 	return b
+}
+
+// IO returns the statement's I/O accumulator (nil for an ungoverned or
+// stats-less budget). The executor threads it to scans so budget enforcement
+// and measurement read the same per-statement counters.
+func (b *Budget) IO() *storage.IOStats {
+	if b == nil {
+		return nil
+	}
+	return b.stats
 }
 
 // CheckRow records one tuple examined at an RSI checkpoint and enforces the

@@ -17,6 +17,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Mode is a lock mode.
@@ -44,6 +46,9 @@ type Manager struct {
 	// waiters can select on together with their context's Done channel
 	// (the reason this is a channel rather than a sync.Cond).
 	wake chan struct{}
+	// waitObs, when set, observes how long each acquisition that had to
+	// block waited in total (metrics hook). Holds a func(time.Duration).
+	waitObs atomic.Value
 }
 
 type tableLock struct {
@@ -70,6 +75,29 @@ func (m *Manager) Acquire(reqs []Request) *Held {
 	return h
 }
 
+// SetWaitObserver installs fn (nil removes it) to be called once per
+// acquisition that had to block, with the total time spent waiting. The
+// observer runs outside the manager's mutex, after the wait ends — whether
+// the acquisition succeeded or was canceled.
+func (m *Manager) SetWaitObserver(fn func(time.Duration)) {
+	m.waitObs.Store(waitObserver{fn})
+}
+
+// waitObserver wraps the callback so atomic.Value always stores one
+// consistent concrete type (a bare nil func would panic the Store).
+type waitObserver struct {
+	fn func(time.Duration)
+}
+
+func (m *Manager) observeWait(start time.Time) {
+	if start.IsZero() {
+		return
+	}
+	if obs, ok := m.waitObs.Load().(waitObserver); ok && obs.fn != nil {
+		obs.fn(time.Since(start))
+	}
+}
+
 // AcquireContext is Acquire observing ctx: when ctx is done before every
 // lock is granted, any locks granted so far are returned and the context's
 // error is reported. On success the returned error is nil.
@@ -78,9 +106,13 @@ func (m *Manager) AcquireContext(ctx context.Context, reqs []Request) (*Held, er
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	var waitStart time.Time // zero until the first blocking wait
 	m.mu.Lock()
 	for i, r := range normalized {
 		for !m.grantableLocked(r) {
+			if waitStart.IsZero() {
+				waitStart = time.Now()
+			}
 			wake := m.wake
 			m.mu.Unlock()
 			select {
@@ -91,6 +123,7 @@ func (m *Manager) AcquireContext(ctx context.Context, reqs []Request) (*Held, er
 				}
 				m.broadcastLocked()
 				m.mu.Unlock()
+				m.observeWait(waitStart)
 				return nil, ctx.Err()
 			case <-wake:
 			}
@@ -99,6 +132,7 @@ func (m *Manager) AcquireContext(ctx context.Context, reqs []Request) (*Held, er
 		m.grantLocked(r)
 	}
 	m.mu.Unlock()
+	m.observeWait(waitStart)
 	return &Held{mgr: m, reqs: normalized}, nil
 }
 

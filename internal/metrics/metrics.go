@@ -1,0 +1,281 @@
+// Package metrics is a small, dependency-free instrumentation registry for
+// the engine: counters, gauges, and histograms on sync/atomic, with a
+// Prometheus-text exposition writer. It is the observability layer built on
+// top of the per-statement I/O accounting split — DB-wide aggregates
+// (buffer-pool hit ratio, plan-cache traffic, lock waits, governor aborts,
+// statement latency and cost) live here, while exact per-statement numbers
+// stay on each statement's own storage.IOStats accumulator.
+//
+// Two instrument styles coexist:
+//
+//   - event-driven instruments (Counter.Add, Histogram.Observe) updated on
+//     the statement path — all atomic, no locks, safe for concurrent
+//     statements;
+//   - collect-on-scrape gauges: a collector callback registered with
+//     OnCollect runs at every Snapshot/WriteTo and Sets gauges from live
+//     engine state (pool counters, cache occupancy, outstanding locks).
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"systemr/internal/check"
+)
+
+// Kind is an instrument kind, named after the Prometheus metric types.
+type Kind string
+
+// Instrument kinds.
+const (
+	KindCounter   Kind = "counter"
+	KindGauge     Kind = "gauge"
+	KindHistogram Kind = "histogram"
+)
+
+// atomicFloat is a float64 on atomic bit operations: lock-free Add via CAS,
+// plain Store/Load for set-style updates.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) load() float64   { return math.Float64frombits(f.bits.Load()) }
+func (f *atomicFloat) store(v float64) { f.bits.Store(math.Float64bits(v)) }
+
+func (f *atomicFloat) add(d float64) {
+	for {
+		old := f.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + d)
+		if f.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	v atomicFloat
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.add(1) }
+
+// Add increases the counter by d (d must not be negative).
+func (c *Counter) Add(d float64) { c.v.add(d) }
+
+// Value returns the current total.
+func (c *Counter) Value() float64 { return c.v.load() }
+
+// Gauge is a value that can go up and down (typically Set from live state by
+// a collector).
+type Gauge struct {
+	v atomicFloat
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.v.store(v) }
+
+// Add adjusts the gauge by d.
+func (g *Gauge) Add(d float64) { g.v.add(d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.v.load() }
+
+// Histogram accumulates observations into fixed cumulative buckets
+// (Prometheus histogram semantics: each bucket counts observations <= its
+// upper bound, plus an implicit +Inf bucket).
+type Histogram struct {
+	bounds []float64 // sorted upper bounds, exclusive of +Inf
+	counts []atomic.Int64
+	inf    atomic.Int64
+	sum    atomicFloat
+	count  atomic.Int64
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	if i < len(h.bounds) {
+		h.counts[i].Add(1)
+	} else {
+		h.inf.Add(1)
+	}
+	h.sum.add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return h.sum.load() }
+
+// Buckets returns the upper bounds and the cumulative count at each (the
+// final entry is the +Inf bucket, equal to Count).
+func (h *Histogram) Buckets() (bounds []float64, cumulative []int64) {
+	bounds = append(bounds, h.bounds...)
+	bounds = append(bounds, math.Inf(1))
+	cumulative = make([]int64, len(bounds))
+	var running int64
+	for i := range h.counts {
+		running += h.counts[i].Load()
+		cumulative[i] = running
+	}
+	cumulative[len(cumulative)-1] = running + h.inf.Load()
+	return bounds, cumulative
+}
+
+// DefBuckets are default latency buckets in seconds (sub-millisecond to
+// tens of seconds — statement execution spans this whole range).
+var DefBuckets = []float64{0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// metric is one registered instrument with its metadata.
+type metric struct {
+	name string
+	help string
+	kind Kind
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+}
+
+// Registry holds registered instruments in registration order and renders
+// them. Registration locks; instrument updates never do.
+type Registry struct {
+	mu       sync.Mutex
+	metrics  []*metric
+	byName   map[string]*metric
+	collects []func()
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*metric)}
+}
+
+// register adds m, panicking on duplicate names — registration happens once
+// at engine construction, so a duplicate is a programming error.
+func (r *Registry) register(m *metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[m.name]; dup {
+		check.Failf("metrics: duplicate metric %q", m.name)
+	}
+	r.byName[m.name] = m
+	r.metrics = append(r.metrics, m)
+}
+
+// NewCounter registers and returns a counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(&metric{name: name, help: help, kind: KindCounter, c: c})
+	return c
+}
+
+// NewGauge registers and returns a gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(&metric{name: name, help: help, kind: KindGauge, g: g})
+	return g
+}
+
+// NewHistogram registers and returns a histogram over the given bucket upper
+// bounds (sorted ascending; nil uses DefBuckets).
+func (r *Registry) NewHistogram(name, help string, buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	bounds := append([]float64(nil), buckets...)
+	sort.Float64s(bounds)
+	h := &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds))}
+	r.register(&metric{name: name, help: help, kind: KindHistogram, h: h})
+	return h
+}
+
+// OnCollect registers a collector run before every Snapshot or WriteTo —
+// the hook that refreshes collect-on-scrape gauges from live engine state.
+func (r *Registry) OnCollect(fn func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collects = append(r.collects, fn)
+}
+
+// Sample is one instrument's state at snapshot time.
+type Sample struct {
+	Name string
+	Help string
+	Kind Kind
+	// Value holds a counter's total or a gauge's value; for histograms it is
+	// the sum of observations.
+	Value float64
+	// Count is the number of observations (histograms only).
+	Count int64
+	// Buckets/BucketCounts are the cumulative histogram buckets (histograms
+	// only); the final bound is +Inf.
+	Buckets      []float64
+	BucketCounts []int64
+}
+
+// Snapshot runs the collectors and returns every instrument's current state
+// in registration order.
+func (r *Registry) Snapshot() []Sample {
+	r.mu.Lock()
+	collects := append([]func(){}, r.collects...)
+	ms := append([]*metric{}, r.metrics...)
+	r.mu.Unlock()
+	for _, fn := range collects {
+		fn()
+	}
+	out := make([]Sample, 0, len(ms))
+	for _, m := range ms {
+		s := Sample{Name: m.name, Help: m.help, Kind: m.kind}
+		switch m.kind {
+		case KindCounter:
+			s.Value = m.c.Value()
+		case KindGauge:
+			s.Value = m.g.Value()
+		case KindHistogram:
+			s.Value = m.h.Sum()
+			s.Count = m.h.Count()
+			s.Buckets, s.BucketCounts = m.h.Buckets()
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// WriteTo renders the registry in the Prometheus text exposition format
+// (implements io.WriterTo), running the collectors first.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	for _, s := range r.Snapshot() {
+		fmt.Fprintf(&b, "# HELP %s %s\n", s.Name, s.Help)
+		fmt.Fprintf(&b, "# TYPE %s %s\n", s.Name, s.Kind)
+		switch s.Kind {
+		case KindHistogram:
+			for i, bound := range s.Buckets {
+				fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", s.Name, formatBound(bound), s.BucketCounts[i])
+			}
+			fmt.Fprintf(&b, "%s_sum %s\n", s.Name, formatValue(s.Value))
+			fmt.Fprintf(&b, "%s_count %d\n", s.Name, s.Count)
+		default:
+			fmt.Fprintf(&b, "%s %s\n", s.Name, formatValue(s.Value))
+		}
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+func formatBound(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return formatValue(v)
+}
+
+func formatValue(v float64) string { return fmt.Sprintf("%g", v) }

@@ -1,0 +1,130 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("requests_total", "requests served")
+	g := r.NewGauge("occupancy", "entries resident")
+	c.Inc()
+	c.Add(2.5)
+	g.Set(7)
+	g.Add(-3)
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter = %g, want 3.5", got)
+	}
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %g, want 4", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("latency_seconds", "statement latency", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.01, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	bounds, counts := h.Buckets()
+	if len(bounds) != 4 || !math.IsInf(bounds[3], 1) {
+		t.Fatalf("bounds = %v, want three finite + +Inf", bounds)
+	}
+	// Cumulative: <=0.01 holds 0.005 and 0.01; <=0.1 adds 0.05; <=1 adds 0.5;
+	// +Inf adds 5.
+	want := []int64{2, 3, 4, 5}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, counts[i], want[i], counts)
+		}
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-5.565) > 1e-9 {
+		t.Fatalf("sum = %g, want 5.565", got)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("dup", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.NewCounter("dup", "")
+}
+
+func TestCollectorRunsOnSnapshot(t *testing.T) {
+	r := NewRegistry()
+	g := r.NewGauge("live_value", "refreshed at scrape")
+	live := 0
+	r.OnCollect(func() { g.Set(float64(live)) })
+	live = 42
+	samples := r.Snapshot()
+	if len(samples) != 1 || samples[0].Value != 42 {
+		t.Fatalf("collector did not refresh gauge: %+v", samples)
+	}
+}
+
+func TestWriteToPrometheusText(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("engine_statements_total", "statements executed")
+	g := r.NewGauge("engine_buffer_hit_ratio", "buffer-pool hit ratio")
+	h := r.NewHistogram("engine_latency_seconds", "statement latency", []float64{0.01, 1})
+	c.Add(3)
+	g.Set(0.75)
+	h.Observe(0.005)
+	h.Observe(2)
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP engine_statements_total statements executed",
+		"# TYPE engine_statements_total counter",
+		"engine_statements_total 3",
+		"# TYPE engine_buffer_hit_ratio gauge",
+		"engine_buffer_hit_ratio 0.75",
+		"# TYPE engine_latency_seconds histogram",
+		`engine_latency_seconds_bucket{le="0.01"} 1`,
+		`engine_latency_seconds_bucket{le="1"} 1`,
+		`engine_latency_seconds_bucket{le="+Inf"} 2`,
+		"engine_latency_seconds_sum 2.005",
+		"engine_latency_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c", "")
+	h := r.NewHistogram("h", "", []float64{1})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %g, want 8000", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.Count())
+	}
+}

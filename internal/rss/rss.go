@@ -124,10 +124,16 @@ type SegmentScan struct {
 	Table *catalog.Table
 	Pool  *storage.BufferPool
 	Sargs SargSet
+	// Stmt, when non-nil, is the statement's own I/O accumulator: the scan's
+	// page fetches and RSI calls are counted into it in addition to the
+	// pool's DB-global aggregate, so the statement's measured cost is exact
+	// under concurrency.
+	Stmt *storage.IOStats
 	// Budget, when non-nil, is the statement's execution governor, checked
 	// at OPEN, on every page transition, and per tuple examined.
 	Budget *governor.Budget
 
+	io    storage.StmtIO
 	pages []storage.PageID
 	pi    int
 	slot  uint16
@@ -140,6 +146,7 @@ func (s *SegmentScan) Open() error {
 	if err := s.Budget.Check(); err != nil {
 		return err
 	}
+	s.io = s.Pool.View(s.Stmt)
 	s.pages = s.Table.Segment.Pages()
 	s.pi = -1
 	s.page = nil
@@ -165,7 +172,7 @@ func (s *SegmentScan) Next() (value.Row, storage.TID, bool, error) {
 			if err := s.Budget.Check(); err != nil {
 				return nil, storage.TID{}, false, err
 			}
-			page, err := s.Pool.Fetch(s.pages[s.pi])
+			page, err := s.io.Fetch(s.pages[s.pi])
 			if err != nil {
 				return nil, storage.TID{}, false, err
 			}
@@ -189,7 +196,7 @@ func (s *SegmentScan) Next() (value.Row, storage.TID, bool, error) {
 		if !s.Sargs.Match(row) {
 			continue
 		}
-		s.Pool.Stats().AddRSICall()
+		s.io.AddRSICall()
 		return row, storage.TID{Page: s.pages[s.pi], Slot: slot}, true, nil
 	}
 }
@@ -215,10 +222,14 @@ type IndexScan struct {
 	Hi    []value.Value
 	HiInc bool
 	Sargs SargSet
+	// Stmt, when non-nil, is the statement's own I/O accumulator (see
+	// SegmentScan.Stmt).
+	Stmt *storage.IOStats
 	// Budget, when non-nil, is the statement's execution governor, checked
 	// at OPEN and per index entry examined.
 	Budget *governor.Budget
 
+	io   storage.StmtIO
 	it   *btree.Iterator
 	open bool
 }
@@ -228,7 +239,8 @@ func (s *IndexScan) Open() error {
 	if err := s.Budget.Check(); err != nil {
 		return err
 	}
-	s.it = s.Index.Tree.Seek(s.Pool, s.Lo)
+	s.io = s.Pool.View(s.Stmt)
+	s.it = s.Index.Tree.Seek(s.io, s.Lo)
 	if !s.open {
 		s.open = true
 		openScans.Add(1)
@@ -258,7 +270,7 @@ func (s *IndexScan) Next() (value.Row, storage.TID, bool, error) {
 				return nil, storage.TID{}, false, nil
 			}
 		}
-		page, err := s.Pool.Fetch(e.TID.Page)
+		page, err := s.io.Fetch(e.TID.Page)
 		if err != nil {
 			return nil, storage.TID{}, false, err
 		}
@@ -273,7 +285,7 @@ func (s *IndexScan) Next() (value.Row, storage.TID, bool, error) {
 		if !s.Sargs.Match(row) {
 			continue
 		}
-		s.Pool.Stats().AddRSICall()
+		s.io.AddRSICall()
 		return row, e.TID, true, nil
 	}
 }
@@ -318,7 +330,7 @@ func Insert(t *catalog.Table, row value.Row) (storage.TID, error) {
 }
 
 func indexHasKey(ix *catalog.Index, key value.Row) bool {
-	it := ix.Tree.Seek(nil, key)
+	it := ix.Tree.Seek(storage.StmtIO{}, key)
 	e, ok := it.Next()
 	return ok && btree.ComparePrefix(e.Key, key) == 0
 }

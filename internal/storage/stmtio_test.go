@@ -1,0 +1,182 @@
+package storage
+
+import (
+	"sync"
+	"testing"
+)
+
+// poolWithPages returns a pool plus n allocated, written-through page IDs.
+func poolWithPages(t *testing.T, capacity, n int) (*BufferPool, []PageID) {
+	t.Helper()
+	disk := NewDisk()
+	stats := &IOStats{}
+	bp := NewBufferPool(disk, capacity, stats)
+	ids := make([]PageID, n)
+	for i := range ids {
+		ids[i], _ = disk.AllocPage()
+	}
+	return bp, ids
+}
+
+// TestStmtIODoubleLedger checks every access through a statement view lands
+// on both ledgers: the statement's own accumulator and the pool's DB-global
+// stats.
+func TestStmtIODoubleLedger(t *testing.T) {
+	bp, ids := poolWithPages(t, 8, 3)
+	stmt := &IOStats{}
+	io := bp.View(stmt)
+	for _, id := range ids {
+		if _, err := io.Fetch(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := io.Fetch(ids[0]); err != nil { // hit: logical read, no fetch
+		t.Fatal(err)
+	}
+	io.AddRSICall()
+	io.MarkWritten(ids[1])
+
+	want := IOStatsSnapshot{PageFetches: 3, LogicalReads: 4, RSICalls: 1, PagesWritten: 1}
+	if got := stmt.Snapshot(); got != want {
+		t.Fatalf("statement ledger = %+v, want %+v", got, want)
+	}
+	if got := bp.Stats().Snapshot(); got != want {
+		t.Fatalf("global ledger = %+v, want %+v", got, want)
+	}
+}
+
+// TestStmtIOSeparatesStatements runs two statement views over the same pool
+// and checks each ledger holds only its own traffic while the global ledger
+// holds the sum.
+func TestStmtIOSeparatesStatements(t *testing.T) {
+	bp, ids := poolWithPages(t, 16, 6)
+	a, b := &IOStats{}, &IOStats{}
+	ioA, ioB := bp.View(a), bp.View(b)
+	for _, id := range ids[:2] {
+		if _, err := ioA.Fetch(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range ids[2:] {
+		if _, err := ioB.Fetch(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := a.FetchCount(); got != 2 {
+		t.Fatalf("statement A fetches = %d, want 2", got)
+	}
+	if got := b.FetchCount(); got != 4 {
+		t.Fatalf("statement B fetches = %d, want 4", got)
+	}
+	if got := bp.Stats().FetchCount(); got != 6 {
+		t.Fatalf("global fetches = %d, want 6", got)
+	}
+}
+
+// TestStmtIONilAndZero checks the inert forms: a view with a nil statement
+// accumulator counts only globally, and the zero StmtIO is a safe no-op.
+func TestStmtIONilAndZero(t *testing.T) {
+	bp, ids := poolWithPages(t, 8, 1)
+	io := bp.View(nil)
+	if _, err := io.Fetch(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if got := bp.Stats().FetchCount(); got != 1 {
+		t.Fatalf("global fetches = %d, want 1", got)
+	}
+	// FetchCount with no statement accumulator falls back to the global.
+	if got := io.FetchCount(); got != 1 {
+		t.Fatalf("view FetchCount = %d, want global fallback 1", got)
+	}
+	var zero StmtIO
+	zero.Touch(ids[0])
+	zero.AddRSICall()
+	if got := zero.FetchCount(); got != 0 {
+		t.Fatalf("zero view FetchCount = %d, want 0", got)
+	}
+}
+
+// TestStmtIOConcurrentExact hammers disjoint statement views from parallel
+// goroutines (run with -race) and checks each statement ledger ends exactly
+// at its own traffic — the accounting property the executor's per-operator
+// deltas rely on.
+func TestStmtIOConcurrentExact(t *testing.T) {
+	const goroutines, reps = 8, 200
+	bp, ids := poolWithPages(t, goroutines, goroutines)
+	stmts := make([]*IOStats, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		stmts[g] = &IOStats{}
+		io := bp.View(stmts[g])
+		id := ids[g]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < reps; i++ {
+				if _, err := io.Fetch(id); err != nil {
+					return
+				}
+				io.AddRSICall()
+			}
+		}()
+	}
+	wg.Wait()
+	var totalFetches int64
+	for g, stmt := range stmts {
+		s := stmt.Snapshot()
+		// Each goroutine touches one private page: 1 miss, then hits.
+		if s.PageFetches != 1 || s.LogicalReads != reps || s.RSICalls != reps {
+			t.Fatalf("goroutine %d ledger = %+v, want fetches=1 reads=%d rsi=%d", g, s, reps, reps)
+		}
+		totalFetches += s.PageFetches
+	}
+	g := bp.Stats().Snapshot()
+	if g.PageFetches != totalFetches || g.LogicalReads != goroutines*reps || g.RSICalls != goroutines*reps {
+		t.Fatalf("global ledger = %+v, want sum of statement ledgers", g)
+	}
+}
+
+// TestFaultInjectorDeterministicUnderConcurrency checks fetchN: with N
+// goroutines racing cold fetches, the injector sees every ordinal 1..N
+// exactly once — the sequence is total, not per-goroutine.
+func TestFaultInjectorDeterministicUnderConcurrency(t *testing.T) {
+	const pages = 32
+	bp, ids := poolWithPages(t, pages, pages)
+	rec := &recordingInjector{seen: make(map[int64]int)}
+	bp.SetFaultInjector(rec)
+	var wg sync.WaitGroup
+	for _, id := range ids {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := bp.Fetch(id); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if len(rec.seen) != pages {
+		t.Fatalf("injector saw %d distinct ordinals, want %d", len(rec.seen), pages)
+	}
+	for n := int64(1); n <= pages; n++ {
+		if rec.seen[n] != 1 {
+			t.Fatalf("ordinal %d seen %d times, want exactly once", n, rec.seen[n])
+		}
+	}
+}
+
+// recordingInjector counts how often each fetch ordinal is observed. Its
+// own lock keeps the test independent of where the pool chooses to call
+// the injector.
+type recordingInjector struct {
+	mu   sync.Mutex
+	seen map[int64]int
+}
+
+func (r *recordingInjector) PageFetch(n int64, id PageID) error {
+	r.mu.Lock()
+	r.seen[n]++
+	r.mu.Unlock()
+	return nil
+}

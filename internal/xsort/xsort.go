@@ -32,6 +32,10 @@ type Config struct {
 	// temporary list and one per tuple delivered from it, mirroring the cost
 	// model's CPU term for sorts.
 	CountRSI bool
+	// Stmt, when non-nil, is the statement's own I/O accumulator: the sort's
+	// temp-page writes, re-fetches, and RSI charges count into it in addition
+	// to the pool's DB-global aggregate.
+	Stmt *storage.IOStats
 	// Budget, when non-nil, is the statement's execution governor; merge
 	// passes and temp-list delivery tick it so a canceled statement aborts
 	// even after its input scans have drained.
@@ -56,7 +60,7 @@ type run struct {
 
 type runReader struct {
 	disk   *storage.Disk
-	bpool  *storage.BufferPool
+	io     storage.StmtIO
 	budget *governor.Budget
 	pages  []storage.PageID
 	pi     int
@@ -182,12 +186,12 @@ func writeRun(cfg Config, rows []value.Row, countRSI bool) (*run, error) {
 			return nil, fmt.Errorf("xsort: writing temporary list: %w", err)
 		}
 		if countRSI && cfg.CountRSI {
-			cfg.Pool.Stats().AddRSICall()
+			cfg.io().AddRSICall()
 		}
 	}
 	pages := seg.Pages()
 	for _, p := range pages {
-		cfg.Pool.MarkWritten(p)
+		cfg.io().MarkWritten(p)
 	}
 	return &run{seg: seg, pages: pages, rows: len(rows)}, nil
 }
@@ -236,8 +240,11 @@ func releaseRun(cfg Config, r *run) {
 	}
 }
 
+// io returns the statement-scoped accounting view of the pool.
+func (cfg Config) io() storage.StmtIO { return cfg.Pool.View(cfg.Stmt) }
+
 func newRunReader(cfg Config, r *run) *runReader {
-	return &runReader{disk: cfg.Disk, bpool: cfg.Pool, budget: cfg.Budget, pages: r.pages}
+	return &runReader{disk: cfg.Disk, io: cfg.io(), budget: cfg.Budget, pages: r.pages}
 }
 
 // next reads the following row of the run, fetching temp pages through the
@@ -251,7 +258,7 @@ func (rd *runReader) next() (value.Row, bool, error) {
 			if rd.pi >= len(rd.pages) {
 				return nil, false, nil
 			}
-			page, err := rd.bpool.Fetch(rd.pages[rd.pi])
+			page, err := rd.io.Fetch(rd.pages[rd.pi])
 			if err != nil {
 				return nil, false, err
 			}
@@ -344,7 +351,7 @@ func (res *Result) Next() (value.Row, bool, error) {
 	}
 	res.rows++
 	if res.cfg.CountRSI {
-		res.cfg.Pool.Stats().AddRSICall()
+		res.cfg.io().AddRSICall()
 	}
 	return e.row, true, nil
 }

@@ -17,6 +17,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"systemr/internal/compile"
 	"systemr/internal/exec"
@@ -105,7 +106,9 @@ func (s *Stmt) Run(args ...any) (*Result, error) {
 
 // RunContext is Run observing ctx: cancellation, deadlines, and the
 // configured resource budgets abort execution as in ExecContext.
-func (s *Stmt) RunContext(ctx context.Context, args ...any) (*Result, error) {
+func (s *Stmt) RunContext(ctx context.Context, args ...any) (res *Result, err error) {
+	start := time.Now()
+	defer func() { s.db.observeStatement(start, err) }()
 	vals, err := hostValues(args)
 	if err != nil {
 		return nil, err

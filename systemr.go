@@ -106,6 +106,7 @@ type DB struct {
 	locks    *lock.Manager
 	compiler *compile.Pipeline
 	plans    *compile.Cache // nil when caching is disabled
+	metrics  *dbMetrics
 	last     ExecStats
 }
 
@@ -169,6 +170,7 @@ func Open(cfg Config) *DB {
 		}
 		db.plans = compile.NewCache(size)
 	}
+	db.metrics = newDBMetrics(db)
 	return db
 }
 
@@ -188,7 +190,9 @@ func (db *DB) Exec(text string) (*Result, error) {
 // fast path: the cached entry supplies the lock set, and parse, semantic
 // analysis, and optimization are all skipped (the System R premise —
 // compile once, execute many).
-func (db *DB) ExecContext(ctx context.Context, text string) (*Result, error) {
+func (db *DB) ExecContext(ctx context.Context, text string) (res *Result, err error) {
+	start := time.Now()
+	defer func() { db.observeStatement(start, err) }()
 	if db.cfg.StatementTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, db.cfg.StatementTimeout)
@@ -258,11 +262,13 @@ func (db *DB) resolveSelect(gov *governor.Budget, norm, argSig string, sel *sql.
 	}
 	var cp *compile.CompiledPlan
 	var err error
+	cstart := time.Now()
 	if sel != nil {
 		cp, err = db.compiler.CompileSelect(gov, sel, norm)
 	} else {
 		cp, err = db.compiler.CompileSelectText(gov, norm)
 	}
+	db.observeCompile(cstart)
 	if err != nil {
 		return nil, false, wrapGovErr(err, ExecStats{})
 	}
@@ -352,21 +358,28 @@ func (db *DB) Pool() *storage.BufferPool { return db.pool }
 // Locks().Outstanding() == 0 between statements).
 func (db *DB) Locks() *lock.Manager { return db.locks }
 
-// Runtime returns an ungoverned executor runtime bound to this database.
+// Runtime returns an ungoverned executor runtime bound to this database,
+// carrying its own fresh statement accumulator (single-statement tooling:
+// experiment drivers and tests).
 func (db *DB) Runtime() *exec.Runtime { return db.runtime(nil) }
 
-// runtime binds an executor runtime with the statement's governor budget.
+// runtime binds an executor runtime with the statement's governor budget and
+// the statement's own I/O accumulator, so every page access and RSI call of
+// the statement is measured on its own ledger — exact under concurrency —
+// while still aggregating into the pool's DB-global counters.
 func (db *DB) runtime(g *governor.Budget) *exec.Runtime {
-	return &exec.Runtime{Pool: db.pool, Disk: db.disk, Budget: g}
+	return &exec.Runtime{Pool: db.pool, Disk: db.disk, Budget: g, IO: g.IO()}
 }
 
 // newGovernor creates one statement's execution budget from the configured
-// limits, snapshotting the engine-wide fetch counter as its baseline.
+// limits, over a fresh per-statement I/O accumulator: the fetch budget is
+// enforced against this statement's fetches alone, and the same accumulator
+// becomes the statement's measurement ledger via runtime.
 func (db *DB) newGovernor(ctx context.Context) *governor.Budget {
 	return governor.New(ctx, governor.Limits{
 		MaxRowsScanned: db.cfg.MaxRowsScanned,
 		MaxPageFetches: db.cfg.MaxPageFetches,
-	}, db.stats)
+	}, &storage.IOStats{})
 }
 
 // OptimizerConfig returns the core optimizer configuration this database
@@ -407,7 +420,10 @@ func (db *DB) planBlock(gov *governor.Budget, blk *sem.Block) (*plan.Query, erro
 	if err := gov.Check(); err != nil {
 		return nil, wrapGovErr(err, ExecStats{})
 	}
-	return db.compiler.PlanBlock(blk)
+	cstart := time.Now()
+	q, err := db.compiler.PlanBlock(blk)
+	db.observeCompile(cstart)
+	return q, err
 }
 
 // PlanCacheStats reports plan-cache observability: served hits, compiling
@@ -563,6 +579,12 @@ func (db *DB) setLast(s ExecStats) {
 	db.mu.Lock()
 	db.last = s
 	db.mu.Unlock()
+	if m := db.metrics; m != nil {
+		m.stmtCost.Add(s.Cost(db.cfg.W))
+		m.stmtFetches.Add(float64(s.PageFetches + s.PagesWritten))
+		m.stmtRSI.Add(float64(s.RSICalls))
+		m.stmtRows.Add(float64(s.Rows))
+	}
 }
 
 // wrapGovErr converts a governor abort (cancellation, deadline, budget) into
