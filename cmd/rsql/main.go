@@ -1,6 +1,8 @@
 // Command rsql is an interactive SQL shell over the systemr engine — the
 // "on-line casual-user-oriented terminal interface" of the paper's
-// introduction. Statements end with ';'. Shell commands:
+// introduction. Statements end with ';'. The shell is one session: BEGIN
+// opens a transaction (the prompt becomes "txn>"), COMMIT and ROLLBACK end
+// it; statements outside a transaction autocommit. Shell commands:
 //
 //	\d          list tables, indexes, and statistics
 //	\stats      measured cost of the last statement
@@ -46,6 +48,7 @@ func main() {
 // timing starts the session with per-statement cost reporting on.
 func run(input io.Reader, out io.Writer, sigc <-chan os.Signal, timing bool) {
 	db := systemr.Open(systemr.Config{})
+	conn := db.Conn()
 	in := bufio.NewScanner(input)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
 	fmt.Fprintln(out, "systemr — System R access path selection, reproduced.")
@@ -53,10 +56,17 @@ func run(input io.Reader, out io.Writer, sigc <-chan os.Signal, timing bool) {
 
 	var buf strings.Builder
 	prompt := func() {
-		if buf.Len() == 0 {
-			fmt.Fprint(out, "sql> ")
-		} else {
+		switch {
+		case buf.Len() > 0:
 			fmt.Fprint(out, "...> ")
+		case conn.TxnAborted():
+			// The open transaction was rolled back by the engine (deadlock
+			// victim or lock timeout); only ROLLBACK gets out.
+			fmt.Fprint(out, "txn!> ")
+		case conn.InTxn():
+			fmt.Fprint(out, "txn> ")
+		default:
+			fmt.Fprint(out, "sql> ")
 		}
 	}
 	prompt()
@@ -85,7 +95,9 @@ func run(input io.Reader, out io.Writer, sigc <-chan os.Signal, timing bool) {
 				}
 				fmt.Fprintln(out, "timing", state)
 			case trimmed == "\\load emp":
+				_ = conn.Close() // roll back any open transaction on the old DB
 				db = workload.NewEmpDB(workload.EmpConfig{Emps: 2000, Depts: 50, Jobs: 10})
+				conn = db.Conn()
 				fmt.Fprintln(out, "loaded EMP (2000), DEPT (50), JOB (10) with indexes and statistics")
 			case trimmed == "\\dump":
 				if err := db.DumpSQL(out); err != nil {
@@ -106,7 +118,7 @@ func run(input io.Reader, out io.Writer, sigc <-chan os.Signal, timing bool) {
 		stmt := buf.String()
 		buf.Reset()
 		start := time.Now()
-		res, err := execInterruptible(db, stmt, sigc)
+		res, err := execInterruptible(conn, stmt, sigc)
 		elapsed := time.Since(start)
 		if err != nil {
 			fmt.Fprintln(out, "error:", err)
@@ -135,13 +147,14 @@ func printCache(out io.Writer, s systemr.PlanCacheStats) {
 	fmt.Fprintf(out, "compilations: %d  catalog version: %d\n", s.Compilations, s.CatalogVersion)
 }
 
-// execInterruptible runs one statement under a context canceled by the first
-// signal to arrive during execution. Signals delivered between statements
-// (e.g. a Ctrl-C that landed just after a statement finished) are drained
-// first so they cannot cancel the next statement spuriously.
-func execInterruptible(db *systemr.DB, stmt string, sigc <-chan os.Signal) (*systemr.Result, error) {
+// execInterruptible runs one statement on the session under a context
+// canceled by the first signal to arrive during execution. Signals delivered
+// between statements (e.g. a Ctrl-C that landed just after a statement
+// finished) are drained first so they cannot cancel the next statement
+// spuriously.
+func execInterruptible(conn *systemr.Conn, stmt string, sigc <-chan os.Signal) (*systemr.Result, error) {
 	if sigc == nil {
-		return db.Exec(stmt)
+		return conn.Exec(stmt)
 	}
 drain:
 	for {
@@ -162,7 +175,7 @@ drain:
 		case <-ctx.Done():
 		}
 	}()
-	res, err := db.ExecContext(ctx, stmt)
+	res, err := conn.ExecContext(ctx, stmt)
 	cancel()
 	<-watchDone
 	return res, err

@@ -150,21 +150,21 @@ func TestShellDump(t *testing.T) {
 // TestInterruptCancelsStatement delivers a "Ctrl-C" mid-statement and checks
 // that only the in-flight statement dies — the shell's database stays usable.
 func TestInterruptCancelsStatement(t *testing.T) {
-	db := workload.NewEmpDB(workload.EmpConfig{Emps: 2000, Depts: 50, Jobs: 10})
+	conn := workload.NewEmpDB(workload.EmpConfig{Emps: 2000, Depts: 50, Jobs: 10}).Conn()
 	sigc := make(chan os.Signal, 1)
 	go func() {
 		time.Sleep(5 * time.Millisecond)
 		sigc <- os.Interrupt
 	}()
 	// Unindexed self-join: ~4M tuple visits, far longer than the signal delay.
-	_, err := execInterruptible(db,
+	_, err := execInterruptible(conn,
 		"SELECT COUNT(*) FROM EMP E1, EMP E2 WHERE E1.SAL < E2.SAL", sigc)
 	if !errors.Is(err, systemr.ErrCanceled) {
 		t.Fatalf("interrupted statement: got %v, want ErrCanceled", err)
 	}
 	// A stale signal queued between statements must not cancel the next one.
 	sigc <- os.Interrupt
-	res, err := execInterruptible(db, "SELECT COUNT(*) FROM EMP", sigc)
+	res, err := execInterruptible(conn, "SELECT COUNT(*) FROM EMP", sigc)
 	if err != nil {
 		t.Fatalf("follow-up statement after interrupt: %v", err)
 	}

@@ -1,0 +1,173 @@
+package systemr_test
+
+// Crash-consistency sweep: SetMutationFault fails the statement at every
+// possible mutation ordinal in turn — a deterministic "crash" injected
+// mid-UPDATE or mid-DELETE — and after each injected failure the database
+// must be byte-identical to its pre-statement dump, with no leaked locks or
+// scans, and with the indexes still consistent with the heap. The mutation-
+// side analog of the storage.FaultInjector fetch-side tests in
+// govern_test.go.
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"systemr"
+)
+
+// failNth fails the nth logged mutation (1-based) with ErrInjectedFault.
+func failNth(n int64) func(int64) error {
+	return func(k int64) error {
+		if k == n {
+			return fmt.Errorf("%w: mutation %d", systemr.ErrInjectedFault, k)
+		}
+		return nil
+	}
+}
+
+// sweepStatement runs stmt against a fresh db from build() with a fault
+// injected at every mutation ordinal 1..N, asserting exact rollback each
+// time, then verifies the clean run (ordinal beyond N) applies fully.
+// Returns how many mutation ordinals the statement has.
+func sweepStatement(t *testing.T, build func() *systemr.DB, stmt string) int64 {
+	t.Helper()
+	for n := int64(1); ; n++ {
+		db := build()
+		before := dumpSQL(t, db)
+		db.SetMutationFault(failNth(n))
+		_, err := db.Exec(stmt)
+		db.SetMutationFault(nil)
+		if err == nil {
+			// The statement has fewer than n mutations: the clean run is the
+			// sweep's exit — verify it actually changed the database.
+			if dumpSQL(t, db) == before {
+				t.Fatalf("%s: clean run changed nothing", stmt)
+			}
+			assertClean(t, db)
+			return n - 1
+		}
+		if !errors.Is(err, systemr.ErrInjectedFault) {
+			t.Fatalf("%s at ordinal %d: %v, want ErrInjectedFault", stmt, n, err)
+		}
+		assertClean(t, db)
+		if after := dumpSQL(t, db); after != before {
+			t.Fatalf("%s: fault at ordinal %d leaked state:\n--- before ---\n%s--- after ---\n%s",
+				stmt, n, before, after)
+		}
+		// Index-vs-heap consistency: the indexed count must agree with the
+		// unindexed one after the rollback.
+		viaIndex := count(t, db, "SELECT COUNT(*) FROM T WHERE K >= 0")
+		viaScan := count(t, db, "SELECT COUNT(*) FROM T WHERE V >= 0")
+		if viaIndex != viaScan {
+			t.Fatalf("%s at ordinal %d: index count %d != scan count %d",
+				stmt, n, viaIndex, viaScan)
+		}
+	}
+}
+
+func TestCrashConsistencySweep(t *testing.T) {
+	build := func() *systemr.DB { return newTxnDB(t) }
+	// Multi-row UPDATE: 2 mutations per affected row (delete + insert).
+	if got := sweepStatement(t, build, "UPDATE T SET V = V + 1 WHERE K <= 4"); got != 8 {
+		t.Fatalf("UPDATE mutation count = %d, want 8", got)
+	}
+	// Multi-row DELETE: 1 mutation per affected row.
+	if got := sweepStatement(t, build, "DELETE FROM T WHERE K >= 2"); got != 4 {
+		t.Fatalf("DELETE mutation count = %d, want 4", got)
+	}
+	// Multi-row INSERT: 1 mutation per row.
+	if got := sweepStatement(t, build, "INSERT INTO T VALUES (6, 60), (7, 70), (8, 80)"); got != 3 {
+		t.Fatalf("INSERT mutation count = %d, want 3", got)
+	}
+}
+
+// TestCrashSweepInsideTxn drives the same sweep through an explicit
+// transaction: the faulted statement rolls back alone, the surrounding
+// transaction stays usable, and after ROLLBACK the database is byte-exact.
+func TestCrashSweepInsideTxn(t *testing.T) {
+	for n := int64(1); ; n++ {
+		db := newTxnDB(t)
+		before := dumpSQL(t, db)
+		conn := db.Conn()
+		if _, err := conn.Exec("BEGIN"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := conn.Exec("INSERT INTO T VALUES (6, 60)"); err != nil {
+			t.Fatal(err)
+		}
+		db.SetMutationFault(failNth(n))
+		// Ordinals continue from the INSERT above (1 mutation): the UPDATE's
+		// own mutations are ordinals 2..9 of this transaction.
+		_, err := conn.Exec("UPDATE T SET V = V * 10 WHERE K <= 4")
+		db.SetMutationFault(nil)
+		if n == 1 {
+			// The transaction's first mutation (the INSERT) ran before the
+			// hook was installed, so ordinal 1 can no longer fire and the
+			// UPDATE must succeed.
+			if err != nil {
+				t.Fatalf("ordinal 1 (already consumed) still fired: %v", err)
+			}
+			if err := conn.Close(); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		if err == nil {
+			// Past the statement's last mutation: commit and stop sweeping.
+			if _, cerr := conn.Exec("COMMIT"); cerr != nil {
+				t.Fatal(cerr)
+			}
+			if got := count(t, db, "SELECT COUNT(*) FROM T WHERE V = 100"); got != 1 {
+				t.Fatal("clean run's update missing after commit")
+			}
+			assertClean(t, db)
+			return
+		}
+		if !errors.Is(err, systemr.ErrInjectedFault) {
+			t.Fatalf("ordinal %d: %v, want ErrInjectedFault", n, err)
+		}
+		// The transaction survives its statement's rollback.
+		if got := count(t, conn, "SELECT COUNT(*) FROM T WHERE K = 6"); got != 1 {
+			t.Fatal("statement rollback took the transaction's earlier insert with it")
+		}
+		if got := count(t, conn, "SELECT COUNT(*) FROM T WHERE V >= 100"); got != 0 {
+			t.Fatalf("ordinal %d: faulted UPDATE leaked rows inside the txn", n)
+		}
+		if _, err := conn.Exec("ROLLBACK"); err != nil {
+			t.Fatal(err)
+		}
+		assertClean(t, db)
+		if after := dumpSQL(t, db); after != before {
+			t.Fatalf("ordinal %d: rollback after fault leaked state:\n%s", n, after)
+		}
+	}
+}
+
+// TestPanicInMutationHookRollsBack converts the fault hook into a panic —
+// the executor's panic containment plus undo must behave exactly like an
+// error return: *PanicError out, byte-exact state, no leaks.
+func TestPanicInMutationHookRollsBack(t *testing.T) {
+	db := newTxnDB(t)
+	before := dumpSQL(t, db)
+	db.SetMutationFault(func(k int64) error {
+		if k == 3 {
+			panic("injected panic at mutation 3")
+		}
+		return nil
+	})
+	_, err := db.Exec("UPDATE T SET V = V + 1 WHERE K <= 4")
+	db.SetMutationFault(nil)
+	var pe *systemr.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	assertClean(t, db)
+	if after := dumpSQL(t, db); after != before {
+		t.Fatalf("panic mid-UPDATE leaked state:\n%s", after)
+	}
+	// The database stays usable.
+	if _, err := db.Exec("UPDATE T SET V = V + 1 WHERE K <= 4"); err != nil {
+		t.Fatalf("statement after contained panic: %v", err)
+	}
+}

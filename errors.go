@@ -6,9 +6,11 @@ package systemr
 // and recover the partial execution cost with errors.As.
 
 import (
+	"errors"
 	"fmt"
 
 	"systemr/internal/governor"
+	"systemr/internal/lock"
 	"systemr/internal/storage"
 )
 
@@ -20,9 +22,21 @@ var (
 	// budget: Config.MaxRowsScanned, Config.MaxPageFetches, or its deadline
 	// (Config.StatementTimeout or a context deadline).
 	ErrBudgetExceeded = governor.ErrBudgetExceeded
-	// ErrInjectedFault marks a page fetch failed by an installed
-	// storage.FaultInjector (testing).
+	// ErrInjectedFault marks a statement failed by an installed fault hook:
+	// a storage.FaultInjector on the fetch side, or SetMutationFault on the
+	// write side (testing).
 	ErrInjectedFault = storage.ErrInjectedFault
+	// ErrDeadlock reports that the statement's transaction was chosen as the
+	// victim of a lock-wait cycle and rolled back. The error is retryable:
+	// rerun the transaction from BEGIN.
+	ErrDeadlock = lock.ErrDeadlock
+	// ErrLockTimeout reports that a lock wait exceeded Config.LockTimeout;
+	// like a deadlock, the waiting transaction is rolled back.
+	ErrLockTimeout = lock.ErrLockTimeout
+	// ErrTxnAborted reports a statement issued on a transaction the engine
+	// already rolled back (deadlock victim or lock timeout). The session
+	// must acknowledge with ROLLBACK (or Txn.Rollback) and start over.
+	ErrTxnAborted = errors.New("systemr: transaction aborted by the engine")
 )
 
 // StatementError is returned when the governor aborts a statement. Stats

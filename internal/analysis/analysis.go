@@ -16,6 +16,9 @@
 //   - stmtio: the executor layers never read the buffer pool's DB-global
 //     IOStats for per-operator deltas — attribution goes through the
 //     statement's own StmtIO accumulator (PR 5).
+//   - txnundo: every engine mutation flows through the undo-logged write
+//     path (txn.Txn over the rss Insert/Delete/Restore primitives) — a
+//     direct segment, page, or index mutation would survive rollback (PR 6).
 //
 // The suite mirrors the shape of golang.org/x/tools/go/analysis (Analyzer /
 // Pass / Diagnostic, a multichecker driver in cmd/sysrcheck, want-annotated
@@ -104,6 +107,7 @@ var Suite = []*Analyzer{
 	ErrLost,
 	NoPrint,
 	StmtIO,
+	TxnUndo,
 }
 
 // Run applies the analyzers to every package (which must be in dependency

@@ -25,3 +25,5 @@ func TestErrLostFixture(t *testing.T) { runFixture(t, ErrLost, "errlost") }
 func TestNoPrintFixture(t *testing.T) { runFixture(t, NoPrint, "noprint") }
 
 func TestStmtIOFixture(t *testing.T) { runFixture(t, StmtIO, "stmtio") }
+
+func TestTxnUndoFixture(t *testing.T) { runFixture(t, TxnUndo, "txnundo") }

@@ -1,0 +1,10 @@
+// Package btree mirrors the index mutation primitives.
+package btree
+
+import "fixture/storage"
+
+type BTree struct{ n int }
+
+func (t *BTree) Insert(key []byte, tid storage.TID) bool { t.n++; return true }
+
+func (t *BTree) Delete(key []byte, tid storage.TID) bool { t.n--; return true }

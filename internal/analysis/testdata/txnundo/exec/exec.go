@@ -1,0 +1,26 @@
+// The exec cases: the executor reads through the RSI but must never mutate
+// pages or indexes directly — a mutation here is invisible to the undo log
+// and survives rollback.
+package exec
+
+import (
+	"fixture/btree"
+	"fixture/storage"
+)
+
+func compact(p *storage.Page, n uint16) {
+	for i := uint16(0); i < n; i++ {
+		p.Delete(i) // want "direct storage mutation Page.Delete"
+	}
+}
+
+func patchIndex(t *btree.BTree, rec []byte, tid storage.TID) {
+	t.Insert(rec, tid) // want "direct index mutation BTree.Insert"
+	t.Delete(rec, tid) // want "direct index mutation BTree.Delete"
+}
+
+// The escape hatch: a directive with a reason silences the finding.
+func rebuildForTest(p *storage.Page, rec []byte) {
+	//sysrcheck:ignore txnundo test-only page surgery, reverted by the harness
+	p.Restore(0, 0, rec)
+}

@@ -1,0 +1,13 @@
+// Outside the engine packages — the catalog bootstrap, test scaffolding —
+// the primitives are legitimate (DDL is not undoable by design): no finding.
+package other
+
+import "fixture/rss"
+
+func seed(t *rss.Table, rows [][]byte) {
+	for _, r := range rows {
+		if _, err := rss.Insert(t, r); err != nil {
+			return
+		}
+	}
+}

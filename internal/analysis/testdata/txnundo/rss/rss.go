@@ -1,0 +1,54 @@
+// The rss cases: Insert, Delete, and Restore ARE the write path — their
+// bodies apply the storage and index primitives and are exempt. Any other
+// function in the package mutating directly (or calling the write path
+// itself, skipping the transaction's undo log) is flagged.
+package rss
+
+import (
+	"fixture/btree"
+	"fixture/storage"
+)
+
+type Table struct {
+	Seg  *storage.Segment
+	Tree *btree.BTree
+}
+
+// Insert is the sanctioned write path: its primitives draw no finding.
+func Insert(t *Table, record []byte) (storage.TID, error) {
+	tid, err := t.Seg.Insert(0, record)
+	if err != nil {
+		return storage.TID{}, err
+	}
+	t.Tree.Insert(record, tid)
+	return tid, nil
+}
+
+// Delete is the sanctioned write path.
+func Delete(t *Table, p *storage.Page, tid storage.TID, record []byte) error {
+	p.Delete(tid.Slot)
+	t.Tree.Delete(record, tid)
+	return nil
+}
+
+// Restore is the sanctioned write path.
+func Restore(t *Table, p *storage.Page, tid storage.TID, record []byte) error {
+	p.Restore(tid.Slot, 0, record)
+	t.Tree.Insert(record, tid)
+	return nil
+}
+
+// A loader bypassing the write path entirely: flagged.
+func bulkLoad(t *Table, records [][]byte) {
+	for _, r := range records {
+		t.Seg.Insert(0, r) // want "direct storage mutation Segment.Insert"
+	}
+}
+
+// Even the package's own write path, called from a helper, skips the calling
+// transaction's undo log: flagged.
+func reindex(t *Table, records [][]byte) {
+	for _, r := range records {
+		Insert(t, r) // want "rss.Insert called outside the transaction layer"
+	}
+}

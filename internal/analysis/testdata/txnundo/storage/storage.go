@@ -1,0 +1,22 @@
+// Package storage mirrors the mutation primitives the txnundo analyzer
+// forbids outside the sanctioned write path.
+package storage
+
+type RelID uint32
+
+type TID struct{ Page, Slot uint16 }
+
+type Page struct{ n uint16 }
+
+func (p *Page) Insert(rel RelID, record []byte) (uint16, error) {
+	p.n++
+	return p.n - 1, nil
+}
+
+func (p *Page) Delete(i uint16) bool { return i < p.n }
+
+func (p *Page) Restore(i uint16, rel RelID, record []byte) bool { return i < p.n }
+
+type Segment struct{ pages []*Page }
+
+func (s *Segment) Insert(rel RelID, record []byte) (TID, error) { return TID{}, nil }

@@ -1,0 +1,15 @@
+// The engine cases: statement executors must write through txn.Txn, which
+// logs each mutation's inverse; calling the RSI write path directly drops
+// the undo record.
+package systemr
+
+import "fixture/rss"
+
+func execInsert(t *rss.Table, rows [][]byte) error {
+	for _, r := range rows {
+		if _, err := rss.Insert(t, r); err != nil { // want "rss.Insert called outside the transaction layer"
+			return err
+		}
+	}
+	return nil
+}

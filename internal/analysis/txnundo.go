@@ -1,0 +1,89 @@
+package analysis
+
+// txnundo enforces the PR 6 transaction-atomicity discipline. Statement and
+// transaction rollback work by logical undo: internal/txn logs the inverse
+// of every mutation before (or atomically with) applying it through the
+// RSI's Insert/Delete/Restore. That guarantee holds only if no other write
+// path exists — a direct segment, page, or index mutation in the engine or
+// executor would be invisible to the undo log, and a rolled-back statement
+// would leave it behind.
+//
+// The analyzer forbids, in the engine packages (systemr, exec, rss):
+//
+//   - the storage primitives Segment.Insert, Page.Insert, Page.Delete, and
+//     Page.Restore;
+//   - the index primitives BTree.Insert and BTree.Delete;
+//   - the rss package-level Insert/Delete/Restore functions outside
+//     internal/txn (the engine must write through txn.Txn, which logs undo).
+//
+// The rss package's own Insert, Delete, and Restore function bodies are the
+// sanctioned implementation of the write path and are exempt. The catalog
+// package bootstraps system tables with direct segment writes and is out of
+// scope: DDL is not undoable and is rejected inside transactions.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// TxnUndo is the undo-logged write path analyzer.
+var TxnUndo = &Analyzer{
+	Name: "txnundo",
+	Doc:  "engine mutations must flow through the undo-logged write path (txn.Txn over rss Insert/Delete/Restore); direct segment, page, or index mutation escapes rollback",
+	Run:  runTxnUndo,
+}
+
+// txnUndoPkgs are the package tails where every mutation must be undo-logged.
+var txnUndoPkgs = map[string]bool{"systemr": true, "exec": true, "rss": true}
+
+// txnUndoWriteFuncs are the rss functions that ARE the write path: their
+// bodies apply the storage and index primitives the rest of the engine is
+// forbidden to touch.
+var txnUndoWriteFuncs = map[string]bool{"Insert": true, "Delete": true, "Restore": true}
+
+func runTxnUndo(pass *Pass) error {
+	tail := pathTail(pass.Pkg.Path)
+	if !txnUndoPkgs[tail] {
+		return nil
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		walkWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil {
+				return true
+			}
+			if tail == "rss" && txnUndoWriteFuncs[enclosingFuncName(stack)] {
+				return true
+			}
+			switch {
+			case isMethodOn(fn, "Insert", "storage", "Segment"),
+				isMethodOn(fn, "Insert", "storage", "Page"),
+				isMethodOn(fn, "Delete", "storage", "Page"),
+				isMethodOn(fn, "Restore", "storage", "Page"):
+				pass.Reportf(call.Pos(), "direct storage mutation %s.%s escapes the undo log: write through txn.Txn", recvNamed(fn).Obj().Name(), fn.Name())
+			case isMethodOn(fn, "Insert", "btree", "BTree"),
+				isMethodOn(fn, "Delete", "btree", "BTree"):
+				pass.Reportf(call.Pos(), "direct index mutation BTree.%s escapes the undo log: write through txn.Txn", fn.Name())
+			case isPkgFunc(fn, "Insert", "rss"), isPkgFunc(fn, "Delete", "rss"), isPkgFunc(fn, "Restore", "rss"):
+				pass.Reportf(call.Pos(), "rss.%s called outside the transaction layer: mutations must flow through txn.Txn, which logs undo", fn.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isPkgFunc reports whether f is a package-level function named name
+// declared in a package whose path tail is pkgTail.
+func isPkgFunc(f *types.Func, name, pkgTail string) bool {
+	if f == nil || f.Name() != name || recvNamed(f) != nil {
+		return false
+	}
+	p := f.Pkg()
+	return p != nil && pathTail(p.Path()) == pkgTail
+}

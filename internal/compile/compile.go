@@ -44,6 +44,10 @@ func LockRequests(stmt sql.Statement) []lock.Request {
 	case *sql.CreateTableStmt, *sql.CreateIndexStmt, *sql.DropTableStmt,
 		*sql.DropIndexStmt, *sql.UpdateStatsStmt:
 		return []lock.Request{{Table: CatalogLock, Mode: lock.Exclusive}}
+	case *sql.BeginStmt, *sql.CommitStmt, *sql.RollbackStmt:
+		// Transaction control moves lock ownership between statement and
+		// transaction scope; it takes no locks of its own.
+		return nil
 	}
 	read, write := sql.TablesReferenced(stmt)
 	for _, t := range read {

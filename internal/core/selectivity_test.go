@@ -35,7 +35,7 @@ func testDB(t testing.TB) *catalog.Catalog {
 		t.Fatal(err)
 	}
 	for i := 0; i < 200; i++ {
-		_, err := rss.Insert(r, value.Row{
+		_, _, err := rss.Insert(r, value.Row{
 			value.NewInt(int64(i % 50)),
 			value.NewInt(int64(i % 10)),
 			value.NewString(fmt.Sprintf("C%02d", i%20)),
@@ -59,7 +59,7 @@ func testDB(t testing.TB) *catalog.Catalog {
 		t.Fatal(err)
 	}
 	for i := 0; i < 50; i++ {
-		if _, err := rss.Insert(s, value.Row{value.NewInt(int64(i % 10)), value.NewInt(int64(i))}); err != nil {
+		if _, _, err := rss.Insert(s, value.Row{value.NewInt(int64(i % 10)), value.NewInt(int64(i))}); err != nil {
 			t.Fatal(err)
 		}
 	}

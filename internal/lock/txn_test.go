@@ -1,0 +1,329 @@
+package lock
+
+// Transaction-scope locking tests: re-entrant grants, upgrades, wait-for-
+// graph deadlock detection with youngest-victim abort, partial-grant
+// rollback on the victim, the lock-timeout fallback, and the wait observer
+// running outside the manager's mutex.
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func req(table string, mode Mode) []Request {
+	return []Request{{Table: table, Mode: mode}}
+}
+
+func mustAcquire(t *testing.T, tx *Txn, reqs []Request) {
+	t.Helper()
+	if err := tx.AcquireContext(context.Background(), reqs); err != nil {
+		t.Fatalf("acquire %v: %v", reqs, err)
+	}
+}
+
+func TestTxnHoldsAcrossAcquires(t *testing.T) {
+	m := NewManager()
+	tx := m.Begin()
+	mustAcquire(t, tx, req("A", Exclusive))
+	mustAcquire(t, tx, req("B", Shared))
+	if got := m.Outstanding(); got != 2 {
+		t.Fatalf("outstanding = %d, want 2 (locks retained across acquires)", got)
+	}
+	// Re-entry is a no-op; Shared under an Exclusive hold does not downgrade.
+	mustAcquire(t, tx, req("A", Exclusive))
+	mustAcquire(t, tx, req("A", Shared))
+	if r, w := m.Holders("A"); r != 0 || !w {
+		t.Fatalf("A after re-entry: readers=%d writer=%v, want exclusive", r, w)
+	}
+	if got := m.Outstanding(); got != 2 {
+		t.Fatalf("outstanding = %d after re-entry, want 2", got)
+	}
+	tx.ReleaseAll()
+	tx.ReleaseAll() // idempotent
+	if got := m.Outstanding(); got != 0 {
+		t.Fatalf("outstanding = %d after ReleaseAll", got)
+	}
+	if err := tx.AcquireContext(context.Background(), req("A", Shared)); err == nil {
+		t.Fatal("acquire after ReleaseAll must fail")
+	}
+}
+
+func TestTxnUpgradeSharedToExclusive(t *testing.T) {
+	m := NewManager()
+	tx := m.Begin()
+	other := m.Begin()
+	mustAcquire(t, tx, req("T", Shared))
+	mustAcquire(t, other, req("T", Shared))
+	upgraded := make(chan error, 1)
+	go func() {
+		upgraded <- tx.AcquireContext(context.Background(), req("T", Exclusive))
+	}()
+	select {
+	case err := <-upgraded:
+		t.Fatalf("upgrade granted while another reader holds T (err=%v)", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	other.ReleaseAll()
+	select {
+	case err := <-upgraded:
+		if err != nil {
+			t.Fatalf("upgrade after reader drained: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("upgrade never granted")
+	}
+	if r, w := m.Holders("T"); r != 0 || !w {
+		t.Fatalf("T after upgrade: readers=%d writer=%v", r, w)
+	}
+	if got := m.Outstanding(); got != 1 {
+		t.Fatalf("outstanding = %d after upgrade, want 1 (upgrade is not a second grant)", got)
+	}
+	tx.ReleaseAll()
+}
+
+// TestDeadlockTwoCycle: the classic A/B cross: the younger transaction is
+// chosen as the victim, the older one completes, and exactly one ErrDeadlock
+// surfaces.
+func TestDeadlockTwoCycle(t *testing.T) {
+	m := NewManager()
+	older := m.Begin()
+	younger := m.Begin()
+	mustAcquire(t, older, req("A", Exclusive))
+	mustAcquire(t, younger, req("B", Exclusive))
+	olderDone := make(chan error, 1)
+	go func() {
+		olderDone <- older.AcquireContext(context.Background(), req("B", Exclusive))
+	}()
+	time.Sleep(10 * time.Millisecond) // let the older txn start waiting
+	err := younger.AcquireContext(context.Background(), req("A", Exclusive))
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("younger txn: err = %v, want ErrDeadlock", err)
+	}
+	younger.ReleaseAll() // engine rolls the victim back
+	select {
+	case err := <-olderDone:
+		if err != nil {
+			t.Fatalf("older txn must survive the deadlock, got %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("older txn hung after victim abort")
+	}
+	if got := m.Deadlocks(); got != 1 {
+		t.Fatalf("Deadlocks() = %d, want 1", got)
+	}
+	older.ReleaseAll()
+	if got := m.Outstanding(); got != 0 {
+		t.Fatalf("outstanding = %d at end", got)
+	}
+}
+
+// TestDeadlockThreeCycle: T1→T2→T3→T1; exactly one victim aborts and the
+// other two finish.
+func TestDeadlockThreeCycle(t *testing.T) {
+	m := NewManager()
+	txs := []*Txn{m.Begin(), m.Begin(), m.Begin()}
+	tables := []string{"A", "B", "C"}
+	for i, tx := range txs {
+		mustAcquire(t, tx, req(tables[i], Exclusive))
+	}
+	// Each txn now requests the next table around the ring.
+	errs := make(chan error, len(txs))
+	var wg sync.WaitGroup
+	for i, tx := range txs {
+		wg.Add(1)
+		go func(tx *Txn, next string) {
+			defer wg.Done()
+			err := tx.AcquireContext(context.Background(), req(next, Exclusive))
+			// Victim or not, the transaction ends: abort or commit both
+			// release, which is what lets the chain behind it drain.
+			tx.ReleaseAll()
+			errs <- err
+		}(tx, tables[(i+1)%len(tables)])
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("three-cycle did not resolve")
+	}
+	close(errs)
+	victims := 0
+	for err := range errs {
+		switch {
+		case err == nil:
+		case errors.Is(err, ErrDeadlock):
+			victims++
+		default:
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	if victims != 1 {
+		t.Fatalf("deadlock victims = %d, want exactly 1", victims)
+	}
+	for _, tx := range txs {
+		tx.ReleaseAll()
+	}
+	if got := m.Outstanding(); got != 0 {
+		t.Fatalf("outstanding = %d at end", got)
+	}
+}
+
+// TestDeadlockUpgrade: two readers both upgrading to Exclusive on the same
+// table deadlock; the victim's failed upgrade leaves its Shared hold intact
+// so the survivor can proceed only after the victim releases.
+func TestDeadlockUpgrade(t *testing.T) {
+	m := NewManager()
+	older := m.Begin()
+	younger := m.Begin()
+	mustAcquire(t, older, req("T", Shared))
+	mustAcquire(t, younger, req("T", Shared))
+	olderDone := make(chan error, 1)
+	go func() {
+		olderDone <- older.AcquireContext(context.Background(), req("T", Exclusive))
+	}()
+	time.Sleep(10 * time.Millisecond)
+	err := younger.AcquireContext(context.Background(), req("T", Exclusive))
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("younger upgrade: err = %v, want ErrDeadlock", err)
+	}
+	// The failed upgrade must not have dropped the victim's Shared hold.
+	if r, _ := m.Holders("T"); r != 2 {
+		t.Fatalf("readers = %d after failed upgrade, want 2", r)
+	}
+	younger.ReleaseAll()
+	select {
+	case err := <-olderDone:
+		if err != nil {
+			t.Fatalf("surviving upgrade: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("surviving upgrade hung")
+	}
+	older.ReleaseAll()
+}
+
+// TestVictimPartialGrantRollback: a multi-table acquisition that dies midway
+// (deadlock on its second table) must roll back the locks it granted in the
+// same call while keeping the transaction's earlier-statement locks.
+func TestVictimPartialGrantRollback(t *testing.T) {
+	m := NewManager()
+	older := m.Begin()
+	younger := m.Begin()
+	mustAcquire(t, older, req("C", Exclusive))
+	mustAcquire(t, younger, req("HELD", Exclusive)) // earlier-statement lock
+	olderDone := make(chan error, 1)
+	go func() {
+		olderDone <- older.AcquireContext(context.Background(), req("HELD", Exclusive))
+	}()
+	time.Sleep(10 * time.Millisecond)
+	// Grants A and B, then deadlocks on C: A and B must be rolled back,
+	// HELD must remain.
+	err := younger.AcquireContext(context.Background(), []Request{
+		{Table: "A", Mode: Exclusive},
+		{Table: "B", Mode: Shared},
+		{Table: "C", Mode: Exclusive},
+	})
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+	for _, table := range []string{"A", "B"} {
+		if r, w := m.Holders(table); r != 0 || w {
+			t.Fatalf("%s not rolled back after victim abort: readers=%d writer=%v", table, r, w)
+		}
+	}
+	if _, w := m.Holders("HELD"); !w {
+		t.Fatal("earlier-statement lock released by the failing acquire")
+	}
+	younger.ReleaseAll()
+	if err := <-olderDone; err != nil {
+		t.Fatalf("older txn: %v", err)
+	}
+	older.ReleaseAll()
+	if got := m.Outstanding(); got != 0 {
+		t.Fatalf("outstanding = %d at end", got)
+	}
+}
+
+func TestLockTimeoutFallback(t *testing.T) {
+	m := NewManager()
+	m.SetLockTimeout(30 * time.Millisecond)
+	blocker := m.Begin()
+	mustAcquire(t, blocker, req("T", Exclusive))
+	waiter := m.Begin()
+	start := time.Now()
+	err := waiter.AcquireContext(context.Background(), req("T", Shared))
+	if !errors.Is(err, ErrLockTimeout) {
+		t.Fatalf("err = %v, want ErrLockTimeout", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatalf("timeout not honored: waited %v", time.Since(start))
+	}
+	if got := m.LockTimeouts(); got != 1 {
+		t.Fatalf("LockTimeouts() = %d, want 1", got)
+	}
+	waiter.ReleaseAll()
+	blocker.ReleaseAll()
+	if got := m.Outstanding(); got != 0 {
+		t.Fatalf("outstanding = %d at end", got)
+	}
+}
+
+// TestWaitObserverOutsideMutex: the observer re-enters the manager
+// (Outstanding takes m.mu); if it ran under the mutex this would
+// self-deadlock. It must also fire for waits that end in a deadlock abort.
+func TestWaitObserverOutsideMutex(t *testing.T) {
+	m := NewManager()
+	var mu sync.Mutex
+	var observed []time.Duration
+	m.SetWaitObserver(func(d time.Duration) {
+		m.Outstanding() // re-entrant call: deadlocks if observer runs under m.mu
+		mu.Lock()
+		observed = append(observed, d)
+		mu.Unlock()
+	})
+	blocker := m.Begin()
+	mustAcquire(t, blocker, req("T", Exclusive))
+	waiterDone := make(chan struct{})
+	go func() {
+		defer close(waiterDone)
+		w := m.Begin()
+		mustAcquire(t, w, req("T", Shared))
+		w.ReleaseAll()
+	}()
+	time.Sleep(10 * time.Millisecond)
+	blocker.ReleaseAll()
+	select {
+	case <-waiterDone:
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter hung (observer under mutex?)")
+	}
+
+	// A deadlock victim's wait is observed too.
+	older, younger := m.Begin(), m.Begin()
+	mustAcquire(t, older, req("A", Exclusive))
+	mustAcquire(t, younger, req("B", Exclusive))
+	olderDone := make(chan error, 1)
+	go func() {
+		olderDone <- older.AcquireContext(context.Background(), req("B", Exclusive))
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := younger.AcquireContext(context.Background(), req("A", Exclusive)); !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+	younger.ReleaseAll()
+	if err := <-olderDone; err != nil {
+		t.Fatalf("older: %v", err)
+	}
+	older.ReleaseAll()
+
+	mu.Lock()
+	n := len(observed)
+	mu.Unlock()
+	if n < 3 { // waiter + both deadlock parties blocked
+		t.Fatalf("observed %d waits, want >= 3", n)
+	}
+}

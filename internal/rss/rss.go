@@ -301,32 +301,34 @@ func (s *IndexScan) Close() error {
 }
 
 // Insert validates a row against the table schema, stores it, and maintains
-// every index. Unique-index violations roll the insertion back.
-func Insert(t *catalog.Table, row value.Row) (storage.TID, error) {
+// every index. Unique-index violations roll the insertion back. The returned
+// row is the stored image (after coercion) — the image a transaction's undo
+// log must record, since index keys are derived from it.
+func Insert(t *catalog.Table, row value.Row) (storage.TID, value.Row, error) {
 	if len(row) != len(t.Columns) {
-		return storage.TID{}, fmt.Errorf("rss: table %s has %d columns, row has %d", t.Name, len(t.Columns), len(row))
+		return storage.TID{}, nil, fmt.Errorf("rss: table %s has %d columns, row has %d", t.Name, len(t.Columns), len(row))
 	}
 	coerced := make(value.Row, len(row))
 	for i, v := range row {
 		cv, err := coerce(v, t.Columns[i].Type)
 		if err != nil {
-			return storage.TID{}, fmt.Errorf("rss: column %s of %s: %w", t.Columns[i].Name, t.Name, err)
+			return storage.TID{}, nil, fmt.Errorf("rss: column %s of %s: %w", t.Columns[i].Name, t.Name, err)
 		}
 		coerced[i] = cv
 	}
 	for _, ix := range t.Indexes {
 		if ix.Unique && indexHasKey(ix, ix.KeyFor(coerced)) {
-			return storage.TID{}, fmt.Errorf("rss: duplicate key %v violates unique index %s", ix.KeyFor(coerced), ix.Name)
+			return storage.TID{}, nil, fmt.Errorf("rss: duplicate key %v violates unique index %s", ix.KeyFor(coerced), ix.Name)
 		}
 	}
 	tid, err := t.Segment.Insert(t.ID, storage.EncodeRow(coerced))
 	if err != nil {
-		return storage.TID{}, err
+		return storage.TID{}, nil, err
 	}
 	for _, ix := range t.Indexes {
 		ix.Tree.Insert(ix.KeyFor(coerced), tid)
 	}
-	return tid, nil
+	return tid, coerced, nil
 }
 
 func indexHasKey(ix *catalog.Index, key value.Row) bool {
@@ -344,6 +346,23 @@ func Delete(t *catalog.Table, tid storage.TID, row value.Row, disk *storage.Disk
 	}
 	for _, ix := range t.Indexes {
 		ix.Tree.Delete(ix.KeyFor(row), tid)
+	}
+	return nil
+}
+
+// Restore undoes a Delete: it resurrects the tuple at its original TID —
+// byte-exactly, preserving physical page/slot order — and re-inserts its
+// index entries. row must be the stored image the tuple held when deleted
+// (a transaction's undo log records exactly that). No unique check runs:
+// restoring a logged pre-image cannot introduce a duplicate the original
+// insert did not.
+func Restore(t *catalog.Table, tid storage.TID, row value.Row, disk *storage.Disk) error {
+	page := disk.Page(tid.Page)
+	if !page.Restore(tid.Slot, t.ID, storage.EncodeRow(row)) {
+		return fmt.Errorf("rss: tuple %v of %s is not restorable", tid, t.Name)
+	}
+	for _, ix := range t.Indexes {
+		ix.Tree.Insert(ix.KeyFor(row), tid)
 	}
 	return nil
 }

@@ -41,7 +41,7 @@ func (e *env) newEmp(t *testing.T, n int) *catalog.Table {
 		t.Fatal(err)
 	}
 	for i := 0; i < n; i++ {
-		_, err := Insert(tab, value.Row{
+		_, _, err := Insert(tab, value.Row{
 			value.NewInt(int64(i % 10)),
 			value.NewInt(int64(i)),
 			value.NewString("E" + strings.Repeat("x", i%5)),
@@ -235,15 +235,15 @@ func TestIndexScanSkipsDeleted(t *testing.T) {
 func TestInsertValidation(t *testing.T) {
 	e := newEnv(t, 16)
 	tab := e.newEmp(t, 1)
-	if _, err := Insert(tab, value.Row{value.NewInt(1)}); err == nil {
+	if _, _, err := Insert(tab, value.Row{value.NewInt(1)}); err == nil {
 		t.Fatal("arity mismatch must fail")
 	}
-	if _, err := Insert(tab, value.Row{value.NewString("x"), value.NewInt(1), value.NewString("n")}); err == nil {
+	if _, _, err := Insert(tab, value.Row{value.NewString("x"), value.NewInt(1), value.NewString("n")}); err == nil {
 		t.Fatal("type mismatch must fail")
 	}
 	// Int widens into float columns.
 	tab2, _ := e.cat.CreateTable("F", []catalog.Column{{Name: "X", Type: value.KindFloat}}, "")
-	if _, err := Insert(tab2, value.Row{value.NewInt(3)}); err != nil {
+	if _, _, err := Insert(tab2, value.Row{value.NewInt(3)}); err != nil {
 		t.Fatal(err)
 	}
 	rows := drainScan(t, &SegmentScan{Table: tab2, Pool: e.pool})
@@ -251,7 +251,7 @@ func TestInsertValidation(t *testing.T) {
 		t.Fatalf("widening failed: %v", rows[0])
 	}
 	// NULLs store into any column.
-	if _, err := Insert(tab2, value.Row{value.Null()}); err != nil {
+	if _, _, err := Insert(tab2, value.Row{value.Null()}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -262,16 +262,57 @@ func TestUniqueIndexRejectsDuplicates(t *testing.T) {
 	if _, err := e.cat.CreateIndex("EMP_SAL", "EMP", []string{"SAL"}, true, false); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Insert(tab, value.Row{value.NewInt(0), value.NewInt(5), value.NewString("dup")}); err == nil {
+	if _, _, err := Insert(tab, value.Row{value.NewInt(0), value.NewInt(5), value.NewString("dup")}); err == nil {
 		t.Fatal("unique violation must fail")
 	}
 	// A distinct key still inserts and maintains the index.
-	if _, err := Insert(tab, value.Row{value.NewInt(0), value.NewInt(999), value.NewString("new")}); err != nil {
+	if _, _, err := Insert(tab, value.Row{value.NewInt(0), value.NewInt(999), value.NewString("new")}); err != nil {
 		t.Fatal(err)
 	}
 	ix, _ := e.cat.Index("EMP_SAL")
 	if ix.Tree.Len() != 11 {
 		t.Fatalf("index has %d entries", ix.Tree.Len())
+	}
+}
+
+// TestRestoreUndoesDelete: Restore brings a deleted tuple back at its
+// original TID with its index entries, visible to both scan types again.
+func TestRestoreUndoesDelete(t *testing.T) {
+	e := newEnv(t, 16)
+	tab := e.newEmp(t, 10)
+	if _, err := e.cat.CreateIndex("EMP_SAL", "EMP", []string{"SAL"}, true, false); err != nil {
+		t.Fatal(err)
+	}
+	ix, _ := e.cat.Index("EMP_SAL")
+	tid, row, err := Insert(tab, value.Row{value.NewInt(3), value.NewInt(500), value.NewString("victim")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Delete(tab, tid, row, e.disk); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Tree.Len() != 10 {
+		t.Fatalf("index has %d entries after delete, want 10", ix.Tree.Len())
+	}
+	if err := Restore(tab, tid, row, e.disk); err != nil {
+		t.Fatal(err)
+	}
+	if err := Restore(tab, tid, row, e.disk); err == nil {
+		t.Fatal("restore of a live tuple must fail")
+	}
+	if ix.Tree.Len() != 11 {
+		t.Fatalf("index has %d entries after restore, want 11", ix.Tree.Len())
+	}
+	rec, rel, ok := e.disk.Page(tid.Page).Record(tid.Slot)
+	if !ok || rel != tab.ID {
+		t.Fatalf("restored tuple unreadable: ok=%v rel=%d", ok, rel)
+	}
+	got, err := storage.DecodeRow(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[1].Int != 500 || got[2].Str != "victim" {
+		t.Fatalf("restored row = %v", got)
 	}
 }
 

@@ -75,6 +75,19 @@ type UpdateStmt struct {
 // the refresh to one relation ("" = all).
 type UpdateStatsStmt struct{ Table string }
 
+// BeginStmt is BEGIN [TRANSACTION|WORK]: start an explicit transaction on
+// the session (Conn). Transaction-control statements reference no tables,
+// take no locks, and never enter the plan cache.
+type BeginStmt struct{}
+
+// CommitStmt is COMMIT [TRANSACTION|WORK]: make the session's open
+// transaction's writes durable and release its locks.
+type CommitStmt struct{}
+
+// RollbackStmt is ROLLBACK [TRANSACTION|WORK]: undo the session's open
+// transaction and release its locks.
+type RollbackStmt struct{}
+
 // ExplainStmt is EXPLAIN <select>: print the chosen plan instead of running
 // it. With Analyze set (EXPLAIN ANALYZE <select>) the statement also
 // executes and the plan is annotated with per-operator actuals.
@@ -104,6 +117,9 @@ func (*DeleteStmt) stmt()      {}
 func (*UpdateStmt) stmt()      {}
 func (*UpdateStatsStmt) stmt() {}
 func (*ExplainStmt) stmt()     {}
+func (*BeginStmt) stmt()       {}
+func (*CommitStmt) stmt()      {}
+func (*RollbackStmt) stmt()    {}
 
 // SelectItem is one element of the SELECT list. Star covers both bare "*"
 // and qualified "T.*" (Expr is then a ColumnRef carrying only the qualifier).

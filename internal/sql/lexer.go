@@ -50,6 +50,7 @@ var keywords = map[string]bool{
 	"STATISTICS": true, "EXPLAIN": true, "ANALYZE": true, "DROP": true, "NULL": true,
 	"INTEGER": true, "INT": true, "FLOAT": true, "REAL": true,
 	"VARCHAR": true, "CHAR": true, "SEGMENT": true,
+	"BEGIN": true, "COMMIT": true, "ROLLBACK": true,
 	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
 }
 

@@ -27,6 +27,18 @@ func Parse(input string) (Statement, error) {
 	return stmt, nil
 }
 
+// LeadingKeyword returns the upper-cased first keyword of a statement's text
+// ("" when it does not start with a keyword or fails to lex) — the session
+// layer's cheap dispatch for routing BEGIN/COMMIT/ROLLBACK without a second
+// full parse of ordinary statements.
+func LeadingKeyword(input string) string {
+	toks, err := lex(input)
+	if err != nil || len(toks) == 0 || toks[0].kind != tokKeyword {
+		return ""
+	}
+	return toks[0].text
+}
+
 // parser is a recursive-descent parser over the token stream.
 type parser struct {
 	toks     []token
@@ -100,6 +112,18 @@ func (p *parser) parseStatement() (Statement, error) {
 		return p.parseDelete()
 	case p.at(tokKeyword, "UPDATE"):
 		return p.parseUpdate()
+	case p.at(tokKeyword, "BEGIN"):
+		p.next()
+		p.acceptTxnNoise()
+		return &BeginStmt{}, nil
+	case p.at(tokKeyword, "COMMIT"):
+		p.next()
+		p.acceptTxnNoise()
+		return &CommitStmt{}, nil
+	case p.at(tokKeyword, "ROLLBACK"):
+		p.next()
+		p.acceptTxnNoise()
+		return &RollbackStmt{}, nil
 	case p.at(tokKeyword, "EXPLAIN"):
 		p.next()
 		analyze := p.accept(tokKeyword, "ANALYZE")
@@ -119,6 +143,20 @@ func (p *parser) parseStatement() (Statement, error) {
 		return &ExplainStmt{Stmt: inner, Analyze: analyze}, nil
 	default:
 		return nil, p.errorf("expected a statement, found %s", p.peek())
+	}
+}
+
+// acceptTxnNoise consumes the optional TRANSACTION/WORK noise word after
+// BEGIN, COMMIT, and ROLLBACK. The words are deliberately not lexer keywords
+// — schemas using them as identifiers keep parsing — so they arrive as plain
+// identifiers matched case-insensitively.
+func (p *parser) acceptTxnNoise() {
+	t := p.peek()
+	if t.kind == tokIdent {
+		switch strings.ToUpper(t.text) {
+		case "TRANSACTION", "WORK":
+			p.next()
+		}
 	}
 }
 

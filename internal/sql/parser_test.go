@@ -245,3 +245,46 @@ func TestExprStrings(t *testing.T) {
 		}
 	}
 }
+
+func TestParseTxnControl(t *testing.T) {
+	for _, text := range []string{"BEGIN", "begin transaction", "BEGIN WORK;"} {
+		if _, ok := mustParse(t, text).(*BeginStmt); !ok {
+			t.Fatalf("Parse(%q) is not a BeginStmt", text)
+		}
+	}
+	for _, text := range []string{"COMMIT", "commit work", "COMMIT TRANSACTION;"} {
+		if _, ok := mustParse(t, text).(*CommitStmt); !ok {
+			t.Fatalf("Parse(%q) is not a CommitStmt", text)
+		}
+	}
+	for _, text := range []string{"ROLLBACK", "rollback transaction", "ROLLBACK WORK;"} {
+		if _, ok := mustParse(t, text).(*RollbackStmt); !ok {
+			t.Fatalf("Parse(%q) is not a RollbackStmt", text)
+		}
+	}
+	mustFail(t, "BEGIN SELECT", "")
+	mustFail(t, "COMMIT garbage extra", "")
+	// Txn-control statements reference no tables.
+	r, w := TablesReferenced(&BeginStmt{})
+	if len(r) != 0 || len(w) != 0 {
+		t.Fatalf("BeginStmt references tables: read=%v write=%v", r, w)
+	}
+}
+
+func TestLeadingKeyword(t *testing.T) {
+	cases := map[string]string{
+		"BEGIN":                "BEGIN",
+		"  begin work":         "BEGIN",
+		"commit;":              "COMMIT",
+		"ROLLBACK TRANSACTION": "ROLLBACK",
+		"SELECT * FROM T":      "SELECT",
+		"x":                    "",
+		"":                     "",
+		"'unterminated":        "",
+	}
+	for text, want := range cases {
+		if got := LeadingKeyword(text); got != want {
+			t.Fatalf("LeadingKeyword(%q) = %q, want %q", text, got, want)
+		}
+	}
+}

@@ -156,6 +156,43 @@ func (p *Page) Delete(i uint16) bool {
 	return true
 }
 
+// Restore resurrects deleted slot i with the record it held, byte-exactly:
+// Delete only zeroes the slot's length (bytes and offset remain, and heap
+// space is never reused), so undoing a delete rewrites the record at its
+// original offset and restores the original length and owning relation. It
+// reports false — without touching the page — when the slot does not exist,
+// is still live, or the record would overrun the slot's original footprint.
+func (p *Page) Restore(i uint16, rel RelID, record []byte) bool {
+	if i >= p.NumSlots() {
+		return false
+	}
+	base := p.slotBase(i)
+	if binary.LittleEndian.Uint16(p.Data[base+2:]) != 0 {
+		return false // live slot: not restorable
+	}
+	off := binary.LittleEndian.Uint16(p.Data[base:])
+	// The record may only occupy the slot's original footprint: up to the
+	// nearest later record start (deleted slots keep their bytes too — they
+	// may be restored next), or the free offset when this is the last record.
+	bound := p.freeOff()
+	for j := uint16(0); j < p.NumSlots(); j++ {
+		if j == i {
+			continue
+		}
+		jOff := binary.LittleEndian.Uint16(p.Data[p.slotBase(j):])
+		if jOff > off && jOff < bound {
+			bound = jOff
+		}
+	}
+	if int(off)+len(record) > int(bound) {
+		return false // would overwrite a later record
+	}
+	copy(p.Data[off:], record)
+	binary.LittleEndian.PutUint16(p.Data[base+2:], uint16(len(record)))
+	binary.LittleEndian.PutUint32(p.Data[base+4:], uint32(rel))
+	return true
+}
+
 // HasRecordsFor reports whether any live slot on the page belongs to rel.
 func (p *Page) HasRecordsFor(rel RelID) bool {
 	for i := uint16(0); i < p.NumSlots(); i++ {

@@ -55,6 +55,39 @@ func TestPageDelete(t *testing.T) {
 	}
 }
 
+// TestPageRestore: Delete only zeroes the slot length, so Restore must bring
+// back the byte-exact page image — the property the transaction undo log
+// relies on for crash-consistency byte equality.
+func TestPageRestore(t *testing.T) {
+	var p Page
+	p.InitPage()
+	s0, _ := p.Insert(1, []byte("first"))
+	s1, _ := p.Insert(2, []byte("second"))
+	pristine := p.Data
+	if !p.Delete(s0) {
+		t.Fatal("delete failed")
+	}
+	if p.Restore(s1, 2, []byte("second")) {
+		t.Fatal("restore of a live slot must fail")
+	}
+	if p.Restore(s0, 1, []byte("first+grew")) {
+		t.Fatal("restore overrunning the original footprint must fail")
+	}
+	if !p.Restore(s0, 1, []byte("first")) {
+		t.Fatal("restore of the deleted slot failed")
+	}
+	if p.Data != pristine {
+		t.Fatal("restored page image differs from the pre-delete image")
+	}
+	rec, rel, ok := p.Record(s0)
+	if !ok || rel != 1 || !bytes.Equal(rec, []byte("first")) {
+		t.Fatalf("restored slot reads %q rel=%d ok=%v", rec, rel, ok)
+	}
+	if p.Restore(99, 1, []byte("x")) {
+		t.Fatal("restore of a nonexistent slot must fail")
+	}
+}
+
 func TestPageFillsUp(t *testing.T) {
 	var p Page
 	p.InitPage()

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"systemr/internal/governor"
+	"systemr/internal/lock"
 	"systemr/internal/metrics"
 	"systemr/internal/rss"
 )
@@ -36,6 +37,11 @@ type dbMetrics struct {
 	stmtFetches    *metrics.Counter
 	stmtRSI        *metrics.Counter
 	stmtRows       *metrics.Counter
+	txnBegins      *metrics.Counter
+	txnCommits     *metrics.Counter
+	txnRollbacks   *metrics.Counter
+	deadlocks      *metrics.Counter
+	lockTimeouts   *metrics.Counter
 }
 
 // newDBMetrics registers the engine's instruments and the scrape-time
@@ -67,6 +73,16 @@ func newDBMetrics(db *DB) *dbMetrics {
 			"RSI calls measured across statements"),
 		stmtRows: reg.NewCounter("systemr_statement_rows_total",
 			"Rows returned or affected across statements"),
+		txnBegins: reg.NewCounter("systemr_txn_begins_total",
+			"Explicit transactions started (BEGIN / DB.Begin; autocommit excluded)"),
+		txnCommits: reg.NewCounter("systemr_txn_commits_total",
+			"Explicit transactions committed"),
+		txnRollbacks: reg.NewCounter("systemr_txn_rollbacks_total",
+			"Explicit transactions rolled back, by the session or by the engine (deadlock victim, lock timeout)"),
+		deadlocks: reg.NewCounter("systemr_deadlocks_total",
+			"Statements aborted as deadlock victims"),
+		lockTimeouts: reg.NewCounter("systemr_lock_timeouts_total",
+			"Statements aborted by the lock-wait timeout"),
 	}
 
 	// Collect-on-scrape gauges from live engine state.
@@ -102,6 +118,8 @@ func newDBMetrics(db *DB) *dbMetrics {
 		"Current catalog version / statistics epoch")
 	locksOutstanding := reg.NewGauge("systemr_locks_outstanding",
 		"Table locks currently granted")
+	txnsActive := reg.NewGauge("systemr_txns_active",
+		"Explicit transactions currently open")
 	openScans := reg.NewGauge("systemr_open_scans",
 		"RSI scans currently open engine-wide")
 	costW := reg.NewGauge("systemr_cost_w",
@@ -130,6 +148,7 @@ func newDBMetrics(db *DB) *dbMetrics {
 		compilations.Set(float64(cs.Compilations))
 		catalogVersion.Set(float64(cs.CatalogVersion))
 		locksOutstanding.Set(float64(db.locks.Outstanding()))
+		txnsActive.Set(float64(db.activeTxns.Load()))
 		openScans.Set(float64(rss.OpenScans()))
 		costW.Set(db.cfg.W)
 	})
@@ -164,6 +183,12 @@ func (db *DB) observeStatement(start time.Time, err error) {
 	}
 	if errors.Is(err, governor.ErrCanceled) {
 		m.stmtCanceled.Inc()
+	}
+	if errors.Is(err, lock.ErrDeadlock) {
+		m.deadlocks.Inc()
+	}
+	if errors.Is(err, lock.ErrLockTimeout) {
+		m.lockTimeouts.Inc()
 	}
 }
 

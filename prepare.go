@@ -120,7 +120,7 @@ func (s *Stmt) RunContext(ctx context.Context, args ...any) (res *Result, err er
 	}
 	held, err := s.db.locks.AcquireContext(ctx, s.current().Locks)
 	if err != nil {
-		return nil, &StatementError{Err: governor.CtxErr(err)}
+		return nil, lockErr(err)
 	}
 	defer held.Release()
 	gov := s.db.newGovernor(ctx)
@@ -211,7 +211,7 @@ func (s *Stmt) OpenContext(ctx context.Context, args ...any) (*Rows, error) {
 	}
 	held, err := s.db.locks.AcquireContext(ctx, s.current().Locks)
 	if err != nil {
-		return nil, &StatementError{Err: governor.CtxErr(err)}
+		return nil, lockErr(err)
 	}
 	gov := s.db.newGovernor(ctx)
 	cp, err := s.planFor(gov, vals)

@@ -31,6 +31,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"systemr/internal/catalog"
@@ -40,10 +41,10 @@ import (
 	"systemr/internal/governor"
 	"systemr/internal/lock"
 	"systemr/internal/plan"
-	"systemr/internal/rss"
 	"systemr/internal/sem"
 	"systemr/internal/sql"
 	"systemr/internal/storage"
+	"systemr/internal/txn"
 	"systemr/internal/value"
 )
 
@@ -88,14 +89,24 @@ type Config struct {
 	// StatementTimeout bounds each statement's wall-clock execution,
 	// including lock waits.
 	StatementTimeout time.Duration
+	// LockTimeout bounds each lock-acquisition wait (0 = wait forever). The
+	// wait-for-graph deadlock detector resolves true deadlocks immediately;
+	// the timeout is the fallback for waits it cannot classify, such as a
+	// lock held by a stalled transaction. A tripped timeout surfaces as a
+	// *StatementError wrapping ErrLockTimeout.
+	LockTimeout time.Duration
 }
 
 // DB is an embedded database instance. Methods are safe for concurrent use:
-// each statement acquires table-level shared/exclusive locks (statement-
-// scope two-phase locking, the RSS's locking duty at coarse granularity —
-// see DESIGN.md), so concurrent readers proceed in parallel while writers
-// and DDL serialize per table. Measured statistics (LastStats) describe the
-// whole engine and are only meaningful for single-client measurement runs.
+// each statement acquires table-level shared/exclusive locks under two-phase
+// locking (the RSS's locking duty at coarse granularity — see DESIGN.md), so
+// concurrent readers proceed in parallel while writers and DDL serialize per
+// table. DB-level Exec autocommits: each statement runs as its own
+// transaction, atomic under undo logging, with locks released at statement
+// end. Begin and Conn open multi-statement transactions that retain locks to
+// commit/rollback (strict 2PL) with wait-for-graph deadlock detection.
+// Measured statistics (LastStats) describe the whole engine and are only
+// meaningful for single-client measurement runs.
 type DB struct {
 	mu       sync.Mutex // guards last
 	cfg      Config
@@ -108,6 +119,9 @@ type DB struct {
 	plans    *compile.Cache // nil when caching is disabled
 	metrics  *dbMetrics
 	last     ExecStats
+
+	mutFault   atomic.Value // txn.FaultFunc consulted by every new transaction
+	activeTxns atomic.Int64 // explicit transactions currently Active
 }
 
 // DefaultPlanCacheSize is the plan cache's entry bound when
@@ -162,6 +176,9 @@ func Open(cfg Config) *DB {
 		cat:   cat,
 		locks: lock.NewManager(),
 	}
+	if cfg.LockTimeout > 0 {
+		db.locks.SetLockTimeout(cfg.LockTimeout)
+	}
 	db.compiler = compile.NewPipeline(cat, db.OptimizerConfig(), cfg.Naive)
 	if cfg.PlanCacheSize >= 0 {
 		size := cfg.PlanCacheSize
@@ -186,11 +203,26 @@ func (db *DB) Exec(text string) (*Result, error) {
 // returning a *StatementError wrapping ErrCanceled or ErrBudgetExceeded.
 // The configured StatementTimeout, if any, is layered onto ctx.
 //
+// The statement autocommits: it runs as its own transaction, its mutations
+// undo-logged, so an abort (governor, cancellation, injected fault, or
+// contained panic) rolls the database back to the exact pre-statement
+// state before the error returns.
+//
 // A SELECT whose normalized text is in the plan cache takes the compiled
 // fast path: the cached entry supplies the lock set, and parse, semantic
 // analysis, and optimization are all skipped (the System R premise —
 // compile once, execute many).
-func (db *DB) ExecContext(ctx context.Context, text string) (res *Result, err error) {
+func (db *DB) ExecContext(ctx context.Context, text string) (*Result, error) {
+	return db.execText(ctx, nil, text)
+}
+
+// execText runs one statement, either autocommitted (cur == nil: an
+// ephemeral transaction scoped to the statement) or inside the explicit
+// transaction cur, whose locks and undo log accumulate across statements.
+// Statement atomicity is uniform: the undo-log position is marked before
+// dispatch and every mutation logged after the mark is reverted — while the
+// statement's exclusive locks are still held — if the statement fails.
+func (db *DB) execText(ctx context.Context, cur *txn.Txn, text string) (res *Result, err error) {
 	start := time.Now()
 	defer func() { db.observeStatement(start, err) }()
 	if db.cfg.StatementTimeout > 0 {
@@ -198,22 +230,50 @@ func (db *DB) ExecContext(ctx context.Context, text string) (res *Result, err er
 		ctx, cancel = context.WithTimeout(ctx, db.cfg.StatementTimeout)
 		defer cancel()
 	}
+	explicit := cur != nil
+	if explicit {
+		switch cur.State() {
+		case txn.Aborted:
+			return nil, fmt.Errorf("%w; ROLLBACK to start over", ErrTxnAborted)
+		case txn.Finished:
+			return nil, errors.New("systemr: transaction has already committed or rolled back")
+		}
+	}
 	norm, normOK := sql.Normalize(text)
 	if normOK && db.plans != nil {
 		if e, ok := db.plans.Peek(compile.Key(norm, "")); ok {
-			return db.execCachedSelect(ctx, norm, e)
+			return db.execCachedSelect(ctx, cur, norm, e)
 		}
 	}
 	stmt, err := sql.Parse(text)
 	if err != nil {
 		return nil, err
 	}
-	held, err := db.locks.AcquireContext(ctx, compile.LockRequests(stmt))
-	if err != nil {
-		return nil, &StatementError{Err: governor.CtxErr(err)}
+	switch stmt.(type) {
+	case *sql.BeginStmt, *sql.CommitStmt, *sql.RollbackStmt:
+		return nil, errors.New("systemr: transaction control needs a session: use DB.Conn (SQL) or DB.Begin (API)")
+	case *sql.CreateTableStmt, *sql.CreateIndexStmt, *sql.DropTableStmt,
+		*sql.DropIndexStmt, *sql.UpdateStatsStmt:
+		if explicit {
+			return nil, errors.New("systemr: DDL and UPDATE STATISTICS cannot run inside a transaction (catalog changes are not undoable); commit first")
+		}
 	}
-	defer held.Release()
-	return db.execStmt(ctx, norm, stmt)
+	if !explicit {
+		cur = db.beginTxn()
+		defer db.finishAuto(cur)
+	}
+	if err := cur.Locks.AcquireContext(ctx, compile.LockRequests(stmt)); err != nil {
+		return nil, db.lockFailed(cur, explicit, err)
+	}
+	mark := cur.Mark()
+	res, err = db.execStmt(ctx, cur, norm, stmt)
+	if err != nil {
+		if uerr := cur.UndoTo(mark); uerr != nil {
+			err = errors.Join(err, uerr)
+		}
+		return nil, err
+	}
+	return res, nil
 }
 
 // execCachedSelect is the plan-cache fast path. The peeked entry supplies
@@ -221,12 +281,15 @@ func (db *DB) ExecContext(ctx context.Context, text string) (res *Result, err er
 // locks are held (the shared catalog lock excludes DDL, pinning the
 // version), so a plan that went stale between the peek and the acquire is
 // recompiled, never executed.
-func (db *DB) execCachedSelect(ctx context.Context, norm string, e *compile.CompiledPlan) (res *Result, err error) {
-	held, lerr := db.locks.AcquireContext(ctx, e.Locks)
-	if lerr != nil {
-		return nil, &StatementError{Err: governor.CtxErr(lerr)}
+func (db *DB) execCachedSelect(ctx context.Context, cur *txn.Txn, norm string, e *compile.CompiledPlan) (res *Result, err error) {
+	explicit := cur != nil
+	if !explicit {
+		cur = db.beginTxn()
+		defer db.finishAuto(cur)
 	}
-	defer held.Release()
+	if lerr := cur.Locks.AcquireContext(ctx, e.Locks); lerr != nil {
+		return nil, db.lockFailed(cur, explicit, lerr)
+	}
 	gov := db.newGovernor(ctx)
 	defer func() {
 		if r := recover(); r != nil {
@@ -238,6 +301,68 @@ func (db *DB) execCachedSelect(ctx context.Context, norm string, e *compile.Comp
 		return nil, err
 	}
 	return db.runSelect(gov, cp)
+}
+
+// beginTxn creates a transaction over the engine's lock manager and disk,
+// carrying the installed mutation fault hook. Used both for explicit
+// transactions (Begin) and the ephemeral transaction backing each
+// autocommitted statement.
+func (db *DB) beginTxn() *txn.Txn {
+	t := txn.New(db.locks.Begin(), db.disk)
+	if f, ok := db.mutFault.Load().(txn.FaultFunc); ok && f != nil {
+		t.SetFault(f)
+	}
+	return t
+}
+
+// finishAuto ends an autocommitted statement's ephemeral transaction: any
+// failed statement already undid its mutations, so all that remains is to
+// release the statement's locks.
+func (db *DB) finishAuto(t *txn.Txn) {
+	t.Finish()
+	t.Locks.ReleaseAll()
+}
+
+// lockFailed handles a failed lock acquisition. A deadlock-victim or
+// lock-timeout abort inside an explicit transaction rolls the whole
+// transaction back immediately — its locks are what the rest of the cycle
+// is waiting on — leaving it Aborted until the session acknowledges with
+// ROLLBACK. Autocommitted statements hold no prior state; their deferred
+// cleanup releases whatever was granted.
+func (db *DB) lockFailed(cur *txn.Txn, explicit bool, err error) error {
+	if explicit && (errors.Is(err, lock.ErrDeadlock) || errors.Is(err, lock.ErrLockTimeout)) {
+		if uerr := cur.UndoAll(); uerr != nil {
+			err = errors.Join(err, uerr)
+		}
+		cur.MarkAborted()
+		cur.Locks.ReleaseAll()
+		db.activeTxns.Add(-1)
+		if m := db.metrics; m != nil {
+			m.txnRollbacks.Inc()
+		}
+	}
+	return lockErr(err)
+}
+
+// lockErr wraps a lock-acquisition failure as a *StatementError. Deadlock
+// and lock-timeout sentinels pass through for errors.Is dispatch; context
+// failures are classified by the governor (canceled vs deadline).
+func lockErr(err error) error {
+	if errors.Is(err, lock.ErrDeadlock) || errors.Is(err, lock.ErrLockTimeout) {
+		return &StatementError{Err: err}
+	}
+	return &StatementError{Err: governor.CtxErr(err)}
+}
+
+// SetMutationFault installs a fault hook consulted before every logged
+// mutation (insert or delete) of every subsequently created transaction,
+// including autocommitted statements: hook(n) is called with the 1-based
+// ordinal of the transaction's nth mutation, and a non-nil error fails the
+// statement at exactly that point — before the mutation applies. The
+// crash-consistency tests sweep it over every ordinal to prove statement
+// rollback restores the exact pre-statement state. nil removes the hook.
+func (db *DB) SetMutationFault(hook func(n int64) error) {
+	db.mutFault.Store(txn.FaultFunc(hook))
 }
 
 // resolveSelect produces an executable plan for a SELECT: served from the
@@ -459,14 +584,14 @@ func (db *DB) PlanCacheStats() PlanCacheStats {
 	return s
 }
 
-// execStmt dispatches one parsed statement under a fresh governor budget.
-// norm is the statement's normalized text ("" only if normalization failed,
-// which implies parsing failed first). execStmt is the panic-containment
-// boundary: an internal panic is recovered here and converted to a
-// *PanicError. The caller's deferred Held.Release and the executor's
-// deferred scan closes run during the unwind, so the database stays usable —
-// no locks or scans survive the failed statement.
-func (db *DB) execStmt(ctx context.Context, norm string, stmt sql.Statement) (res *Result, err error) {
+// execStmt dispatches one parsed statement under a fresh governor budget,
+// writing through cur's undo log. norm is the statement's normalized text
+// ("" only if normalization failed, which implies parsing failed first).
+// execStmt is the panic-containment boundary: an internal panic is recovered
+// here and converted to a *PanicError, which the caller treats like any
+// statement failure — undo to the statement mark, locks and scans released —
+// so the database stays usable and consistent.
+func (db *DB) execStmt(ctx context.Context, cur *txn.Txn, norm string, stmt sql.Statement) (res *Result, err error) {
 	gov := db.newGovernor(ctx)
 	defer func() {
 		if r := recover(); r != nil {
@@ -508,15 +633,15 @@ func (db *DB) execStmt(ctx context.Context, norm string, stmt sql.Statement) (re
 		db.cat.UpdateStatistics()
 		return &Result{}, nil
 	case *sql.InsertStmt:
-		return db.execInsert(gov, st)
+		return db.execInsert(gov, cur, st)
 	case *sql.SelectStmt:
 		return db.execSelect(gov, norm, st)
 	case *sql.ExplainStmt:
 		return db.execExplain(gov, norm, st)
 	case *sql.DeleteStmt:
-		return db.execDelete(gov, st)
+		return db.execDelete(gov, cur, st)
 	case *sql.UpdateStmt:
-		return db.execUpdate(gov, st)
+		return db.execUpdate(gov, cur, st)
 	default:
 		return nil, fmt.Errorf("systemr: unsupported statement %T", stmt)
 	}
@@ -596,7 +721,7 @@ func wrapGovErr(err error, stats ExecStats) error {
 	return err
 }
 
-func (db *DB) execInsert(gov *governor.Budget, st *sql.InsertStmt) (*Result, error) {
+func (db *DB) execInsert(gov *governor.Budget, cur *txn.Txn, st *sql.InsertStmt) (*Result, error) {
 	t, ok := db.cat.Table(st.Table)
 	if !ok {
 		return nil, fmt.Errorf("systemr: table %s does not exist", st.Table)
@@ -617,7 +742,7 @@ func (db *DB) execInsert(gov *governor.Budget, st *sql.InsertStmt) (*Result, err
 			}
 			row[i] = v
 		}
-		if _, err := rss.Insert(t, row); err != nil {
+		if _, err := cur.Insert(t, row); err != nil {
 			return nil, err
 		}
 		n++
@@ -731,7 +856,7 @@ func (db *DB) collectMatches(gov *governor.Budget, blk *sem.Block) ([]storage.TI
 	return tids, rows, nil
 }
 
-func (db *DB) execDelete(gov *governor.Budget, st *sql.DeleteStmt) (*Result, error) {
+func (db *DB) execDelete(gov *governor.Budget, cur *txn.Txn, st *sql.DeleteStmt) (*Result, error) {
 	blk, err := sem.AnalyzeDelete(st, db.cat)
 	if err != nil {
 		return nil, err
@@ -748,14 +873,14 @@ func (db *DB) execDelete(gov *governor.Budget, st *sql.DeleteStmt) (*Result, err
 		if err := gov.Tick(); err != nil {
 			return nil, wrapGovErr(err, ExecStats{Rows: i})
 		}
-		if err := rss.Delete(t, tid, rows[i], db.disk); err != nil {
+		if err := cur.Delete(t, tid, rows[i]); err != nil {
 			return nil, err
 		}
 	}
 	return &Result{Affected: len(tids)}, nil
 }
 
-func (db *DB) execUpdate(gov *governor.Budget, st *sql.UpdateStmt) (*Result, error) {
+func (db *DB) execUpdate(gov *governor.Budget, cur *txn.Txn, st *sql.UpdateStmt) (*Result, error) {
 	blk, sets, err := sem.AnalyzeUpdate(st, db.cat)
 	if err != nil {
 		return nil, err
@@ -785,10 +910,12 @@ func (db *DB) execUpdate(gov *governor.Budget, st *sql.UpdateStmt) (*Result, err
 			}
 			newRow[set.Col] = v
 		}
-		if err := rss.Delete(t, tid, rows[i], db.disk); err != nil {
+		// UPDATE is delete+insert per row: undo reverses both halves —
+		// deleting the new tuple and restoring the old byte-exactly.
+		if err := cur.Delete(t, tid, rows[i]); err != nil {
 			return nil, err
 		}
-		if _, err := rss.Insert(t, newRow); err != nil {
+		if _, err := cur.Insert(t, newRow); err != nil {
 			return nil, err
 		}
 	}
