@@ -30,18 +30,20 @@ func TestExplainAnalyzeGolden(t *testing.T) {
 	}
 	// The golden shows a real Selinger-model miss: the join-column defaults
 	// estimate 30 rows out of the joins, but CLERK covers a quarter of EMP
-	// and the actuals are 75 — visible on every line above the scans.
+	// and the actuals are 75 — visible on every line above the scans. With no
+	// ORDER BY there is no interesting order to exploit, so the hash join
+	// (est 6.6) beats the sort-both-sides merge plan (est 26.6) — and wins on
+	// actuals too (7 fetches / 106 RSI calls vs 9 / 316). The hash line
+	// reports the build side its table was pre-sized from.
 	want := strings.Join([]string{
 		"QUERY BLOCK (main)",
-		"  PROJECT E.NAME, D.DNAME, J.TITLE  {est rows=30.0 cost=26.6 | act rows=75 fetches=0 time=X}",
-		"    MERGEJOIN on outer[0.1] = inner[1.0]  {est rows=30.0 cost=26.6 | act rows=75 fetches=0 time=X}",
-		"      SORT into temp list by [0.1]  {est rows=30.0 cost=20.6 | act rows=75 fetches=1 time=X}",
-		"        NLJOIN bind: $3=outer[2.0]  {est rows=30.0 cost=2.6 | act rows=75 fetches=0 time=X}",
-		"          SEGSCAN J (JOB) sarg: (c1 = 'CLERK')  {est rows=0.4 cost=1.0 | act rows=1 fetches=1 time=X}",
-		"          INDEXSCAN E via EMP_JOB(JOB) key:[$3 .. $3] sarg: (c2 = $3)  {est rows=75.0 cost=4.0 | act rows=75 fetches=5 time=X}",
-		"      SORT into temp list by [1.0]  {est rows=30.0 cost=6.0 | act rows=30 fetches=1 time=X}",
-		"        SEGSCAN D (DEPT)  {est rows=30.0 cost=2.0 | act rows=30 fetches=1 time=X}",
-		"statement: fetches=9 writes=2 rsi=316 cost=21.4 (W=0.033)",
+		"  PROJECT E.NAME, D.DNAME, J.TITLE  {est rows=30.0 cost=6.6 | act rows=75 fetches=0 time=X}",
+		"    HASHJOIN build inner[1.0] probe outer[0.1]  {est rows=30.0 cost=6.6 | act rows=75 fetches=0 time=X} [build: est rows=30.0 act rows=30 mem=1290B]",
+		"      NLJOIN bind: $3=outer[2.0]  {est rows=30.0 cost=2.6 | act rows=75 fetches=0 time=X}",
+		"        SEGSCAN J (JOB) sarg: (c1 = 'CLERK')  {est rows=0.4 cost=1.0 | act rows=1 fetches=1 time=X}",
+		"        INDEXSCAN E via EMP_JOB(JOB) key:[$3 .. $3] sarg: (c2 = $3)  {est rows=75.0 cost=4.0 | act rows=75 fetches=5 time=X}",
+		"      SEGSCAN D (DEPT)  {est rows=30.0 cost=2.0 | act rows=30 fetches=1 time=X}",
+		"statement: fetches=7 writes=0 rsi=106 cost=10.5 (W=0.033)",
 		"",
 	}, "\n")
 	if scrubTimes(got) != want {

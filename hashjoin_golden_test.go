@@ -1,0 +1,103 @@
+package systemr_test
+
+// Hash-join plan-selection goldens on the paper's EMP/DEPT/JOB schema. The
+// hash join is a third costed join method, not a hint: with no useful order
+// downstream its cost formula (build-side pages plus W per build row, then
+// the probe side) undercuts the sort-both-sides merge plan, but the moment
+// an ORDER BY makes the merge output's order interesting, merge must win
+// again — a hash join produces no order, so its plan pays a full extra sort.
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExplainGoldenHashJoinWins pins the plan where hash wins on cost: no
+// ORDER BY, so no interesting order reaches the root and the cheapest
+// unordered plan takes it. The hash plan (est cost 6.6 with W=0.033) beats
+// the merge alternative (26.6), which would sort both 75-row inputs for
+// nothing. TestExplainAnalyzeGolden in analyze_test.go pins the same query's
+// measured actuals.
+func TestExplainGoldenHashJoinWins(t *testing.T) {
+	db := newEmpDeptJobDB(t)
+	got, err := db.Explain("SELECT E.NAME, D.DNAME, J.TITLE FROM EMP E, DEPT D, JOB J " +
+		"WHERE E.DNO = D.DNO AND E.JOB = J.JOB AND J.TITLE = 'CLERK'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"QUERY BLOCK (main)",
+		"  PROJECT E.NAME, D.DNAME, J.TITLE  {cost: pages=2.6 rsi=120.4, rows=30.0}",
+		"    HASHJOIN build inner[1.0] probe outer[0.1]  {cost: pages=2.6 rsi=120.4, rows=30.0}",
+		"      NLJOIN bind: $3=outer[2.0]  {cost: pages=1.6 rsi=30.4, rows=30.0}",
+		"        SEGSCAN J (JOB) sarg: (c1 = 'CLERK')  {cost: pages=1.0 rsi=0.4, rows=0.4}",
+		"        INDEXSCAN E via EMP_JOB(JOB) key:[$3 .. $3] sarg: (c2 = $3)  {cost: pages=1.5 rsi=75.0, rows=75.0}",
+		"      SEGSCAN D (DEPT)  {cost: pages=1.0 rsi=30.0, rows=30.0}",
+		"",
+	}, "\n")
+	if got != want {
+		t.Fatalf("hash-join golden plan drifted.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestExplainGoldenMergeWinsOnOrder pins the counterweight: ORDER BY E.JOB
+// makes the join column's order interesting, the merge join delivers it for
+// free, and the hash plan — cheaper before the order is charged — would need
+// a 300-row sort on top. Section 4's interesting-order machinery must keep
+// the ordered merge plan alive through the DP and pick it at the root.
+func TestExplainGoldenMergeWinsOnOrder(t *testing.T) {
+	db := newEmpDeptJobDB(t)
+	got, err := db.Explain("SELECT E.NAME, D.DNAME, J.TITLE FROM EMP E, DEPT D, JOB J " +
+		"WHERE E.DNO = D.DNO AND E.JOB = J.JOB ORDER BY E.JOB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(got, "HASHJOIN") {
+		t.Fatalf("hash join produces no order: ORDER BY on the join column must pick merge:\n%s", got)
+	}
+	want := strings.Join([]string{
+		"QUERY BLOCK (main)",
+		"  PROJECT E.NAME, D.DNAME, J.TITLE  {cost: pages=36.0 rsi=942.0, rows=300.0}",
+		"    MERGEJOIN on outer[0.2] = inner[2.0]  {cost: pages=36.0 rsi=942.0, rows=300.0}",
+		"      SORT into temp list by [0.2]  {cost: pages=33.0 rsi=930.0, rows=300.0}",
+		"        NLJOIN bind: $2=outer[1.0]  {cost: pages=7.0 rsi=330.0, rows=300.0}",
+		"          SEGSCAN D (DEPT)  {cost: pages=1.0 rsi=30.0, rows=30.0}",
+		"          INDEXSCAN E via EMP_DNO(DNO) key:[$2 .. $2] sarg: (c1 = $2)  {cost: pages=0.2 rsi=10.0, rows=10.0}",
+		"      SORT into temp list by [2.0]  {cost: pages=3.0 rsi=12.0, rows=4.0}",
+		"        SEGSCAN J (JOB)  {cost: pages=1.0 rsi=4.0, rows=4.0}",
+		"",
+	}, "\n")
+	if got != want {
+		t.Fatalf("merge-wins golden plan drifted.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestExplainAnalyzeGoldenMergeWinsOnOrder pins the merge-wins query's
+// measured actuals from a cold cache: merge output order satisfies the
+// ORDER BY with no root sort, and every line's rows/loops/fetches are the
+// deterministic values.
+func TestExplainAnalyzeGoldenMergeWinsOnOrder(t *testing.T) {
+	db := newEmpDeptJobDB(t)
+	db.Pool().Flush()
+	got, err := db.ExplainAnalyze("SELECT E.NAME, D.DNAME, J.TITLE FROM EMP E, DEPT D, JOB J " +
+		"WHERE E.DNO = D.DNO AND E.JOB = J.JOB ORDER BY E.JOB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"QUERY BLOCK (main)",
+		"  PROJECT E.NAME, D.DNAME, J.TITLE  {est rows=300.0 cost=67.1 | act rows=300 fetches=0 time=X}",
+		"    MERGEJOIN on outer[0.2] = inner[2.0]  {est rows=300.0 cost=67.1 | act rows=300 fetches=0 time=X}",
+		"      SORT into temp list by [0.2]  {est rows=300.0 cost=63.7 | act rows=300 fetches=5 time=X}",
+		"        NLJOIN bind: $2=outer[1.0]  {est rows=300.0 cost=17.9 | act rows=300 fetches=0 time=X}",
+		"          SEGSCAN D (DEPT)  {est rows=30.0 cost=2.0 | act rows=30 fetches=1 time=X}",
+		"          INDEXSCAN E via EMP_DNO(DNO) key:[$2 .. $2] sarg: (c1 = $2)  {est rows=10.0 cost=0.5 | act rows=300 loops=30 fetches=6 time=X}",
+		"      SORT into temp list by [2.0]  {est rows=4.0 cost=3.4 | act rows=4 fetches=1 time=X}",
+		"        SEGSCAN J (JOB)  {est rows=4.0 cost=1.1 | act rows=4 fetches=1 time=X}",
+		"statement: fetches=14 writes=6 rsi=942 cost=51.1 (W=0.033)",
+		"",
+	}, "\n")
+	if scrubTimes(got) != want {
+		t.Fatalf("merge-wins EXPLAIN ANALYZE golden drifted.\n--- got ---\n%s\n--- want ---\n%s", scrubTimes(got), want)
+	}
+}

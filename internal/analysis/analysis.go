@@ -19,6 +19,9 @@
 //   - txnundo: every engine mutation flows through the undo-logged write
 //     path (txn.Txn over the rss Insert/Delete/Restore primitives) — a
 //     direct segment, page, or index mutation would survive rollback (PR 6).
+//   - govbatch: every NextBatch body in the batched operator protocol
+//     reaches a governor checkpoint at least once per batch and never reads
+//     the pool's DB-global IOStats for its batch delta (PR 7).
 //
 // The suite mirrors the shape of golang.org/x/tools/go/analysis (Analyzer /
 // Pass / Diagnostic, a multichecker driver in cmd/sysrcheck, want-annotated
@@ -108,6 +111,7 @@ var Suite = []*Analyzer{
 	NoPrint,
 	StmtIO,
 	TxnUndo,
+	GovBatch,
 }
 
 // Run applies the analyzers to every package (which must be in dependency

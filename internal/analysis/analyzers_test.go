@@ -27,3 +27,5 @@ func TestNoPrintFixture(t *testing.T) { runFixture(t, NoPrint, "noprint") }
 func TestStmtIOFixture(t *testing.T) { runFixture(t, StmtIO, "stmtio") }
 
 func TestTxnUndoFixture(t *testing.T) { runFixture(t, TxnUndo, "txnundo") }
+
+func TestGovBatchFixture(t *testing.T) { runFixture(t, GovBatch, "govbatch") }

@@ -1,0 +1,65 @@
+package analysis
+
+// govbatch guards the batched operator protocol (PR 7). The batch boundary
+// amortizes the per-row governor tick to one tick per batch — which is only
+// safe if every NextBatch body still reaches a checkpoint at least once per
+// batch: either a direct *governor.Budget call, or by driving at least one
+// producer that is itself governed (the same transitive fact govtick
+// computes). A NextBatch that fills its batch with neither would let a
+// canceled or over-budget statement run a full batch of work per boundary
+// tick — or, for a batch body with interior loops, arbitrarily long.
+//
+// The same boundary also computes the per-batch fetch delta, so govbatch
+// re-asserts the stmtio rule at batch granularity: a NextBatch body must
+// never read the buffer pool's DB-global IOStats, whose counters blend
+// concurrent statements' I/O into the delta.
+
+import (
+	"go/ast"
+)
+
+// GovBatch is the batched-protocol analyzer.
+var GovBatch = &Analyzer{
+	Name: "govbatch",
+	Doc:  "every NextBatch body in exec, rss, and xsort must reach a governor checkpoint per batch and must not read the pool's DB-global IOStats",
+	Run:  runGovBatch,
+}
+
+// govbatchPkgs are the package tails implementing the batched protocol.
+var govbatchPkgs = map[string]bool{"exec": true, "rss": true, "xsort": true}
+
+func runGovBatch(pass *Pass) error {
+	computeGovernedFacts(pass)
+	if !govbatchPkgs[pathTail(pass.Pkg.Path)] {
+		return nil
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			name := fd.Name.Name
+			if name != "NextBatch" && name != "nextBatch" {
+				continue
+			}
+			if !containsBudgetCall(info, fd.Body) && !callsGovernedFunc(pass, info, fd.Body) {
+				pass.Reportf(fd.Pos(),
+					"%s fills a batch without a governor checkpoint: tick the budget or drive a governed producer at least once per batch", name)
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if isMethodOn(calleeFunc(info, call), "Stats", "storage", "BufferPool") {
+					pass.Reportf(call.Pos(),
+						"%s reads the buffer pool's DB-global IOStats: batch deltas must come from the statement's StmtIO accumulator", name)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}

@@ -1,0 +1,18 @@
+// Package storage mirrors the accounting surface the stmtio analyzer knows
+// about: the buffer pool with its DB-global IOStats, and the per-statement
+// StmtIO view.
+package storage
+
+type IOStats struct{ fetches int64 }
+
+func (s *IOStats) FetchCount() int64 { return s.fetches }
+
+type BufferPool struct{ stats IOStats }
+
+func (bp *BufferPool) Stats() *IOStats { return &bp.stats }
+
+func (bp *BufferPool) View(stmt *IOStats) StmtIO { return StmtIO{stmt: stmt} }
+
+type StmtIO struct{ stmt *IOStats }
+
+func (io StmtIO) FetchCount() int64 { return io.stmt.FetchCount() }

@@ -48,8 +48,18 @@ type Config struct {
 	// call); used by the sargability experiments.
 	DisableSargs bool
 	// NestedLoopsOnly and MergeOnly restrict the join methods considered.
+	// Either one also excludes hash joins, so the paper's two-method
+	// experiments keep their original search space.
 	NestedLoopsOnly bool
 	MergeOnly       bool
+	// DisableHashJoin removes the hash-join method from enumeration,
+	// restoring the paper's original two-method search space.
+	DisableHashJoin bool
+
+	// DegreeOfParallelism > 1 lets the optimizer plant Parallel exchange
+	// operators over eligible segment scans of the main query block,
+	// partitioning the scan's pages across that many workers.
+	DegreeOfParallelism int
 
 	// Trace, when non-nil, records the search tree (Figures 2-6).
 	Trace *Trace
@@ -108,9 +118,20 @@ func New(cat *catalog.Catalog, cfg Config) *Optimizer {
 }
 
 // Optimize plans a full analyzed statement (the main block plus nested
-// blocks, innermost first, as Section 6 prescribes).
+// blocks, innermost first, as Section 6 prescribes). With
+// DegreeOfParallelism > 1 a post-pass plants Parallel exchange operators
+// over the main block's eligible segment scans; nested blocks are left
+// serial (they evaluate inside the per-tuple path, where spawning workers
+// per evaluation would cost more than it saves).
 func (o *Optimizer) Optimize(blk *sem.Block) (*plan.Query, error) {
-	return o.planBlock(blk)
+	q, err := o.planBlock(blk)
+	if err != nil {
+		return nil, err
+	}
+	if o.cfg.DegreeOfParallelism > 1 {
+		q.Root = parallelize(q.Root, o.cfg.DegreeOfParallelism, false)
+	}
+	return q, nil
 }
 
 func (o *Optimizer) planBlock(blk *sem.Block) (*plan.Query, error) {

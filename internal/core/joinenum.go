@@ -398,6 +398,75 @@ func (o *Optimizer) joinCandidates(ssOuter *subsetSols, s sem.RelSet, r int, ss2
 			}
 		}
 	}
+
+	// ---- Hash join (equi-joins only) ----
+	// The third method, costed in the style of Table 2:
+	//
+	//	C-hash = C-outer(path) + C-inner(path) + W*(N-inner + N-outer)
+	//	       [+ 2*TEMPPAGES(N-inner, width) if the table exceeds the buffer]
+	//
+	// The inner (build) side is read once by its cheapest access path and
+	// each of its N-inner qualifying tuples costs one RSI-like call to enter
+	// the hash table; each of the N-outer probe tuples costs one lookup. No
+	// interesting order is produced (probing scrambles nothing today, but
+	// order is deliberately not promised — parallel scans already make the
+	// probe order nondeterministic), so a downstream order requirement is won
+	// by merge and order-free joins by hash.
+	if o.cfg.DisableHashJoin || o.cfg.MergeOnly {
+		return
+	}
+	for _, fi := range applicable {
+		ej := fi.f.EquiJoin
+		if ej == nil {
+			continue
+		}
+		var innerCol, outerCol sem.ColumnID
+		switch {
+		case ej.Left.Rel == r && s.Has(ej.Right.Rel):
+			innerCol, outerCol = ej.Left, ej.Right
+		case ej.Right.Rel == r && s.Has(ej.Left.Rel):
+			innerCol, outerCol = ej.Right, ej.Left
+		default:
+			continue
+		}
+		var residual []sem.Expr
+		for _, other := range applicable {
+			if other != fi {
+				residual = append(residual, other.f.Expr)
+			}
+		}
+		var base *pathCand
+		for _, p := range o.genPaths(r, nil) {
+			p := p
+			if base == nil || p.cost.Total(o.cfg.W) < base.cost.Total(o.cfg.W) {
+				base = &p
+			}
+		}
+		outer, ok := ssOuter.best[""]
+		if base == nil || !ok {
+			continue
+		}
+		_, selAll := o.localSel(r)
+		buildRows := o.blk.Rels[r].Table.Stats.EffNCard() * selAll
+		buildCost := base.cost.Add(plan.Cost{RSI: buildRows})
+		if tp := tempPages(buildRows, o.rowWidth(r)); tp > float64(o.cfg.BufferPages) {
+			// The build side does not fit the System R buffer: charge a
+			// write-out and read-back of the spilled temporary, as the sorted
+			// temp-list formulas do.
+			buildCost = buildCost.Add(plan.Cost{Pages: 2 * tp})
+		}
+		cost := outer.cost.Add(buildCost).Add(plan.Cost{RSI: nOuter})
+		node := &plan.HashJoin{
+			Outer: outer.node, Inner: base.node,
+			OuterCol: outerCol, InnerCol: innerCol,
+			Residual: residual, BuildRows: buildRows,
+		}
+		node.SetEst(plan.Estimate{Cost: cost, Rows: rows})
+		o.propose(ss2, &solution{
+			set: s2, ord: nil, cost: cost, node: node,
+			desc: "hash join (" + outer.desc + " ⋈ " + base.desc + ")",
+		})
+	}
 }
 
 // localSel returns the products of the sargable and of all local-factor

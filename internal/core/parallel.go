@@ -1,0 +1,75 @@
+package core
+
+// Intra-query parallelism. The exchange placement is a plan post-pass, not a
+// costed enumeration dimension: partitioning a segment scan never changes
+// its total page fetches or RSI calls (each worker reads a disjoint share of
+// the pages), so under the paper's cost model every placement is
+// cost-neutral and the pass simply plants an exchange wherever it is safe.
+// It runs at compile time so the Parallel operator is part of the compiled
+// (and cached) plan — which is why DegreeOfParallelism participates in the
+// plan-cache key.
+
+import (
+	"systemr/internal/plan"
+	"systemr/internal/sem"
+)
+
+// parallelize plants Parallel exchange operators over eligible segment
+// scans. A scan is eligible when reordering its output cannot be observed
+// and its per-row work is safe to run on worker goroutines:
+//
+//   - not the inner side of a nested-loop join (the inner re-opens per outer
+//     tuple with fresh parameter bindings; spawning workers per tuple would
+//     also swamp the per-open cost);
+//   - no residual predicates (residuals may contain correlated subqueries,
+//     whose evaluation state is per-statement, not per-worker);
+//   - no subquery-valued search arguments (sarg bounds resolve at OPEN,
+//     which on a worker would evaluate the subquery concurrently).
+//
+// Merge joins and ordered GROUP BY never consume a bare segment scan (a
+// segment scan produces no order), so recursing through every other operator
+// is safe: whatever order the exchange scrambles was not relied upon.
+func parallelize(n plan.Node, degree int, nlInner bool) plan.Node {
+	switch x := n.(type) {
+	case *plan.SegScan:
+		if nlInner || len(x.Residual) > 0 || sargsBindSubquery(x.Sargs) {
+			return n
+		}
+		p := &plan.Parallel{Input: x, Degree: degree}
+		p.SetEst(x.Est())
+		return p
+	case *plan.NLJoin:
+		x.Outer = parallelize(x.Outer, degree, nlInner)
+		x.Inner = parallelize(x.Inner, degree, true)
+	case *plan.MergeJoin:
+		x.Outer = parallelize(x.Outer, degree, nlInner)
+		x.Inner = parallelize(x.Inner, degree, nlInner)
+	case *plan.HashJoin:
+		x.Outer = parallelize(x.Outer, degree, nlInner)
+		x.Inner = parallelize(x.Inner, degree, nlInner)
+	case *plan.Sort:
+		x.Input = parallelize(x.Input, degree, nlInner)
+	case *plan.GroupAgg:
+		x.Input = parallelize(x.Input, degree, nlInner)
+	case *plan.Project:
+		x.Input = parallelize(x.Input, degree, nlInner)
+	case *plan.Distinct:
+		x.Input = parallelize(x.Input, degree, nlInner)
+	}
+	return n
+}
+
+// sargsBindSubquery reports whether any search-argument bound is a subquery
+// result.
+func sargsBindSubquery(sargs []sem.SargDNF) bool {
+	for _, dnf := range sargs {
+		for _, conj := range dnf {
+			for _, t := range conj {
+				if t.Val.Kind == sem.BoundSub {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

@@ -96,12 +96,26 @@ func formatOp(b *strings.Builder, o Operator, depth int, w float64) {
 		fetches -= ks.Fetches
 		elapsed -= ks.Elapsed
 	}
+	// A parallel exchange's children run concurrently: the sum of their wall
+	// times can exceed the parent's, so self time clamps at zero.
+	if elapsed < 0 {
+		elapsed = 0
+	}
 	fmt.Fprintf(b, "%s%s  {est rows=%.1f cost=%.1f | act rows=%d",
 		strings.Repeat("  ", depth), o.Plan().Label(), e.Rows, e.Cost.Total(w), s.Rows)
 	if s.Opens != 1 {
 		fmt.Fprintf(b, " loops=%d", s.Opens)
 	}
-	fmt.Fprintf(b, " fetches=%d time=%s}\n", fetches, formatElapsed(elapsed))
+	fmt.Fprintf(b, " fetches=%d time=%s}", fetches, formatElapsed(elapsed))
+	// The hash join reports its build side: the estimate its table was
+	// pre-sized from against the rows (and bytes) actually buffered.
+	if wrap, ok := o.(*op); ok {
+		if hj, ok := wrap.impl.(*hashJoinOp); ok {
+			fmt.Fprintf(b, " [build: est rows=%.1f act rows=%d mem=%dB]",
+				hj.node.BuildRows, hj.buildRows, hj.buildBytes)
+		}
+	}
+	b.WriteString("\n")
 	for _, k := range o.Children() {
 		formatOp(b, k, depth+1, w)
 	}

@@ -1,0 +1,106 @@
+package exec
+
+// Batch-oriented execution. The classic tuple-at-a-time Volcano protocol
+// pays the instrumented operator boundary — a governor tick, two wall-clock
+// reads, and two statement-counter reads — once per row. NextBatch moves
+// rows across that boundary a batch at a time, so the boundary cost is
+// amortized over DefaultBatchSize rows while the interior operators keep
+// their own governor checkpoints (scans check per tuple examined, exactly as
+// before).
+//
+// Every operator instance is driven through exactly one protocol per run:
+// block execution drives the root with NextBatch, and composite operators
+// read their children through batchReaders; the row-at-a-time Next remains
+// for cursors, DML tuple location, and subquery evaluation, and a fallback
+// adapter in the op wrapper serves NextBatch for any operator body without a
+// native batch implementation.
+
+// DefaultBatchSize is the number of rows an operator aims to move per
+// NextBatch call when the runtime does not configure a size.
+const DefaultBatchSize = 256
+
+// Batch is a reusable buffer of composite rows. The backing array is reused
+// across NextBatch calls; the rows themselves are freshly allocated by the
+// producing operator (from per-call arenas), so a consumer may retain them
+// across batches — merge-join groups and nested-loop outer rows depend on
+// that.
+type Batch struct {
+	rows []comp
+}
+
+// NewBatch creates a batch with capacity n (the target rows per fill).
+func NewBatch(n int) *Batch {
+	if n < 1 {
+		n = 1
+	}
+	return &Batch{rows: make([]comp, 0, n)}
+}
+
+// Len returns the number of rows currently in the batch.
+func (b *Batch) Len() int { return len(b.rows) }
+
+// Cap returns the batch's target fill size.
+func (b *Batch) Cap() int { return cap(b.rows) }
+
+// Full reports whether the batch reached its target size.
+func (b *Batch) Full() bool { return len(b.rows) == cap(b.rows) }
+
+// Reset empties the batch, keeping its backing array.
+func (b *Batch) Reset() { b.rows = b.rows[:0] }
+
+// Append adds one row.
+func (b *Batch) Append(c comp) { b.rows = append(b.rows, c) }
+
+// Row returns row i.
+func (b *Batch) Row(i int) comp { return b.rows[i] }
+
+// batchImpl is implemented by operator bodies with a native batch fill; the
+// op wrapper dispatches NextBatch to it, falling back to a per-row loop
+// otherwise. On error the batch's contents are undefined.
+type batchImpl interface {
+	nextBatch(b *Batch) error
+}
+
+// batchReader adapts a child operator's NextBatch stream back to one-row
+// reads for a composite operator's interior logic: rows cross the child's
+// instrumented boundary a batch at a time and are then served out of the
+// buffer. src is the concrete wrapper (not the Operator interface) so the
+// governor checkpoint inside NextBatch is statically visible to sysrcheck.
+type batchReader struct {
+	src  *op
+	buf  *Batch
+	i    int
+	done bool
+}
+
+func (ctx *blockCtx) newBatchReader(src *op) *batchReader {
+	return &batchReader{src: src, buf: NewBatch(ctx.batchN)}
+}
+
+// reset discards buffered rows; callers reset after re-opening src (a
+// nested-loop inner) or before a fresh drain.
+func (r *batchReader) reset() {
+	r.buf.Reset()
+	r.i = 0
+	r.done = false
+}
+
+// next serves one row, refilling from src as needed.
+func (r *batchReader) next() (comp, bool, error) {
+	for r.i >= r.buf.Len() {
+		if r.done {
+			return nil, false, nil
+		}
+		if err := r.src.NextBatch(r.buf); err != nil {
+			return nil, false, err
+		}
+		r.i = 0
+		if r.buf.Len() == 0 {
+			r.done = true
+			return nil, false, nil
+		}
+	}
+	c := r.buf.rows[r.i]
+	r.i++
+	return c, true, nil
+}

@@ -32,6 +32,17 @@ type Runtime struct {
 	// per-statement — exact even under concurrent statements. Nil is allowed
 	// and replaced with a fresh accumulator on first use.
 	IO *storage.IOStats
+
+	// BatchSize is the target rows per NextBatch call (0 or negative =
+	// DefaultBatchSize). It never affects plan choice — only how many rows
+	// cross each instrumented operator boundary per call.
+	BatchSize int
+	// OnBatch, when non-nil, observes the size of every batch the block
+	// driver consumes from the root operator (metrics hook).
+	OnBatch func(rows int)
+	// OnParallel, when non-nil, observes the worker count of every parallel
+	// exchange opened (metrics hook).
+	OnParallel func(workers int)
 }
 
 // ensureIO guarantees the runtime carries a statement accumulator, creating
@@ -122,6 +133,7 @@ type blockCtx struct {
 	// block, not double-counted against the operator. Shared (like evals)
 	// between a block and its subquery blocks.
 	subFetches *int64
+	batchN     int // target rows per NextBatch (Runtime.BatchSize resolved)
 	root       *op // the block's operator tree, kept for EXPLAIN ANALYZE
 }
 
@@ -134,6 +146,10 @@ func newBlockCtx(rt *Runtime, q *plan.Query, evals *int) *blockCtx {
 		subs:       make(map[*sem.Subquery]*subState, len(q.Subs)),
 		evals:      evals,
 		subFetches: new(int64),
+		batchN:     rt.BatchSize,
+	}
+	if ctx.batchN < 1 {
+		ctx.batchN = DefaultBatchSize
 	}
 	for _, sp := range q.Subs {
 		ctx.subs[sp.Sub] = &subState{sp: sp}
@@ -143,12 +159,15 @@ func newBlockCtx(rt *Runtime, q *plan.Query, evals *int) *blockCtx {
 
 // fetchCount reads the statement's page-fetch counter — this statement's
 // fetches only, so attribution stays exact under concurrent statements.
-func (ctx *blockCtx) fetchCount() int64 { return ctx.io.FetchCount() }
+// Parallel workers post into their own attached accumulators, excluded here,
+// so synchronous deltas stay deterministic while workers run; worker I/O is
+// folded back in at Stats()-read time and in statement totals (Snapshot).
+func (ctx *blockCtx) fetchCount() int64 { return ctx.io.LocalFetchCount() }
 
 // opFetchBase is the counter operator instrumentation deltas: the
 // statement's fetches minus those spent inside subquery evaluations (which
 // are attributed to the subquery's own block).
-func (ctx *blockCtx) opFetchBase() int64 { return ctx.io.FetchCount() - *ctx.subFetches }
+func (ctx *blockCtx) opFetchBase() int64 { return ctx.fetchCount() - *ctx.subFetches }
 
 // run drives the block's operator tree to completion. The close is deferred
 // before open so that every exit path — including errors mid-open and panics
@@ -167,15 +186,42 @@ func (ctx *blockCtx) run() (rows []value.Row, err error) {
 	if err := root.Open(); err != nil {
 		return nil, err
 	}
+	// Block execution is batch-driven: the root's instrumented boundary is
+	// paid once per batch instead of once per row. Cursors and DML tuple
+	// location keep the row-at-a-time Next.
+	b := NewBatch(ctx.batchN)
 	for {
-		c, ok, err := root.Next()
-		if err != nil {
+		if err := root.NextBatch(b); err != nil {
 			return nil, err
 		}
-		if !ok {
+		if b.Len() == 0 {
 			return rows, nil
 		}
-		rows = append(rows, outRow(c))
+		if f := ctx.rt.OnBatch; f != nil {
+			f(b.Len())
+		}
+		for _, c := range b.rows {
+			rows = append(rows, outRow(c))
+		}
+	}
+}
+
+// workerCtx derives an execution context for one parallel-scan worker: the
+// worker accounts its I/O into acc (already Attached to the statement's
+// accumulator) and shares the statement's governor budget and parameter
+// bindings. Parallel-eligible scans evaluate no residuals or subquery-bound
+// sargs, so the worker context carries no subquery state.
+func (ctx *blockCtx) workerCtx(acc *storage.IOStats) *blockCtx {
+	rt2 := *ctx.rt
+	rt2.IO = acc
+	return &blockCtx{
+		rt:         &rt2,
+		io:         ctx.rt.Pool.View(acc),
+		q:          ctx.q,
+		params:     ctx.params,
+		evals:      ctx.evals,
+		subFetches: new(int64),
+		batchN:     ctx.batchN,
 	}
 }
 

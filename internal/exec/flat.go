@@ -17,12 +17,23 @@ type projectOp struct {
 	ctx   *blockCtx
 	input *op
 	exprs []sem.Expr
+	read  *batchReader
 }
 
-func (it *projectOp) open() error { return it.input.Open() }
+func (it *projectOp) open() error {
+	if err := it.input.Open(); err != nil {
+		return err
+	}
+	if it.read == nil {
+		it.read = it.ctx.newBatchReader(it.input)
+	} else {
+		it.read.reset()
+	}
+	return nil
+}
 
 func (it *projectOp) next() (comp, bool, error) {
-	c, ok, err := it.input.Next()
+	c, ok, err := it.read.next()
 	if err != nil || !ok {
 		return nil, false, err
 	}
@@ -35,6 +46,37 @@ func (it *projectOp) next() (comp, bool, error) {
 		out[i] = v
 	}
 	return outComp(out), true, nil
+}
+
+// nextBatch projects a batch at a time, allocating output rows and their
+// single-slot composites from per-call arenas (consumers may retain rows).
+func (it *projectOp) nextBatch(b *Batch) error {
+	ne := len(it.exprs)
+	rowArena := make([]value.Value, b.Cap()*ne)
+	compArena := make([]value.Row, b.Cap())
+	for !b.Full() {
+		c, ok, err := it.read.next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		out := value.Row(rowArena[:ne:ne])
+		rowArena = rowArena[ne:]
+		for i, e := range it.exprs {
+			v, err := it.ctx.evalExpr(c, e)
+			if err != nil {
+				return err
+			}
+			out[i] = v
+		}
+		oc := comp(compArena[:1:1])
+		compArena = compArena[1:]
+		oc[0] = out
+		b.Append(oc)
+	}
+	return nil
 }
 
 func (it *projectOp) close() error { return it.input.Close() }
@@ -283,18 +325,28 @@ func (s *aggState) finish(name string) value.Value {
 // preserves input order; see DESIGN.md for the deviation from System R's
 // sort-based duplicate elimination.
 type distinctOp struct {
+	ctx   *blockCtx
 	input *op
 	seen  map[string]bool
+	read  *batchReader
 }
 
 func (it *distinctOp) open() error {
 	it.seen = make(map[string]bool)
-	return it.input.Open()
+	if err := it.input.Open(); err != nil {
+		return err
+	}
+	if it.read == nil {
+		it.read = it.ctx.newBatchReader(it.input)
+	} else {
+		it.read.reset()
+	}
+	return nil
 }
 
 func (it *distinctOp) next() (comp, bool, error) {
 	for {
-		c, ok, err := it.input.Next()
+		c, ok, err := it.read.next()
 		if err != nil || !ok {
 			return nil, false, err
 		}
@@ -305,6 +357,21 @@ func (it *distinctOp) next() (comp, bool, error) {
 		it.seen[key] = true
 		return c, true, nil
 	}
+}
+
+// nextBatch fills b with distinct rows.
+func (it *distinctOp) nextBatch(b *Batch) error {
+	for !b.Full() {
+		c, ok, err := it.next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		b.Append(c)
+	}
+	return nil
 }
 
 func (it *distinctOp) close() error { return it.input.Close() }

@@ -19,18 +19,33 @@ type nlJoinOp struct {
 	inner    *op
 	curOuter comp
 	innerOn  bool // inner currently open
+
+	// Children are read through batch adapters so their instrumented
+	// boundaries are paid per batch; the inner's adapter is reset at each
+	// re-open.
+	outerRead *batchReader
+	innerRead *batchReader
 }
 
 func (it *nlJoinOp) open() error {
 	it.curOuter = nil
 	it.innerOn = false
-	return it.outer.Open()
+	if err := it.outer.Open(); err != nil {
+		return err
+	}
+	if it.outerRead == nil {
+		it.outerRead = it.ctx.newBatchReader(it.outer)
+		it.innerRead = it.ctx.newBatchReader(it.inner)
+	} else {
+		it.outerRead.reset()
+	}
+	return nil
 }
 
 func (it *nlJoinOp) next() (comp, bool, error) {
 	for {
 		if it.curOuter == nil {
-			oc, ok, err := it.outer.Next()
+			oc, ok, err := it.outerRead.next()
 			if err != nil || !ok {
 				return nil, false, err
 			}
@@ -57,8 +72,9 @@ func (it *nlJoinOp) next() (comp, bool, error) {
 				return nil, false, err
 			}
 			it.innerOn = true
+			it.innerRead.reset()
 		}
-		ic, ok, err := it.inner.Next()
+		ic, ok, err := it.innerRead.next()
 		if err != nil {
 			return nil, false, err
 		}
@@ -75,6 +91,22 @@ func (it *nlJoinOp) next() (comp, bool, error) {
 			return c, true, nil
 		}
 	}
+}
+
+// nextBatch fills b by running the join loop; the per-row work is the same,
+// but rows cross this operator's own boundary a batch at a time.
+func (it *nlJoinOp) nextBatch(b *Batch) error {
+	for !b.Full() {
+		c, ok, err := it.next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		b.Append(c)
+	}
+	return nil
 }
 
 // close releases both sides, returning the first error but always closing
@@ -109,6 +141,9 @@ type mergeJoinOp struct {
 	gi        int
 	lookahead comp
 	innerDone bool
+
+	outerRead *batchReader
+	innerRead *batchReader
 }
 
 func (it *mergeJoinOp) open() error {
@@ -117,7 +152,17 @@ func (it *mergeJoinOp) open() error {
 	if err := it.outer.Open(); err != nil {
 		return err
 	}
-	return it.inner.Open()
+	if err := it.inner.Open(); err != nil {
+		return err
+	}
+	if it.outerRead == nil {
+		it.outerRead = it.ctx.newBatchReader(it.outer)
+		it.innerRead = it.ctx.newBatchReader(it.inner)
+	} else {
+		it.outerRead.reset()
+		it.innerRead.reset()
+	}
+	return nil
 }
 
 func (it *mergeJoinOp) innerNext() (comp, bool, error) {
@@ -129,7 +174,7 @@ func (it *mergeJoinOp) innerNext() (comp, bool, error) {
 	if it.innerDone {
 		return nil, false, nil
 	}
-	c, ok, err := it.inner.Next()
+	c, ok, err := it.innerRead.next()
 	if err != nil {
 		return nil, false, err
 	}
@@ -196,7 +241,7 @@ func (it *mergeJoinOp) loadGroup(key value.Value) error {
 func (it *mergeJoinOp) next() (comp, bool, error) {
 	for {
 		if it.curOuter == nil {
-			oc, ok, err := it.outer.Next()
+			oc, ok, err := it.outerRead.next()
 			if err != nil || !ok {
 				return nil, false, err
 			}
@@ -227,6 +272,21 @@ func (it *mergeJoinOp) next() (comp, bool, error) {
 			return c, true, nil
 		}
 	}
+}
+
+// nextBatch fills b by running the merge loop per row.
+func (it *mergeJoinOp) nextBatch(b *Batch) error {
+	for !b.Full() {
+		c, ok, err := it.next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		b.Append(c)
+	}
+	return nil
 }
 
 func (it *mergeJoinOp) close() error {

@@ -47,9 +47,16 @@ type OpStats struct {
 // parameter bindings (how a nested-loop join rescans its inner relation);
 // Close is idempotent and must release every resource on any exit path,
 // including a partially failed Open. Stats accumulate across restarts.
+// A single operator instance is driven through either Next or NextBatch for
+// the duration of a run, never a mix.
 type Operator interface {
 	Open() error
 	Next() (comp, bool, error)
+	// NextBatch fills b with up to its capacity of rows, resetting it first;
+	// a batch shorter than capacity is permitted mid-stream, and an empty
+	// batch means end of input. The boundary instrumentation (governor tick,
+	// OpStats, fetch deltas, wall time) is paid once per batch.
+	NextBatch(b *Batch) error
 	Close() error
 	// Plan returns the plan node this operator executes, carrying the
 	// optimizer's estimated cost and cardinality.
@@ -86,7 +93,30 @@ type op struct {
 
 func (o *op) Plan() plan.Node { return o.node }
 
-func (o *op) Stats() OpStats { return o.stats }
+// Stats returns the operator's measured actuals. Fetches folds in the I/O
+// posted by parallel workers in this operator's subtree: workers post into
+// their own accumulators (never the statement's own counter, keeping
+// synchronous deltas race-free), so worker I/O is re-attributed at read
+// time. The fold keeps the telescoping self = inclusive − children identity
+// exact: a parallel exchange's workers are its child operators, measured
+// against their own accumulators.
+func (o *op) Stats() OpStats {
+	s := o.stats
+	s.Fetches += o.asyncFetches()
+	return s
+}
+
+// asyncFetches sums the parallel-worker I/O in this operator's subtree.
+func (o *op) asyncFetches() int64 {
+	var n int64
+	if p, ok := o.impl.(*parallelOp); ok {
+		n += p.workerFetches()
+	}
+	for _, k := range o.kids {
+		n += k.asyncFetches()
+	}
+	return n
+}
 
 func (o *op) Children() []Operator {
 	out := make([]Operator, len(o.kids))
@@ -130,14 +160,62 @@ func (o *op) Next() (c comp, ok bool, err error) {
 	return c, ok, err
 }
 
+// NextBatch fills b with up to its capacity of rows, paying the boundary
+// instrumentation once per batch. Bodies with a native batch fill are
+// dispatched directly; any other body is served by a per-row fallback loop
+// (which keeps a per-row governor tick, since the body has no interior
+// checkpoints of its own at the batch boundary).
+func (o *op) NextBatch(b *Batch) error {
+	if err := o.ctx.rt.Budget.Tick(); err != nil {
+		return err
+	}
+	start := time.Now()
+	f0 := o.ctx.opFetchBase()
+	var err error
+	if bi, ok := o.impl.(batchImpl); ok {
+		b.Reset()
+		err = bi.nextBatch(b)
+	} else {
+		b.Reset()
+		for !b.Full() {
+			if terr := o.ctx.rt.Budget.Tick(); terr != nil {
+				err = terr
+				break
+			}
+			c, ok, nerr := o.impl.next()
+			if nerr != nil {
+				err = nerr
+				break
+			}
+			if !ok {
+				break
+			}
+			b.Append(c)
+		}
+	}
+	// Preserve the Rows <= Nexts invariant: a batch of n rows counts as n
+	// amortized Next calls; an empty batch is the final empty call.
+	n := int64(b.Len())
+	o.stats.Rows += n
+	if n == 0 {
+		o.stats.Nexts++
+	} else {
+		o.stats.Nexts += n
+	}
+	o.stats.Fetches += o.ctx.opFetchBase() - f0
+	o.stats.Elapsed += time.Since(start)
+	return err
+}
+
 func (o *op) Close() error { return o.impl.close() }
 
 // selfFetches attributes page fetches to this operator alone: its inclusive
-// delta minus its children's.
+// delta minus its children's. Both sides come from Stats() so the identity
+// holds through a parallel exchange (whose worker I/O is folded in there).
 func (o *op) selfFetches() int64 {
-	f := o.stats.Fetches
+	f := o.Stats().Fetches
 	for _, k := range o.kids {
-		f -= k.stats.Fetches
+		f -= k.Stats().Fetches
 	}
 	return f
 }
@@ -175,6 +253,18 @@ func (ctx *blockCtx) build(n plan.Node) (*op, error) {
 			return nil, err
 		}
 		return ctx.newOp(n, &mergeJoinOp{ctx: ctx, node: x, outer: outer, inner: inner}, outer, inner), nil
+	case *plan.HashJoin:
+		outer, err := ctx.build(x.Outer)
+		if err != nil {
+			return nil, err
+		}
+		inner, err := ctx.build(x.Inner)
+		if err != nil {
+			return nil, err
+		}
+		return ctx.newOp(n, &hashJoinOp{ctx: ctx, node: x, outer: outer, inner: inner}, outer, inner), nil
+	case *plan.Parallel:
+		return ctx.buildParallel(x)
 	case *plan.Sort:
 		in, err := ctx.build(x.Input)
 		if err != nil {
@@ -201,7 +291,7 @@ func (ctx *blockCtx) build(n plan.Node) (*op, error) {
 		if err != nil {
 			return nil, err
 		}
-		return ctx.newOp(n, &distinctOp{input: in}, in), nil
+		return ctx.newOp(n, &distinctOp{ctx: ctx, input: in}, in), nil
 	default:
 		return nil, fmt.Errorf("exec: unsupported plan node %T", n)
 	}

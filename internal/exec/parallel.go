@@ -1,0 +1,216 @@
+package exec
+
+// The parallel exchange operator. A plan.Parallel node partitions one
+// segment scan's pages across N worker goroutines; each worker drives its
+// own partitioned scan operator batch-at-a-time and the exchange merges the
+// batches through a bounded channel. Attribution stays exact: every worker
+// accounts its I/O into its own accumulator, Attached to the statement's, so
+// statement totals and the governor's fetch budget see worker I/O while the
+// executor's synchronous per-operator deltas (measured against the
+// statement's own counter) never do. The shared governor budget is consulted
+// by every worker (its counters are atomics), so cancellation and budget
+// violations abort all workers promptly.
+
+import (
+	"fmt"
+	"sync"
+
+	"systemr/internal/plan"
+	"systemr/internal/storage"
+)
+
+// buildParallel builds the exchange and its per-worker partitioned scans.
+// Each worker gets a derived context accounting into its own attached
+// accumulator and a copy of the scan node covering a disjoint 1/N share of
+// the segment's pages. The worker operators are the exchange's child
+// operators, so EXPLAIN ANALYZE renders per-partition actuals.
+func (ctx *blockCtx) buildParallel(x *plan.Parallel) (*op, error) {
+	scan, ok := x.Input.(*plan.SegScan)
+	if !ok {
+		return nil, fmt.Errorf("exec: parallel exchange over %T (only segment scans)", x.Input)
+	}
+	deg := x.Degree
+	if deg < 1 {
+		deg = 1
+	}
+	p := &parallelOp{ctx: ctx, node: x}
+	kids := make([]*op, 0, deg)
+	for w := 0; w < deg; w++ {
+		acc := &storage.IOStats{}
+		ctx.rt.ensureIO().Attach(acc)
+		wctx := ctx.workerCtx(acc)
+		part := *scan
+		part.Part = w
+		part.NParts = deg
+		e := scan.Est()
+		e.Rows /= float64(deg)
+		e.Cost.Pages /= float64(deg)
+		e.Cost.RSI /= float64(deg)
+		part.SetEst(e)
+		kop, err := wctx.build(&part)
+		if err != nil {
+			return nil, err
+		}
+		p.workers = append(p.workers, kop)
+		p.accs = append(p.accs, acc)
+		kids = append(kids, kop)
+	}
+	return ctx.newOp(x, p, kids...), nil
+}
+
+// parallelOp merges the workers' batch streams. Output order is
+// nondeterministic across workers — the planner only plants the exchange
+// where no downstream operator relies on input order.
+type parallelOp struct {
+	ctx     *blockCtx
+	node    *plan.Parallel
+	workers []*op
+	accs    []*storage.IOStats
+
+	ch     chan *Batch   // filled batches, bounded to one in flight per worker
+	errs   chan error    // one slot per worker; first error wins
+	done   chan struct{} // closed to stop workers blocked on ch
+	stop   sync.Once     // guards closing done
+	wg     *sync.WaitGroup
+	err    error
+	eof    bool
+	opened bool
+
+	// Row-at-a-time adapter state (cursor and DML paths).
+	buf  *Batch
+	bufI int
+}
+
+func (p *parallelOp) open() error {
+	deg := len(p.workers)
+	p.ch = make(chan *Batch, deg)
+	p.errs = make(chan error, deg)
+	p.done = make(chan struct{})
+	p.stop = sync.Once{}
+	p.wg = &sync.WaitGroup{}
+	p.err = nil
+	p.eof = false
+	p.buf = nil
+	p.bufI = 0
+	p.opened = true
+	if f := p.ctx.rt.OnParallel; f != nil {
+		f(deg)
+	}
+	p.wg.Add(deg)
+	for i := range p.workers {
+		go p.runWorker(i)
+	}
+	// Close the merge channel once every worker exits, so the consumer sees
+	// end of input; capture locals so a later re-open cannot race this run.
+	go func(ch chan *Batch, wg *sync.WaitGroup) {
+		wg.Wait()
+		close(ch)
+	}(p.ch, p.wg)
+	return nil
+}
+
+// runWorker opens and drains partitioned scan i on its own goroutine. The
+// worker operators stay owned by the exchange — close() releases every one
+// of them on the caller's goroutine after the workers exit — so an erroring
+// or stopped worker never leaves its scan behind. A worker checks the stop
+// channel between batches, so a mid-stream close waits at most one batch
+// fill per worker.
+func (p *parallelOp) runWorker(i int) {
+	defer p.wg.Done()
+	if err := p.workers[i].Open(); err != nil {
+		p.errs <- err
+		return
+	}
+	for {
+		b := NewBatch(p.ctx.batchN)
+		if err := p.workers[i].NextBatch(b); err != nil {
+			p.errs <- err
+			return
+		}
+		if b.Len() == 0 {
+			return
+		}
+		select {
+		case p.ch <- b:
+		case <-p.done:
+			return
+		}
+	}
+}
+
+// next adapts the batch stream for row-at-a-time callers (cursors).
+func (p *parallelOp) next() (comp, bool, error) {
+	if p.buf == nil {
+		p.buf = NewBatch(p.ctx.batchN)
+		p.bufI = 0
+	}
+	for p.bufI >= p.buf.Len() {
+		if err := p.nextBatch(p.buf); err != nil {
+			return nil, false, err
+		}
+		p.bufI = 0
+		if p.buf.Len() == 0 {
+			return nil, false, nil
+		}
+	}
+	c := p.buf.rows[p.bufI]
+	p.bufI++
+	return c, true, nil
+}
+
+// nextBatch hands the consumer the next worker-filled batch (swapping its
+// rows into b). The governor is consulted here as well as in every worker,
+// so a consumer blocked on a slow exchange still observes cancellation.
+func (p *parallelOp) nextBatch(b *Batch) error {
+	if err := p.ctx.rt.Budget.Tick(); err != nil {
+		return err
+	}
+	if p.err != nil {
+		return p.err
+	}
+	if p.eof {
+		return nil
+	}
+	wb, ok := <-p.ch
+	if !ok {
+		select {
+		case err := <-p.errs:
+			p.err = err
+			return err
+		default:
+		}
+		p.eof = true
+		return nil
+	}
+	b.rows = wb.rows
+	return nil
+}
+
+// close stops the workers, waits for them to exit, then closes the worker
+// operators on the caller's goroutine (releasing their scans and making
+// their stats safe to read).
+func (p *parallelOp) close() error {
+	if !p.opened {
+		return nil
+	}
+	p.opened = false
+	p.stop.Do(func() { close(p.done) })
+	p.wg.Wait()
+	var first error
+	for _, w := range p.workers {
+		if err := w.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// workerFetches sums the I/O the workers posted into their own accumulators;
+// the op wrapper folds it into the exchange's inclusive Stats.
+func (p *parallelOp) workerFetches() int64 {
+	var n int64
+	for _, a := range p.accs {
+		n += a.LocalFetchCount()
+	}
+	return n
+}

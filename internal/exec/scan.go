@@ -8,6 +8,7 @@ import (
 	"systemr/internal/plan"
 	"systemr/internal/rss"
 	"systemr/internal/storage"
+	"systemr/internal/value"
 )
 
 type segScanOp struct {
@@ -22,7 +23,11 @@ func (it *segScanOp) open() error {
 	if err != nil {
 		return err
 	}
-	it.scan = &rss.SegmentScan{Table: it.node.Table, Pool: it.ctx.rt.Pool, Sargs: sargs, Stmt: it.ctx.rt.IO, Budget: it.ctx.rt.Budget}
+	it.scan = &rss.SegmentScan{
+		Table: it.node.Table, Pool: it.ctx.rt.Pool, Sargs: sargs,
+		Part: it.node.Part, NParts: it.node.NParts,
+		Stmt: it.ctx.rt.IO, Budget: it.ctx.rt.Budget,
+	}
 	return it.scan.Open()
 }
 
@@ -43,6 +48,38 @@ func (it *segScanOp) next() (comp, bool, error) {
 			return c, true, nil
 		}
 	}
+}
+
+// nextBatch fills b with qualifying rows, allocating composites from one
+// per-call arena (consumers may retain the rows; the arena is never reused).
+// The scan keeps its own per-tuple governor checkpoint.
+func (it *segScanOp) nextBatch(b *Batch) error {
+	nr := it.ctx.numRels()
+	arena := make([]value.Row, b.Cap()*nr)
+	off := 0
+	for !b.Full() {
+		row, tid, ok, err := it.scan.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		c := comp(arena[off : off+nr : off+nr])
+		c[it.node.RelIdx] = row
+		keep, err := it.ctx.applyResidual(c, it.node.Residual)
+		if err != nil {
+			return err
+		}
+		if !keep {
+			c[it.node.RelIdx] = nil // reuse the arena slot
+			continue
+		}
+		off += nr
+		it.tid = tid
+		b.Append(c)
+	}
+	return nil
 }
 
 // close releases the scan; nulling the handle makes repeated closes (tree
@@ -109,6 +146,40 @@ func (it *indexScanOp) next() (comp, bool, error) {
 			return c, true, nil
 		}
 	}
+}
+
+// nextBatch is the segment scan's batch fill for index scans: one per-call
+// arena of composites, per-tuple governor checkpoints inside the scan.
+func (it *indexScanOp) nextBatch(b *Batch) error {
+	if it.empty {
+		return nil
+	}
+	nr := it.ctx.numRels()
+	arena := make([]value.Row, b.Cap()*nr)
+	off := 0
+	for !b.Full() {
+		row, tid, ok, err := it.scan.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		c := comp(arena[off : off+nr : off+nr])
+		c[it.node.RelIdx] = row
+		keep, err := it.ctx.applyResidual(c, it.node.Residual)
+		if err != nil {
+			return err
+		}
+		if !keep {
+			c[it.node.RelIdx] = nil
+			continue
+		}
+		off += nr
+		it.tid = tid
+		b.Append(c)
+	}
+	return nil
 }
 
 func (it *indexScanOp) close() error {

@@ -16,6 +16,7 @@ type sortOp struct {
 	keys   []sem.OrderKey
 	layout *compLayout
 	res    *xsort.Result
+	read   *batchReader
 }
 
 // compLayout maps (relation, column) to positions in a flattened row:
@@ -88,12 +89,19 @@ func (it *sortOp) open() (err error) {
 		keys[i] = it.layout.pos(k.Col)
 		desc[i] = k.Desc
 	}
+	// Drain the input through a batch adapter so its boundary is paid per
+	// batch; the sorter keeps its own interior governor checkpoints.
+	if it.read == nil {
+		it.read = it.ctx.newBatchReader(it.input)
+	} else {
+		it.read.reset()
+	}
 	res, err := xsort.Sort(xsort.Config{
 		Pool: it.ctx.rt.Pool, Disk: it.ctx.rt.Disk,
 		Keys: keys, Desc: desc, CountRSI: true,
 		Stmt: it.ctx.rt.IO, Budget: it.ctx.rt.Budget,
 	}, func() (value.Row, bool, error) {
-		c, ok, err := it.input.Next()
+		c, ok, err := it.read.next()
 		if err != nil || !ok {
 			return nil, false, err
 		}
@@ -112,6 +120,22 @@ func (it *sortOp) next() (comp, bool, error) {
 		return nil, false, err
 	}
 	return it.layout.unflatten(row), true, nil
+}
+
+// nextBatch streams a batch from the sorted temporary list. The result
+// reader checks the governor per tuple read back.
+func (it *sortOp) nextBatch(b *Batch) error {
+	for !b.Full() {
+		c, ok, err := it.next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		b.Append(c)
+	}
+	return nil
 }
 
 func (it *sortOp) close() error {

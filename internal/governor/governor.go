@@ -7,15 +7,18 @@
 // A *Budget is created per statement and threaded through exec.Runtime into
 // every scan. All methods are nil-receiver safe: code paths that execute
 // without a governor (experiments, internal loading) pass a nil budget and
-// pay a single pointer comparison per checkpoint. A budget belongs to the
-// single goroutine executing its statement and is not safe for concurrent
-// use.
+// pay a single pointer comparison per checkpoint. One budget may be shared
+// by all goroutines executing a statement — the parallel exchange operator
+// hands the same budget to every scan worker — so its counters are atomics
+// and every checkpoint is safe to hit concurrently; a budget violation
+// observed by any worker aborts the whole statement.
 package governor
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"systemr/internal/storage"
 )
@@ -47,14 +50,15 @@ type Limits struct {
 	MaxPageFetches int64
 }
 
-// Budget is one statement's governor state.
+// Budget is one statement's governor state. rows and sinceCheck are atomics
+// because parallel-scan workers share their statement's budget.
 type Budget struct {
 	ctx          context.Context
 	limits       Limits
 	stats        *storage.IOStats
 	startFetches int64
-	rows         int64
-	sinceCheck   int
+	rows         atomic.Int64
+	sinceCheck   atomic.Int32
 }
 
 // New creates a budget for one statement. stats is the statement's own I/O
@@ -87,10 +91,10 @@ func (b *Budget) CheckRow() error {
 	if b == nil {
 		return nil
 	}
-	b.rows++
-	if b.limits.MaxRowsScanned > 0 && b.rows > b.limits.MaxRowsScanned {
+	rows := b.rows.Add(1)
+	if b.limits.MaxRowsScanned > 0 && rows > b.limits.MaxRowsScanned {
 		return fmt.Errorf("%w: %d rows scanned > MaxRowsScanned %d",
-			ErrBudgetExceeded, b.rows, b.limits.MaxRowsScanned)
+			ErrBudgetExceeded, rows, b.limits.MaxRowsScanned)
 	}
 	return b.tick()
 }
@@ -105,8 +109,7 @@ func (b *Budget) Tick() error {
 }
 
 func (b *Budget) tick() error {
-	b.sinceCheck++
-	if b.sinceCheck < checkInterval {
+	if b.sinceCheck.Add(1) < checkInterval {
 		return nil
 	}
 	return b.Check()
@@ -118,7 +121,7 @@ func (b *Budget) Check() error {
 	if b == nil {
 		return nil
 	}
-	b.sinceCheck = 0
+	b.sinceCheck.Store(0)
 	if err := b.ctx.Err(); err != nil {
 		return CtxErr(err)
 	}
@@ -137,7 +140,7 @@ func (b *Budget) RowsScanned() int64 {
 	if b == nil {
 		return 0
 	}
-	return b.rows
+	return b.rows.Load()
 }
 
 // CtxErr maps a non-nil context error to the governor's typed errors: an

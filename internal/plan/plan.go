@@ -65,6 +65,9 @@ type ParamBind struct {
 }
 
 // SegScan finds all tuples of a relation via its segment (cost TCARD/P).
+// When NParts > 1 the scan reads only its contiguous 1/NParts share of the
+// segment's pages (partition Part) — the shape a Parallel exchange clones
+// per worker.
 type SegScan struct {
 	est
 	Table    *catalog.Table
@@ -72,6 +75,8 @@ type SegScan struct {
 	RelName  string
 	Sargs    []sem.SargDNF // RSS search arguments, one DNF per boolean factor
 	Residual []sem.Expr    // non-sargable local factors
+	Part     int           // partition index in [0, NParts)
+	NParts   int           // total partitions; 0 or 1 = whole segment
 }
 
 // IndexScan walks an index between start and stop keys (Table 2 formulas).
@@ -108,6 +113,30 @@ type MergeJoin struct {
 	Outer, Inner       Node
 	OuterCol, InnerCol sem.ColumnID
 	Residual           []sem.Expr // remaining join predicates
+}
+
+// HashJoin is the third join method: materialize the inner (build) side into
+// an in-memory hash table on the join column, then stream the outer (probe)
+// side against it. It produces no interesting order — the optimizer prefers
+// merge when an order is exploitable downstream and hash otherwise.
+type HashJoin struct {
+	est
+	Outer, Inner       Node // Outer probes, Inner builds
+	OuterCol, InnerCol sem.ColumnID
+	Residual           []sem.Expr // remaining join predicates
+	// BuildRows is the optimizer's cardinality estimate for the build side,
+	// used by the executor to pre-size the hash table.
+	BuildRows float64
+}
+
+// Parallel is the exchange operator: it partitions its input segment scan
+// across Degree workers and merges their batches through a bounded channel.
+// Row order across partitions is nondeterministic; the optimizer only plants
+// it where no downstream operator depends on input order.
+type Parallel struct {
+	est
+	Input  Node // the template scan; the executor clones it per partition
+	Degree int
 }
 
 // Sort orders composite rows by the given keys, materializing through the
@@ -159,6 +188,9 @@ func (n *SegScan) Label() string {
 	fmt.Fprintf(&b, "SEGSCAN %s", n.RelName)
 	if n.Table.Name != n.RelName {
 		fmt.Fprintf(&b, " (%s)", n.Table.Name)
+	}
+	if n.NParts > 1 {
+		fmt.Fprintf(&b, " part=%d/%d", n.Part, n.NParts)
 	}
 	writePreds(&b, n.Sargs, n.Residual)
 	return b.String()
@@ -261,6 +293,24 @@ func (n *MergeJoin) Label() string {
 		writePreds(&b, nil, n.Residual)
 	}
 	return b.String()
+}
+
+func (n *HashJoin) Children() []Node { return []Node{n.Outer, n.Inner} }
+
+func (n *HashJoin) Label() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "HASHJOIN build inner[%d.%d] probe outer[%d.%d]",
+		n.InnerCol.Rel, n.InnerCol.Col, n.OuterCol.Rel, n.OuterCol.Col)
+	if len(n.Residual) > 0 {
+		writePreds(&b, nil, n.Residual)
+	}
+	return b.String()
+}
+
+func (n *Parallel) Children() []Node { return []Node{n.Input} }
+
+func (n *Parallel) Label() string {
+	return fmt.Sprintf("PARALLEL degree=%d", n.Degree)
 }
 
 func (n *Sort) Children() []Node { return []Node{n.Input} }

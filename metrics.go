@@ -42,6 +42,8 @@ type dbMetrics struct {
 	txnRollbacks   *metrics.Counter
 	deadlocks      *metrics.Counter
 	lockTimeouts   *metrics.Counter
+	execBatchRows  *metrics.Histogram
+	parallelDegree *metrics.Histogram
 }
 
 // newDBMetrics registers the engine's instruments and the scrape-time
@@ -83,6 +85,12 @@ func newDBMetrics(db *DB) *dbMetrics {
 			"Statements aborted as deadlock victims"),
 		lockTimeouts: reg.NewCounter("systemr_lock_timeouts_total",
 			"Statements aborted by the lock-wait timeout"),
+		execBatchRows: reg.NewHistogram("systemr_exec_batch_rows",
+			"Rows per batch crossing each statement's root operator boundary",
+			[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}),
+		parallelDegree: reg.NewHistogram("systemr_parallel_workers",
+			"Worker count of each parallel exchange opened",
+			[]float64{1, 2, 4, 8, 16}),
 	}
 
 	// Collect-on-scrape gauges from live engine state.

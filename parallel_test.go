@@ -1,0 +1,163 @@
+package systemr_test
+
+// Parallel execution surface tests: EXPLAIN ANALYZE attribution must stay
+// exact when segment scans run on worker goroutines (workers post I/O into
+// their own attached accumulators; the exchange folds it back in at read
+// time), and a cursor closed mid-stream through a Parallel exchange must
+// release every worker, scan, and lock. Run under -race in CI.
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"systemr"
+	"systemr/internal/rss"
+	"systemr/internal/testutil"
+)
+
+// parallelDB is attributionDB with intra-query parallelism on: the same
+// disjoint T1/T2 tables, a pool that holds both working sets, and eight
+// workers per eligible segment scan.
+func parallelDB(t *testing.T) *systemr.DB {
+	t.Helper()
+	db := systemr.Open(systemr.Config{BufferPages: 4096, DegreeOfParallelism: 8})
+	for _, tbl := range []string{"T1", "T2"} {
+		db.MustExec(fmt.Sprintf("CREATE TABLE %s (A INTEGER, B INTEGER)", tbl))
+		db.MustExec(fmt.Sprintf("CREATE INDEX %s_A ON %s (A)", tbl, tbl))
+		for i := 0; i < 200; i += 10 {
+			stmt := fmt.Sprintf("INSERT INTO %s VALUES ", tbl)
+			for j := i; j < i+10; j++ {
+				if j > i {
+					stmt += ", "
+				}
+				stmt += fmt.Sprintf("(%d, %d)", j, (j*7)%100)
+			}
+			db.MustExec(stmt)
+		}
+	}
+	db.MustExec("UPDATE STATISTICS")
+	return db
+}
+
+// TestParallelAttributionExact is TestConcurrentAttributionExact with
+// DegreeOfParallelism=8: the queries filter on the unindexed column so the
+// optimizer picks a segment scan and the post-pass plants an exchange over
+// it. Every per-worker partition covers a fixed page range, so each worker
+// line's rows and fetches — and therefore the whole rendering — must be
+// byte-identical (modulo wall times) solo or racing another statement.
+func TestParallelAttributionExact(t *testing.T) {
+	testutil.AssertNoLeaks(t)
+	db := parallelDB(t)
+	queries := []string{
+		"SELECT A, B FROM T1 WHERE B < 50",
+		"SELECT A FROM T2 WHERE B < 70 ORDER BY B",
+	}
+
+	// The plans must actually be parallel, or this test pins nothing.
+	for _, q := range queries {
+		pl, err := db.Explain(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(pl, "PARALLEL degree=8") {
+			t.Fatalf("plan for %q did not parallelize:\n%s", q, pl)
+		}
+	}
+
+	solo := make([]string, len(queries))
+	for i, q := range queries {
+		if _, err := db.ExplainAnalyze(q); err != nil { // warm pages + plan cache
+			t.Fatal(err)
+		}
+		first, err := db.ExplainAnalyze(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		second, err := db.ExplainAnalyze(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if scrubTimes(first) != scrubTimes(second) {
+			t.Fatalf("query %d is not deterministic solo under parallelism:\n--- first ---\n%s\n--- second ---\n%s", i, first, second)
+		}
+		solo[i] = scrubTimes(first)
+	}
+
+	const goroutinesPerQuery, iters = 2, 10
+	var wg sync.WaitGroup
+	mismatch := make(chan string, len(queries)*goroutinesPerQuery)
+	for i, q := range queries {
+		for g := 0; g < goroutinesPerQuery; g++ {
+			i, q := i, q
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for n := 0; n < iters; n++ {
+					out, err := db.ExplainAnalyze(q)
+					if err != nil {
+						mismatch <- fmt.Sprintf("query %d: %v", i, err)
+						return
+					}
+					if got := scrubTimes(out); got != solo[i] {
+						mismatch <- fmt.Sprintf("query %d attribution drifted under concurrency:\n--- solo ---\n%s\n--- concurrent ---\n%s", i, solo[i], got)
+						return
+					}
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	close(mismatch)
+	for m := range mismatch {
+		t.Fatal(m)
+	}
+}
+
+// TestParallelRowsCloseMidStream closes a cursor over a parallel plan after
+// reading a handful of rows, while the workers may still be producing:
+// Close must stop and join every worker, close every scan, and release the
+// statement's locks, leaving no goroutine behind.
+func TestParallelRowsCloseMidStream(t *testing.T) {
+	testutil.AssertNoLeaks(t)
+	db := parallelDB(t)
+	baseline := runtime.NumGoroutine()
+
+	stmt, err := db.Prepare("SELECT A, B FROM T1 WHERE B < 90")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for iter := 0; iter < 5; iter++ {
+		rows, err := stmt.Open()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for n := 0; n < 3; n++ {
+			if _, ok, err := rows.Next(); err != nil || !ok {
+				t.Fatalf("iter %d row %d: ok=%v err=%v", iter, n, ok, err)
+			}
+		}
+		if err := rows.Close(); err != nil {
+			t.Fatalf("mid-stream close: %v", err)
+		}
+		if open := rss.OpenScans(); open != 0 {
+			t.Fatalf("iter %d: %d RSI scans still open after mid-stream close", iter, open)
+		}
+		if held := db.Locks().Outstanding(); held != 0 {
+			t.Fatalf("iter %d: %d locks still held after mid-stream close", iter, held)
+		}
+	}
+
+	// Workers are joined inside Close; only the exchange's channel-closer
+	// goroutine may still be winding down, so poll briefly.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > baseline {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d goroutines alive, baseline %d", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

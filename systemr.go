@@ -65,10 +65,23 @@ type Config struct {
 	DisableSargs             bool
 	NestedLoopsOnly          bool
 	MergeOnly                bool
+	// DisableHashJoin removes the hash-join method from enumeration,
+	// restoring the paper's original two-method search space.
+	DisableHashJoin bool
 	// Naive bypasses access path selection entirely: segment scans,
 	// FROM-order nested loops, no search arguments — the no-optimizer
 	// baseline of the evaluation harness.
 	Naive bool
+
+	// ExecBatchSize is the number of rows the executor moves per operator
+	// batch (0 = default 256). It only amortizes per-row instrumentation —
+	// it never changes plan choice, so it does not participate in the plan
+	// cache key. Negative values are treated as the default.
+	ExecBatchSize int
+	// DegreeOfParallelism > 1 partitions eligible segment scans across that
+	// many worker goroutines via a Parallel exchange operator planted at
+	// compile time (so it salts the plan-cache key). 0 or 1 means serial.
+	DegreeOfParallelism int
 
 	// PlanCacheSize bounds the shared compiled-plan cache in entries: a
 	// repeated SELECT (same normalized text, same host-variable types,
@@ -164,6 +177,12 @@ func Open(cfg Config) *DB {
 	if cfg.W == 0 {
 		cfg.W = core.DefaultW
 	}
+	if cfg.ExecBatchSize <= 0 {
+		cfg.ExecBatchSize = exec.DefaultBatchSize
+	}
+	if cfg.DegreeOfParallelism <= 0 {
+		cfg.DegreeOfParallelism = 1
+	}
 	disk := storage.NewDisk()
 	stats := &storage.IOStats{}
 	cat := catalog.New(disk)
@@ -241,7 +260,7 @@ func (db *DB) execText(ctx context.Context, cur *txn.Txn, text string) (res *Res
 	}
 	norm, normOK := sql.Normalize(text)
 	if normOK && db.plans != nil {
-		if e, ok := db.plans.Peek(compile.Key(norm, "")); ok {
+		if e, ok := db.plans.Peek(db.planKey(norm, "")); ok {
 			return db.execCachedSelect(ctx, cur, norm, e)
 		}
 	}
@@ -365,6 +384,18 @@ func (db *DB) SetMutationFault(hook func(n int64) error) {
 	db.mutFault.Store(txn.FaultFunc(hook))
 }
 
+// planKey builds the plan-cache key for a normalized SELECT. The degree of
+// parallelism salts the key because it changes the compiled plan's shape —
+// the Parallel exchange is planted at compile time — so plans compiled under
+// a different DOP can never be served. ExecBatchSize is execution-only and
+// deliberately does not participate.
+func (db *DB) planKey(norm, argSig string) string {
+	if db.cfg.DegreeOfParallelism > 1 {
+		argSig = fmt.Sprintf("dop=%d\x00%s", db.cfg.DegreeOfParallelism, argSig)
+	}
+	return compile.Key(norm, argSig)
+}
+
 // resolveSelect produces an executable plan for a SELECT: served from the
 // plan cache when the cached entry's catalog version still matches, else
 // compiled under the statement's governor budget and cached. It must run
@@ -374,7 +405,7 @@ func (db *DB) SetMutationFault(hook func(n int64) error) {
 // otherwise norm itself is parsed (Normalize preserves identifier case, so
 // the recompiled plan is textually faithful, output names included).
 func (db *DB) resolveSelect(gov *governor.Budget, norm, argSig string, sel *sql.SelectStmt) (*compile.CompiledPlan, bool, error) {
-	key := compile.Key(norm, argSig)
+	key := db.planKey(norm, argSig)
 	version := db.cat.Version()
 	if db.plans != nil {
 		if e, ok := db.plans.Peek(key); ok {
@@ -491,9 +522,16 @@ func (db *DB) Runtime() *exec.Runtime { return db.runtime(nil) }
 // runtime binds an executor runtime with the statement's governor budget and
 // the statement's own I/O accumulator, so every page access and RSI call of
 // the statement is measured on its own ledger — exact under concurrency —
-// while still aggregating into the pool's DB-global counters.
+// while still aggregating into the pool's DB-global counters. The configured
+// batch size and the batch/parallel metric observers ride along.
 func (db *DB) runtime(g *governor.Budget) *exec.Runtime {
-	return &exec.Runtime{Pool: db.pool, Disk: db.disk, Budget: g, IO: g.IO()}
+	rt := &exec.Runtime{Pool: db.pool, Disk: db.disk, Budget: g, IO: g.IO(),
+		BatchSize: db.cfg.ExecBatchSize}
+	if m := db.metrics; m != nil {
+		rt.OnBatch = func(rows int) { m.execBatchRows.Observe(float64(rows)) }
+		rt.OnParallel = func(workers int) { m.parallelDegree.Observe(float64(workers)) }
+	}
+	return rt
 }
 
 // newGovernor creates one statement's execution budget from the configured
@@ -518,6 +556,8 @@ func (db *DB) OptimizerConfig() core.Config {
 		DisableSargs:             db.cfg.DisableSargs,
 		NestedLoopsOnly:          db.cfg.NestedLoopsOnly,
 		MergeOnly:                db.cfg.MergeOnly,
+		DisableHashJoin:          db.cfg.DisableHashJoin,
+		DegreeOfParallelism:      db.cfg.DegreeOfParallelism,
 	}
 }
 
