@@ -32,18 +32,18 @@ func TestExplainAnalyzeGolden(t *testing.T) {
 	// estimate 30 rows out of the joins, but CLERK covers a quarter of EMP
 	// and the actuals are 75 — visible on every line above the scans. With no
 	// ORDER BY there is no interesting order to exploit, so the hash join
-	// (est 6.6) beats the sort-both-sides merge plan (est 26.6) — and wins on
-	// actuals too (7 fetches / 106 RSI calls vs 9 / 316). The hash line
+	// (est 6.7) beats the sort-both-sides merge plan — and wins on
+	// actuals too (8 fetches / 106 RSI calls). The hash line
 	// reports the build side its table was pre-sized from.
 	want := strings.Join([]string{
 		"QUERY BLOCK (main)",
-		"  PROJECT E.NAME, D.DNAME, J.TITLE  {est rows=30.0 cost=6.6 | act rows=75 fetches=0 time=X}",
-		"    HASHJOIN build inner[1.0] probe outer[0.1]  {est rows=30.0 cost=6.6 | act rows=75 fetches=0 time=X} [build: est rows=30.0 act rows=30 mem=1290B]",
-		"      NLJOIN bind: $3=outer[2.0]  {est rows=30.0 cost=2.6 | act rows=75 fetches=0 time=X}",
+		"  PROJECT E.NAME, D.DNAME, J.TITLE  {est rows=30.0 cost=6.7 | act rows=75 fetches=0 time=X}",
+		"    HASHJOIN build inner[1.0] probe outer[0.1]  {est rows=30.0 cost=6.7 | act rows=75 fetches=0 time=X} [build: est rows=30.0 act rows=30 mem=1290B]",
+		"      NLJOIN bind: $3=outer[2.0]  {est rows=30.0 cost=2.7 | act rows=75 fetches=0 time=X}",
 		"        SEGSCAN J (JOB) sarg: (c1 = 'CLERK')  {est rows=0.4 cost=1.0 | act rows=1 fetches=1 time=X}",
-		"        INDEXSCAN E via EMP_JOB(JOB) key:[$3 .. $3] sarg: (c2 = $3)  {est rows=75.0 cost=4.0 | act rows=75 fetches=5 time=X}",
+		"        INDEXSCAN E via EMP_JOB(JOB) key:[$3 .. $3] sarg: (c2 = $3)  {est rows=75.0 cost=4.2 | act rows=75 fetches=6 time=X}",
 		"      SEGSCAN D (DEPT)  {est rows=30.0 cost=2.0 | act rows=30 fetches=1 time=X}",
-		"statement: fetches=7 writes=0 rsi=106 cost=10.5 (W=0.033)",
+		"statement: fetches=8 writes=0 rsi=106 cost=11.5 (W=0.033)",
 		"",
 	}, "\n")
 	if scrubTimes(got) != want {
@@ -147,13 +147,13 @@ func TestExplainAnalyzeSubqueryCounts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(got, "QUERY BLOCK (subquery #1)  [evaluated 1 time, fetches=3; estimates only]") {
+	if !strings.Contains(got, "QUERY BLOCK (subquery #1)  [evaluated 1 time, fetches=4; estimates only]") {
 		t.Fatalf("subquery block header missing eval count and fetches:\n%s", got)
 	}
 	// The subquery's fetches belong to its block: the outer scan re-reads the
 	// same (now resident) pages, so its own line attributes zero fetches and
 	// the outer tree does not double-count the subquery's I/O.
-	if !strings.Contains(got, "SEGSCAN EMP sarg: (c3 > (subquery#1))  {est rows=100.0 cost=6.3 | act rows=150 fetches=0 ") {
+	if !strings.Contains(got, "SEGSCAN EMP sarg: (c3 > (subquery#1))  {est rows=100.0 cost=7.3 | act rows=150 fetches=0 ") {
 		t.Fatalf("outer scan double-counted subquery fetches:\n%s", got)
 	}
 }

@@ -42,6 +42,9 @@ func (db *DB) DumpSQL(w io.Writer) error {
 			cols[i] = c.Name + " " + c.Type.String()
 		}
 		fmt.Fprintf(bw, "CREATE TABLE %s (%s);\n", t.Name, strings.Join(cols, ", "))
+		// The held shared locks exclude every writer, so "no delete mark"
+		// is exactly "latest committed": dead versions awaiting vacuum are
+		// skipped, live versions dump in physical order.
 		for _, pid := range t.Segment.Pages() {
 			page := db.disk.Page(pid)
 			for s := uint16(0); s < page.NumSlots(); s++ {
@@ -49,7 +52,14 @@ func (db *DB) DumpSQL(w io.Writer) error {
 				if !ok || rel != t.ID {
 					continue
 				}
-				row, err := storage.DecodeRow(rec)
+				h, body, err := storage.ParseVersionHeader(rec)
+				if err != nil {
+					return fmt.Errorf("systemr: dumping %s: %w", t.Name, err)
+				}
+				if h.Xmax != 0 {
+					continue
+				}
+				row, err := storage.DecodeRow(body)
 				if err != nil {
 					return fmt.Errorf("systemr: dumping %s: %w", t.Name, err)
 				}

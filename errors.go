@@ -12,6 +12,7 @@ import (
 	"systemr/internal/governor"
 	"systemr/internal/lock"
 	"systemr/internal/storage"
+	"systemr/internal/txn"
 )
 
 var (
@@ -34,9 +35,16 @@ var (
 	// like a deadlock, the waiting transaction is rolled back.
 	ErrLockTimeout = lock.ErrLockTimeout
 	// ErrTxnAborted reports a statement issued on a transaction the engine
-	// already rolled back (deadlock victim or lock timeout). The session
-	// must acknowledge with ROLLBACK (or Txn.Rollback) and start over.
+	// already rolled back (deadlock victim, lock timeout, or write
+	// conflict). The session must acknowledge with ROLLBACK (or
+	// Txn.Rollback) and start over.
 	ErrTxnAborted = errors.New("systemr: transaction aborted by the engine")
+	// ErrWriteConflict reports that the statement tried to update or delete
+	// a row that a concurrent transaction updated or deleted first
+	// (first-updater-wins under snapshot reads). The engine rolled the whole
+	// transaction back; like ErrDeadlock, it is retryable — rerun the
+	// transaction from BEGIN.
+	ErrWriteConflict = txn.ErrWriteConflict
 )
 
 // StatementError is returned when the governor aborts a statement. Stats

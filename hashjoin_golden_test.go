@@ -27,11 +27,11 @@ func TestExplainGoldenHashJoinWins(t *testing.T) {
 	}
 	want := strings.Join([]string{
 		"QUERY BLOCK (main)",
-		"  PROJECT E.NAME, D.DNAME, J.TITLE  {cost: pages=2.6 rsi=120.4, rows=30.0}",
-		"    HASHJOIN build inner[1.0] probe outer[0.1]  {cost: pages=2.6 rsi=120.4, rows=30.0}",
-		"      NLJOIN bind: $3=outer[2.0]  {cost: pages=1.6 rsi=30.4, rows=30.0}",
+		"  PROJECT E.NAME, D.DNAME, J.TITLE  {cost: pages=2.7 rsi=120.4, rows=30.0}",
+		"    HASHJOIN build inner[1.0] probe outer[0.1]  {cost: pages=2.7 rsi=120.4, rows=30.0}",
+		"      NLJOIN bind: $3=outer[2.0]  {cost: pages=1.7 rsi=30.4, rows=30.0}",
 		"        SEGSCAN J (JOB) sarg: (c1 = 'CLERK')  {cost: pages=1.0 rsi=0.4, rows=0.4}",
-		"        INDEXSCAN E via EMP_JOB(JOB) key:[$3 .. $3] sarg: (c2 = $3)  {cost: pages=1.5 rsi=75.0, rows=75.0}",
+		"        INDEXSCAN E via EMP_JOB(JOB) key:[$3 .. $3] sarg: (c2 = $3)  {cost: pages=1.8 rsi=75.0, rows=75.0}",
 		"      SEGSCAN D (DEPT)  {cost: pages=1.0 rsi=30.0, rows=30.0}",
 		"",
 	}, "\n")
@@ -57,10 +57,10 @@ func TestExplainGoldenMergeWinsOnOrder(t *testing.T) {
 	}
 	want := strings.Join([]string{
 		"QUERY BLOCK (main)",
-		"  PROJECT E.NAME, D.DNAME, J.TITLE  {cost: pages=36.0 rsi=942.0, rows=300.0}",
-		"    MERGEJOIN on outer[0.2] = inner[2.0]  {cost: pages=36.0 rsi=942.0, rows=300.0}",
-		"      SORT into temp list by [0.2]  {cost: pages=33.0 rsi=930.0, rows=300.0}",
-		"        NLJOIN bind: $2=outer[1.0]  {cost: pages=7.0 rsi=330.0, rows=300.0}",
+		"  PROJECT E.NAME, D.DNAME, J.TITLE  {cost: pages=39.0 rsi=942.0, rows=300.0}",
+		"    MERGEJOIN on outer[0.2] = inner[2.0]  {cost: pages=39.0 rsi=942.0, rows=300.0}",
+		"      SORT into temp list by [0.2]  {cost: pages=36.0 rsi=930.0, rows=300.0}",
+		"        NLJOIN bind: $2=outer[1.0]  {cost: pages=8.0 rsi=330.0, rows=300.0}",
 		"          SEGSCAN D (DEPT)  {cost: pages=1.0 rsi=30.0, rows=30.0}",
 		"          INDEXSCAN E via EMP_DNO(DNO) key:[$2 .. $2] sarg: (c1 = $2)  {cost: pages=0.2 rsi=10.0, rows=10.0}",
 		"      SORT into temp list by [2.0]  {cost: pages=3.0 rsi=12.0, rows=4.0}",
@@ -86,15 +86,15 @@ func TestExplainAnalyzeGoldenMergeWinsOnOrder(t *testing.T) {
 	}
 	want := strings.Join([]string{
 		"QUERY BLOCK (main)",
-		"  PROJECT E.NAME, D.DNAME, J.TITLE  {est rows=300.0 cost=67.1 | act rows=300 fetches=0 time=X}",
-		"    MERGEJOIN on outer[0.2] = inner[2.0]  {est rows=300.0 cost=67.1 | act rows=300 fetches=0 time=X}",
-		"      SORT into temp list by [0.2]  {est rows=300.0 cost=63.7 | act rows=300 fetches=5 time=X}",
-		"        NLJOIN bind: $2=outer[1.0]  {est rows=300.0 cost=17.9 | act rows=300 fetches=0 time=X}",
+		"  PROJECT E.NAME, D.DNAME, J.TITLE  {est rows=300.0 cost=70.1 | act rows=300 fetches=0 time=X}",
+		"    MERGEJOIN on outer[0.2] = inner[2.0]  {est rows=300.0 cost=70.1 | act rows=300 fetches=0 time=X}",
+		"      SORT into temp list by [0.2]  {est rows=300.0 cost=66.7 | act rows=300 fetches=5 time=X}",
+		"        NLJOIN bind: $2=outer[1.0]  {est rows=300.0 cost=18.9 | act rows=300 fetches=0 time=X}",
 		"          SEGSCAN D (DEPT)  {est rows=30.0 cost=2.0 | act rows=30 fetches=1 time=X}",
-		"          INDEXSCAN E via EMP_DNO(DNO) key:[$2 .. $2] sarg: (c1 = $2)  {est rows=10.0 cost=0.5 | act rows=300 loops=30 fetches=6 time=X}",
+		"          INDEXSCAN E via EMP_DNO(DNO) key:[$2 .. $2] sarg: (c1 = $2)  {est rows=10.0 cost=0.6 | act rows=300 loops=30 fetches=7 time=X}",
 		"      SORT into temp list by [2.0]  {est rows=4.0 cost=3.4 | act rows=4 fetches=1 time=X}",
 		"        SEGSCAN J (JOB)  {est rows=4.0 cost=1.1 | act rows=4 fetches=1 time=X}",
-		"statement: fetches=14 writes=6 rsi=942 cost=51.1 (W=0.033)",
+		"statement: fetches=15 writes=6 rsi=942 cost=52.1 (W=0.033)",
 		"",
 	}, "\n")
 	if scrubTimes(got) != want {

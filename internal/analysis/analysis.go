@@ -22,6 +22,10 @@
 //   - govbatch: every NextBatch body in the batched operator protocol
 //     reaches a governor checkpoint at least once per batch and never reads
 //     the pool's DB-global IOStats for its batch delta (PR 7).
+//   - mvccvis: row versions are read only through the RSS visibility
+//     boundary (ReadVersioned + Snapshot.Visible) — raw Page.Record /
+//     DecodeRow / ParseVersionHeader in exec or txn would resurrect
+//     delete-marked or uncommitted versions (PR 8).
 //
 // The suite mirrors the shape of golang.org/x/tools/go/analysis (Analyzer /
 // Pass / Diagnostic, a multichecker driver in cmd/sysrcheck, want-annotated
@@ -112,6 +116,7 @@ var Suite = []*Analyzer{
 	StmtIO,
 	TxnUndo,
 	GovBatch,
+	MVCCVis,
 }
 
 // Run applies the analyzers to every package (which must be in dependency

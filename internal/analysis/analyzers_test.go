@@ -29,3 +29,5 @@ func TestStmtIOFixture(t *testing.T) { runFixture(t, StmtIO, "stmtio") }
 func TestTxnUndoFixture(t *testing.T) { runFixture(t, TxnUndo, "txnundo") }
 
 func TestGovBatchFixture(t *testing.T) { runFixture(t, GovBatch, "govbatch") }
+
+func TestMVCCVisFixture(t *testing.T) { runFixture(t, MVCCVis, "mvccvis") }

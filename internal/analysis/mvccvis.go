@@ -1,0 +1,67 @@
+package analysis
+
+// mvccvis enforces the PR 8 MVCC visibility discipline. Heap records carry a
+// version header (creating/deleting XIDs and a back-link to the previous
+// version); which versions a statement may see is decided exactly once, at
+// the RSS boundary, by storage.Snapshot.Visible over Page.ReadVersioned. A
+// raw page-record decode in the executor or the transaction layer would
+// bypass that check and read delete-marked or uncommitted versions — the
+// classic dirty read, invisible until two transactions actually race.
+//
+// The analyzer forbids, in the packages above the RSS boundary (exec, txn):
+//
+//   - (*storage.Page).Record — the raw record accessor returns header-
+//     prefixed bytes with no visibility decision attached;
+//   - storage.DecodeRow — decoding a heap record directly implies the
+//     header (and therefore visibility) was skipped. Temporary lists (sort
+//     runs, hash partitions) are not versioned and have their own codecs,
+//     so this function has no legitimate caller in those packages;
+//   - storage.ParseVersionHeader — splitting the header by hand instead of
+//     going through ReadVersioned + Snapshot.Visible.
+//
+// The rss package itself is the sanctioned implementation of the visibility
+// boundary; storage owns the primitives; catalog, dump, and testutil read
+// whole heaps under locks that exclude writers (their nil-snapshot "latest
+// committed" reads are exact) — all out of scope here.
+
+import "go/ast"
+
+// MVCCVis is the MVCC visibility-boundary analyzer.
+var MVCCVis = &Analyzer{
+	Name: "mvccvis",
+	Doc:  "row versions must be read through the RSS visibility boundary (ReadVersioned + Snapshot.Visible); raw Page.Record / DecodeRow / ParseVersionHeader in exec or txn bypasses MVCC",
+	Run:  runMVCCVis,
+}
+
+// mvccVisPkgs are the package tails where every heap read must have passed
+// the visibility check already.
+var mvccVisPkgs = map[string]bool{"exec": true, "txn": true}
+
+func runMVCCVis(pass *Pass) error {
+	if !mvccVisPkgs[pathTail(pass.Pkg.Path)] {
+		return nil
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		walkWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil {
+				return true
+			}
+			switch {
+			case isMethodOn(fn, "Record", "storage", "Page"):
+				pass.Reportf(call.Pos(), "raw Page.Record bypasses MVCC visibility: read through the RSS scans (ReadVersioned + Snapshot.Visible)")
+			case isPkgFunc(fn, "DecodeRow", "storage"):
+				pass.Reportf(call.Pos(), "storage.DecodeRow on a heap record bypasses MVCC visibility: rows reach this layer already decoded by the RSS")
+			case isPkgFunc(fn, "ParseVersionHeader", "storage"):
+				pass.Reportf(call.Pos(), "hand-rolled version-header parsing bypasses MVCC visibility: use the RSS scans over ReadVersioned")
+			}
+			return true
+		})
+	}
+	return nil
+}

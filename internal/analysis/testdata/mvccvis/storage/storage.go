@@ -1,0 +1,35 @@
+// Package storage mirrors the version-header and record primitives the
+// mvccvis analyzer polices: the raw accessors (Record, DecodeRow,
+// ParseVersionHeader) and the sanctioned visibility path (ReadVersioned +
+// Snapshot.Visible).
+package storage
+
+type RelID uint32
+
+type XID uint64
+
+type Row []any
+
+type VersionHeader struct {
+	Xmin, Xmax XID
+}
+
+type Snapshot struct {
+	Self, Max XID
+}
+
+func (s *Snapshot) Visible(h VersionHeader) bool { return h.Xmax == 0 }
+
+type Page struct{ n uint16 }
+
+func (p *Page) Record(i uint16) (rec []byte, rel RelID, ok bool) { return nil, 0, i < p.n }
+
+func (p *Page) ReadVersioned(i uint16) (VersionHeader, Row, RelID, bool) {
+	return VersionHeader{}, nil, 0, i < p.n
+}
+
+func DecodeRow(rec []byte) (Row, error) { return nil, nil }
+
+func ParseVersionHeader(rec []byte) (VersionHeader, []byte, error) {
+	return VersionHeader{}, rec, nil
+}

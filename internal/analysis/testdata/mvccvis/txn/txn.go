@@ -1,0 +1,15 @@
+// The txn cases: the transaction layer records undo images via the RSS
+// write path; decoding heap records directly would let undo observe
+// versions its own snapshot could never see.
+package txn
+
+import "fixture/storage"
+
+func undoImage(p *storage.Page, i uint16) storage.Row {
+	rec, _, ok := p.Record(i) // want "raw Page.Record bypasses MVCC visibility"
+	if !ok {
+		return nil
+	}
+	row, _ := storage.DecodeRow(rec) // want "storage.DecodeRow on a heap record bypasses MVCC visibility"
+	return row
+}

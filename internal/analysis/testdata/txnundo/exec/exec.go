@@ -14,6 +14,10 @@ func compact(p *storage.Page, n uint16) {
 	}
 }
 
+func markDead(p *storage.Page, i uint16) {
+	p.SwapXmax(i, 0, 7) // want "direct storage mutation Page.SwapXmax"
+}
+
 func patchIndex(t *btree.BTree, rec []byte, tid storage.TID) {
 	t.Insert(rec, tid) // want "direct index mutation BTree.Insert"
 	t.Delete(rec, tid) // want "direct index mutation BTree.Delete"

@@ -1,7 +1,8 @@
-// The rss cases: Insert, Delete, and Restore ARE the write path — their
-// bodies apply the storage and index primitives and are exempt. Any other
-// function in the package mutating directly (or calling the write path
-// itself, skipping the transaction's undo log) is flagged.
+// The rss cases: Insert, MarkDeleted, ClearDeleted, Remove, and VacuumTable
+// ARE the write path — their bodies apply the storage and index primitives
+// and are exempt. Any other function in the package mutating directly (or
+// calling the write path itself, skipping the transaction's undo log) is
+// flagged.
 package rss
 
 import (
@@ -24,18 +25,31 @@ func Insert(t *Table, record []byte) (storage.TID, error) {
 	return tid, nil
 }
 
-// Delete is the sanctioned write path.
-func Delete(t *Table, p *storage.Page, tid storage.TID, record []byte) error {
+// MarkDeleted is the sanctioned write path: the MVCC delete mark.
+func MarkDeleted(t *Table, p *storage.Page, tid storage.TID, xid uint64) error {
+	p.SwapXmax(tid.Slot, 0, xid)
+	return nil
+}
+
+// ClearDeleted is the sanctioned write path: undo of a delete mark.
+func ClearDeleted(t *Table, p *storage.Page, tid storage.TID, xid uint64) error {
+	p.SwapXmax(tid.Slot, xid, 0)
+	return nil
+}
+
+// Remove is the sanctioned write path: physical reclamation.
+func Remove(t *Table, p *storage.Page, tid storage.TID, record []byte) error {
 	p.Delete(tid.Slot)
 	t.Tree.Delete(record, tid)
 	return nil
 }
 
-// Restore is the sanctioned write path.
-func Restore(t *Table, p *storage.Page, tid storage.TID, record []byte) error {
-	p.Restore(tid.Slot, 0, record)
-	t.Tree.Insert(record, tid)
-	return nil
+// VacuumTable is the sanctioned write path: garbage collection below the
+// snapshot horizon.
+func VacuumTable(t *Table, p *storage.Page, record []byte) (int, error) {
+	p.Delete(0)
+	t.Tree.Delete(record, storage.TID{})
+	return 1, nil
 }
 
 // A loader bypassing the write path entirely: flagged.

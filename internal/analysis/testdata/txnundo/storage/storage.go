@@ -17,6 +17,8 @@ func (p *Page) Delete(i uint16) bool { return i < p.n }
 
 func (p *Page) Restore(i uint16, rel RelID, record []byte) bool { return i < p.n }
 
+func (p *Page) SwapXmax(i uint16, old, new uint64) (uint64, bool, bool) { return old, true, true }
+
 type Segment struct{ pages []*Page }
 
 func (s *Segment) Insert(rel RelID, record []byte) (TID, error) { return TID{}, nil }

@@ -3,7 +3,10 @@
 // the undo record.
 package systemr
 
-import "fixture/rss"
+import (
+	"fixture/rss"
+	"fixture/storage"
+)
 
 func execInsert(t *rss.Table, rows [][]byte) error {
 	for _, r := range rows {
@@ -12,4 +15,21 @@ func execInsert(t *rss.Table, rows [][]byte) error {
 		}
 	}
 	return nil
+}
+
+func execDelete(t *rss.Table, p *storage.Page, tids []storage.TID) {
+	for _, tid := range tids {
+		rss.MarkDeleted(t, p, tid, 3) // want "rss.MarkDeleted called outside the transaction layer"
+	}
+}
+
+func undoDelete(t *rss.Table, p *storage.Page, tid storage.TID, rec []byte) {
+	rss.ClearDeleted(t, p, tid, 3) // want "rss.ClearDeleted called outside the transaction layer"
+	rss.Remove(t, p, tid, rec)     // want "rss.Remove called outside the transaction layer"
+}
+
+// Vacuum is not undo-scoped: reclaiming versions below the snapshot horizon
+// is legitimate outside txn.Txn — no finding.
+func vacuum(t *rss.Table, p *storage.Page, rec []byte) {
+	rss.VacuumTable(t, p, rec)
 }

@@ -3,23 +3,27 @@ package analysis
 // txnundo enforces the PR 6 transaction-atomicity discipline. Statement and
 // transaction rollback work by logical undo: internal/txn logs the inverse
 // of every mutation before (or atomically with) applying it through the
-// RSI's Insert/Delete/Restore. That guarantee holds only if no other write
-// path exists — a direct segment, page, or index mutation in the engine or
-// executor would be invisible to the undo log, and a rolled-back statement
-// would leave it behind.
+// RSI's Insert/MarkDeleted/ClearDeleted/Remove. That guarantee holds only if
+// no other write path exists — a direct segment, page, or index mutation in
+// the engine or executor would be invisible to the undo log, and a
+// rolled-back statement would leave it behind.
 //
 // The analyzer forbids, in the engine packages (systemr, exec, rss):
 //
-//   - the storage primitives Segment.Insert, Page.Insert, Page.Delete, and
-//     Page.Restore;
+//   - the storage primitives Segment.Insert, Page.Insert, Page.Delete,
+//     Page.Restore, and Page.SwapXmax (the MVCC delete-mark primitive);
 //   - the index primitives BTree.Insert and BTree.Delete;
-//   - the rss package-level Insert/Delete/Restore functions outside
-//     internal/txn (the engine must write through txn.Txn, which logs undo).
+//   - the rss package-level Insert/MarkDeleted/ClearDeleted/Remove functions
+//     outside internal/txn (the engine must write through txn.Txn, which
+//     logs undo). rss.VacuumTable is not forbidden: vacuum reclaims only
+//     versions no live snapshot can read, so it is outside undo's scope and
+//     is called by DB.Vacuum directly.
 //
-// The rss package's own Insert, Delete, and Restore function bodies are the
-// sanctioned implementation of the write path and are exempt. The catalog
-// package bootstraps system tables with direct segment writes and is out of
-// scope: DDL is not undoable and is rejected inside transactions.
+// The rss package's own Insert, MarkDeleted, ClearDeleted, Remove, and
+// VacuumTable function bodies are the sanctioned implementation of the write
+// path and are exempt. The catalog package bootstraps system tables with
+// direct segment writes and is out of scope: DDL is not undoable and is
+// rejected inside transactions.
 
 import (
 	"go/ast"
@@ -29,7 +33,7 @@ import (
 // TxnUndo is the undo-logged write path analyzer.
 var TxnUndo = &Analyzer{
 	Name: "txnundo",
-	Doc:  "engine mutations must flow through the undo-logged write path (txn.Txn over rss Insert/Delete/Restore); direct segment, page, or index mutation escapes rollback",
+	Doc:  "engine mutations must flow through the undo-logged write path (txn.Txn over rss Insert/MarkDeleted/ClearDeleted/Remove); direct segment, page, or index mutation escapes rollback",
 	Run:  runTxnUndo,
 }
 
@@ -39,7 +43,10 @@ var txnUndoPkgs = map[string]bool{"systemr": true, "exec": true, "rss": true}
 // txnUndoWriteFuncs are the rss functions that ARE the write path: their
 // bodies apply the storage and index primitives the rest of the engine is
 // forbidden to touch.
-var txnUndoWriteFuncs = map[string]bool{"Insert": true, "Delete": true, "Restore": true}
+var txnUndoWriteFuncs = map[string]bool{
+	"Insert": true, "MarkDeleted": true, "ClearDeleted": true,
+	"Remove": true, "VacuumTable": true,
+}
 
 func runTxnUndo(pass *Pass) error {
 	tail := pathTail(pass.Pkg.Path)
@@ -64,12 +71,14 @@ func runTxnUndo(pass *Pass) error {
 			case isMethodOn(fn, "Insert", "storage", "Segment"),
 				isMethodOn(fn, "Insert", "storage", "Page"),
 				isMethodOn(fn, "Delete", "storage", "Page"),
-				isMethodOn(fn, "Restore", "storage", "Page"):
+				isMethodOn(fn, "Restore", "storage", "Page"),
+				isMethodOn(fn, "SwapXmax", "storage", "Page"):
 				pass.Reportf(call.Pos(), "direct storage mutation %s.%s escapes the undo log: write through txn.Txn", recvNamed(fn).Obj().Name(), fn.Name())
 			case isMethodOn(fn, "Insert", "btree", "BTree"),
 				isMethodOn(fn, "Delete", "btree", "BTree"):
 				pass.Reportf(call.Pos(), "direct index mutation BTree.%s escapes the undo log: write through txn.Txn", fn.Name())
-			case isPkgFunc(fn, "Insert", "rss"), isPkgFunc(fn, "Delete", "rss"), isPkgFunc(fn, "Restore", "rss"):
+			case isPkgFunc(fn, "Insert", "rss"), isPkgFunc(fn, "MarkDeleted", "rss"),
+				isPkgFunc(fn, "ClearDeleted", "rss"), isPkgFunc(fn, "Remove", "rss"):
 				pass.Reportf(call.Pos(), "rss.%s called outside the transaction layer: mutations must flow through txn.Txn, which logs undo", fn.Name())
 			}
 			return true

@@ -13,6 +13,7 @@ package btree
 
 import (
 	"fmt"
+	"sync"
 
 	"systemr/internal/storage"
 	"systemr/internal/value"
@@ -77,7 +78,17 @@ type Config struct {
 const DefaultOrder = 200
 
 // BTree is a B+-tree from composite keys to tuple identifiers.
+//
+// Concurrency: mutations take the tree-wide write lock and bump a version
+// counter; Seek and Iterator.Next read under the shared lock. An iterator
+// that observes a version change re-seeks from the last entry it returned
+// (strictly greater), so MVCC snapshot scans survive concurrent inserts and
+// deletes without ever seeing a torn node — at worst an entry inserted
+// mid-scan behind the cursor is missed, which is fine: such entries belong
+// to versions the scanning snapshot cannot see anyway.
 type BTree struct {
+	mu      sync.RWMutex
+	version uint64
 	disk    *storage.Disk
 	order   int
 	root    *node
@@ -109,22 +120,37 @@ func (t *BTree) newNode(leaf bool) *node {
 }
 
 // Len returns the number of stored entries.
-func (t *BTree) Len() int { return t.entries }
+func (t *BTree) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.entries
+}
 
 // NumPages returns NINDX: the number of index pages (nodes).
-func (t *BTree) NumPages() int { return t.nodes }
+func (t *BTree) NumPages() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.nodes
+}
 
 // Height returns the number of levels (1 = just a root leaf).
-func (t *BTree) Height() int { return t.height }
+func (t *BTree) Height() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.height
+}
 
 // Insert adds a (key, tid) pair. Duplicate keys are allowed; duplicate
 // (key, tid) pairs are rejected.
 func (t *BTree) Insert(key value.Row, tid storage.TID) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	e := Entry{Key: key.Clone(), TID: tid}
 	mid, right, dup := t.insert(t.root, e)
 	if dup {
 		return false
 	}
+	t.version++
 	if right != nil {
 		newRoot := t.newNode(false)
 		newRoot.children = []*node{t.root, right}
@@ -221,6 +247,8 @@ func childIndex(keys []Entry, e Entry) int {
 // paper's workloads are load-then-query); empty leaves are unlinked from the
 // chain lazily by iteration.
 func (t *BTree) Delete(key value.Row, tid storage.TID) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	e := Entry{Key: key, TID: tid}
 	n := t.root
 	for !n.leaf {
@@ -232,6 +260,7 @@ func (t *BTree) Delete(key value.Row, tid storage.TID) bool {
 	}
 	n.entries = append(n.entries[:i], n.entries[i+1:]...)
 	t.entries--
+	t.version++
 	return true
 }
 
@@ -266,11 +295,20 @@ func (t *BTree) seekLeaf(io storage.StmtIO, prefix []value.Value) (*node, int) {
 
 // Iterator walks leaf entries in key order, accounting one page touch per
 // leaf visited (the chained-leaf property: NEXTs never re-touch upper
-// levels).
+// levels). Each Next runs under the tree's shared lock; when the tree's
+// version has moved since the last call (a concurrent insert or delete), the
+// iterator re-seeks to the first entry strictly greater than the last one it
+// returned, so it never dereferences a node the mutation restructured.
 type Iterator struct {
 	io storage.StmtIO
+	t  *BTree
 	n  *node
 	i  int
+
+	ver     uint64
+	prefix  []value.Value // the Seek prefix, for re-seeks before the first Next
+	started bool          // an entry has been returned; last is valid
+	last    Entry
 }
 
 // Seek returns an iterator positioned at the first entry whose key has
@@ -279,23 +317,52 @@ type Iterator struct {
 // concurrent statements' index descents stay separately attributed; the zero
 // StmtIO walks without accounting (catalog probes).
 func (t *BTree) Seek(io storage.StmtIO, prefix []value.Value) *Iterator {
-	if len(prefix) == 0 {
-		n := t.firstLeaf
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	it := &Iterator{io: io, t: t, ver: t.version,
+		prefix: append([]value.Value(nil), prefix...)}
+	it.position()
+	return it
+}
+
+// position seats the iterator at the first entry matching its prefix.
+// Called with the tree's read lock held.
+func (it *Iterator) position() {
+	t := it.t
+	if len(it.prefix) == 0 {
 		// Locating the first leaf still costs a root-to-leaf descent.
 		for d, c := 0, t.root; d < t.height; d++ {
-			io.Touch(c.pageID)
+			it.io.Touch(c.pageID)
 			if !c.leaf {
 				c = c.children[0]
 			}
 		}
-		it := &Iterator{io: io, n: n, i: 0}
+		it.n, it.i = t.firstLeaf, 0
 		it.skipEmpty(false)
-		return it
+		return
 	}
-	n, i := t.seekLeaf(io, prefix)
-	it := &Iterator{io: io, n: n, i: i}
+	it.n, it.i = t.seekLeaf(it.io, it.prefix)
 	it.skipEmpty(true)
-	return it
+}
+
+// reseek re-seats a live iterator after a concurrent tree mutation: a fresh
+// root-to-leaf descent to the first entry strictly greater than the last
+// entry returned. Called with the tree's read lock held.
+func (it *Iterator) reseek() {
+	n := it.t.root
+	for {
+		it.io.Touch(n.pageID)
+		if n.leaf {
+			break
+		}
+		n = n.children[childIndex(n.keys, it.last)]
+	}
+	i := lowerBound(n.entries, it.last)
+	if i < len(n.entries) && compareEntries(n.entries[i], it.last) == 0 {
+		i++
+	}
+	it.n, it.i = n, i
+	it.skipEmpty(true)
 }
 
 // skipEmpty advances past exhausted leaves. touched reports whether the
@@ -312,7 +379,20 @@ func (it *Iterator) skipEmpty(touched bool) {
 }
 
 // Next returns the entry under the cursor and advances. ok is false at end.
+// The returned entry is safe to use after the call: entry keys are immutable
+// once stored, and mutations shift entry structs without touching key
+// contents.
 func (it *Iterator) Next() (Entry, bool) {
+	it.t.mu.RLock()
+	defer it.t.mu.RUnlock()
+	if it.ver != it.t.version {
+		it.ver = it.t.version
+		if it.started {
+			it.reseek()
+		} else {
+			it.position()
+		}
+	}
 	if it.n == nil || it.i >= len(it.n.entries) {
 		return Entry{}, false
 	}
@@ -326,6 +406,8 @@ func (it *Iterator) Next() (Entry, bool) {
 		}
 		it.skipEmpty(true)
 	}
+	it.last = e
+	it.started = true
 	return e, true
 }
 
@@ -336,6 +418,8 @@ func (it *Iterator) Next() (Entry, bool) {
 // the first key column, which feed the linear-interpolation selectivity of
 // Table 1.
 func (t *BTree) Stats() (icard, icardLead, nindx int, low, high value.Value) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	nindx = t.nodes
 	var prev value.Row
 	first := true
@@ -372,6 +456,8 @@ func (t *BTree) Stats() (icard, icardLead, nindx int, low, high value.Value) {
 // Validate checks structural invariants: sorted leaves, correct entry count,
 // consistent leaf chain. Tests call it after randomized workloads.
 func (t *BTree) Validate() error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	count := 0
 	var prev *Entry
 	for n := t.firstLeaf; n != nil; n = n.next {

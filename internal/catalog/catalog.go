@@ -378,7 +378,14 @@ func (c *Catalog) CreateIndex(name, table string, columns []string, unique, clus
 			if !ok || rel != t.ID {
 				continue
 			}
-			row, err := storage.DecodeRow(rec)
+			// Every stored version is indexed, delete-marked ones included:
+			// indexes cover the whole version history until vacuum reclaims
+			// it, exactly as the incremental insert path maintains them.
+			_, body, err := storage.ParseVersionHeader(rec)
+			if err != nil {
+				return nil, fmt.Errorf("catalog: building index %s: %w", name, err)
+			}
+			row, err := storage.DecodeRow(body)
 			if err != nil {
 				return nil, fmt.Errorf("catalog: building index %s: %w", name, err)
 			}
@@ -387,7 +394,7 @@ func (c *Catalog) CreateIndex(name, table string, columns []string, unique, clus
 	}
 	ix.Tree = btree.BulkLoad(c.disk, btree.Config{Order: c.BTreeOrder}, entries)
 	if unique {
-		if key, dup := firstDuplicateKey(ix.Tree); dup {
+		if key, dup := firstDuplicateKey(c.disk, t.ID, ix.Tree); dup {
 			return nil, fmt.Errorf("catalog: duplicate key %v violates unique index %s", key, name)
 		}
 	}
@@ -422,22 +429,29 @@ func (c *Catalog) DropIndex(name string) error {
 	return fmt.Errorf("catalog: index %s does not exist", name)
 }
 
-// firstDuplicateKey scans the leaf chain for two entries sharing a full key.
-func firstDuplicateKey(tree *btree.BTree) (value.Row, bool) {
-	it := tree.Seek(storage.StmtIO{}, nil)
-	prev, ok := it.Next()
-	if !ok {
-		return nil, false
+// firstDuplicateKey scans the leaf chain for two entries sharing a full key
+// whose heap versions are both live (no delete mark): dead versions awaiting
+// vacuum are indexed but cannot violate uniqueness.
+func firstDuplicateKey(disk *storage.Disk, rel storage.RelID, tree *btree.BTree) (value.Row, bool) {
+	live := func(e btree.Entry) bool {
+		h, _, r, ok, err := disk.Page(e.TID.Page).ReadVersioned(e.TID.Slot)
+		return err == nil && ok && r == rel && h.Xmax == 0
 	}
+	it := tree.Seek(storage.StmtIO{}, nil)
+	var prev btree.Entry
+	havePrev := false
 	for {
 		e, ok := it.Next()
 		if !ok {
 			return nil, false
 		}
-		if value.CompareKey(prev.Key, e.Key) == 0 {
+		if !live(e) {
+			continue
+		}
+		if havePrev && value.CompareKey(prev.Key, e.Key) == 0 {
 			return e.Key, true
 		}
-		prev = e
+		prev, havePrev = e, true
 	}
 }
 
@@ -485,11 +499,18 @@ func (c *Catalog) updateStatistics(only string) {
 		if only != "" && t.Name != only {
 			continue
 		}
+		// NCARD counts live (latest-committed) rows: delete-marked versions
+		// awaiting vacuum occupy pages (they still shape TCARD) but are not
+		// tuples the optimizer's cardinality model should see.
 		ncard := 0
 		for _, pid := range t.Segment.Pages() {
 			page := c.disk.Page(pid)
 			for s := uint16(0); s < page.NumSlots(); s++ {
-				if _, rel, ok := page.Record(s); ok && rel == t.ID {
+				rec, rel, ok := page.Record(s)
+				if !ok || rel != t.ID {
+					continue
+				}
+				if h, _, err := storage.ParseVersionHeader(rec); err == nil && h.Xmax == 0 {
 					ncard++
 				}
 			}

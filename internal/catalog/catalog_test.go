@@ -21,7 +21,8 @@ func cols(names ...string) []Column {
 func insertRows(t *testing.T, tab *Table, rows []value.Row) {
 	t.Helper()
 	for _, r := range rows {
-		if _, err := tab.Segment.Insert(tab.ID, storage.EncodeRow(r)); err != nil {
+		rec := storage.EncodeVersionedRow(storage.VersionHeader{Xmin: storage.FrozenXID, Prev: storage.NoPrevTID}, r)
+		if _, err := tab.Segment.Insert(tab.ID, rec); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -101,8 +101,11 @@ func (c *Catalog) refreshSystemCatalogsLocked() error {
 	clear(sc)
 	clear(si)
 
+	// Catalog rows are frozen: created by XID 0 ("always committed"), so
+	// they are visible to every snapshot without registry traffic.
 	insert := func(t *Table, row value.Row) error {
-		_, err := t.Segment.Insert(t.ID, storage.EncodeRow(row))
+		rec := storage.EncodeVersionedRow(storage.VersionHeader{Xmin: storage.FrozenXID, Prev: storage.NoPrevTID}, row)
+		_, err := t.Segment.Insert(t.ID, rec)
 		return err
 	}
 	// Deterministic order: sorted table names.

@@ -34,11 +34,16 @@ import (
 // exclusively. Holding it shared therefore pins the catalog version.
 const CatalogLock = "__CATALOG__"
 
-// LockRequests derives a statement's table lock set: shared on every table
-// read, exclusive on every table written, and DDL exclusively locks the
-// catalog. The set depends only on the statement text, so it is stored on
-// the compiled plan and stays valid across recompilations.
-func LockRequests(stmt sql.Statement) []lock.Request {
+// LockRequests derives a statement's table lock set: exclusive on every
+// table written, and DDL exclusively locks the catalog. Tables only read
+// take shared locks when snapshotReads is false (pure two-phase locking);
+// under MVCC snapshot reads they take none at all — visibility rules at the
+// RSS boundary isolate readers from in-flight writers, so readers never
+// block and are never blocked. Every statement still locks the catalog
+// shared, pinning the catalog version against DDL. The set depends only on
+// the statement text and the engine mode, so it is stored on the compiled
+// plan and stays valid across recompilations.
+func LockRequests(stmt sql.Statement, snapshotReads bool) []lock.Request {
 	reqs := []lock.Request{{Table: CatalogLock, Mode: lock.Shared}}
 	switch stmt.(type) {
 	case *sql.CreateTableStmt, *sql.CreateIndexStmt, *sql.DropTableStmt,
@@ -50,8 +55,10 @@ func LockRequests(stmt sql.Statement) []lock.Request {
 		return nil
 	}
 	read, write := sql.TablesReferenced(stmt)
-	for _, t := range read {
-		reqs = append(reqs, lock.Request{Table: t, Mode: lock.Shared})
+	if !snapshotReads {
+		for _, t := range read {
+			reqs = append(reqs, lock.Request{Table: t, Mode: lock.Shared})
+		}
 	}
 	for _, t := range write {
 		reqs = append(reqs, lock.Request{Table: t, Mode: lock.Exclusive})
@@ -81,16 +88,18 @@ type CompiledPlan struct {
 // for concurrent use (compilation itself must run under the engine's shared
 // catalog lock, like any statement).
 type Pipeline struct {
-	cat          *catalog.Catalog
-	cfg          core.Config
-	naive        bool
-	compilations atomic.Int64
+	cat           *catalog.Catalog
+	cfg           core.Config
+	naive         bool
+	snapshotReads bool
+	compilations  atomic.Int64
 }
 
 // NewPipeline creates a compile pipeline over cat. naive selects the
-// no-optimizer baseline plans.
-func NewPipeline(cat *catalog.Catalog, cfg core.Config, naive bool) *Pipeline {
-	return &Pipeline{cat: cat, cfg: cfg, naive: naive}
+// no-optimizer baseline plans; snapshotReads selects the MVCC lock sets
+// (no shared table locks on reads) for compiled plans.
+func NewPipeline(cat *catalog.Catalog, cfg core.Config, naive, snapshotReads bool) *Pipeline {
+	return &Pipeline{cat: cat, cfg: cfg, naive: naive, snapshotReads: snapshotReads}
 }
 
 // Compilations returns how many plans the optimizer has produced — the
@@ -134,7 +143,7 @@ func (p *Pipeline) CompileSelect(gov *governor.Budget, sel *sql.SelectStmt, norm
 		Norm:    norm,
 		Version: version,
 		Query:   q,
-		Locks:   LockRequests(sel),
+		Locks:   LockRequests(sel, p.snapshotReads),
 	}, nil
 }
 

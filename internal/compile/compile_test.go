@@ -21,7 +21,7 @@ func testPipeline(t *testing.T) (*Pipeline, *catalog.Catalog) {
 	}, ""); err != nil {
 		t.Fatal(err)
 	}
-	return NewPipeline(cat, core.Config{W: core.DefaultW, BufferPages: 64}, false), cat
+	return NewPipeline(cat, core.Config{W: core.DefaultW, BufferPages: 64}, false, false), cat
 }
 
 func TestCompileSelectText(t *testing.T) {
@@ -66,7 +66,7 @@ func TestLockRequests(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	reqs := LockRequests(sel)
+	reqs := LockRequests(sel, false)
 	want := []lock.Request{
 		{Table: CatalogLock, Mode: lock.Shared},
 		{Table: "T", Mode: lock.Shared},
@@ -77,6 +77,28 @@ func TestLockRequests(t *testing.T) {
 	for i := range want {
 		if reqs[i] != want[i] {
 			t.Fatalf("reqs[%d] = %v, want %v", i, reqs[i], want[i])
+		}
+	}
+	// Snapshot reads elide the read-table S lock but keep the catalog pin.
+	snapReqs := LockRequests(sel, true)
+	if len(snapReqs) != 1 || snapReqs[0] != (lock.Request{Table: CatalogLock, Mode: lock.Shared}) {
+		t.Fatalf("snapshot-read reqs = %v, want catalog S lock only", snapReqs)
+	}
+	upd, err := sql.Parse("UPDATE T SET A = 1 WHERE A = 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	updReqs := LockRequests(upd, true)
+	wantUpd := []lock.Request{
+		{Table: CatalogLock, Mode: lock.Shared},
+		{Table: "T", Mode: lock.Exclusive},
+	}
+	if len(updReqs) != len(wantUpd) {
+		t.Fatalf("snapshot-mode UPDATE reqs = %v", updReqs)
+	}
+	for i := range wantUpd {
+		if updReqs[i] != wantUpd[i] {
+			t.Fatalf("updReqs[%d] = %v, want %v", i, updReqs[i], wantUpd[i])
 		}
 	}
 	for _, ddl := range []string{
@@ -90,7 +112,7 @@ func TestLockRequests(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		reqs := LockRequests(stmt)
+		reqs := LockRequests(stmt, true)
 		if len(reqs) != 1 || reqs[0] != (lock.Request{Table: CatalogLock, Mode: lock.Exclusive}) {
 			t.Fatalf("%s: reqs = %v, want exclusive catalog lock only", ddl, reqs)
 		}

@@ -60,6 +60,11 @@ type Config struct {
 	// operators over eligible segment scans of the main query block,
 	// partitioning the scan's pages across that many workers.
 	DegreeOfParallelism int
+	// ParallelMinPages is the smallest relation (in segment pages) worth an
+	// exchange: scans of smaller relations stay serial, because worker
+	// startup and row hand-off dominate on a handful of pages. Zero or
+	// negative means no threshold.
+	ParallelMinPages int
 
 	// Trace, when non-nil, records the search tree (Figures 2-6).
 	Trace *Trace
@@ -129,7 +134,7 @@ func (o *Optimizer) Optimize(blk *sem.Block) (*plan.Query, error) {
 		return nil, err
 	}
 	if o.cfg.DegreeOfParallelism > 1 {
-		q.Root = parallelize(q.Root, o.cfg.DegreeOfParallelism, false)
+		q.Root = parallelize(q.Root, o.cfg.DegreeOfParallelism, o.cfg.ParallelMinPages, false)
 	}
 	return q, nil
 }

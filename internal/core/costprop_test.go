@@ -36,7 +36,7 @@ func randomCostDB(t testing.TB, rnd *rand.Rand) *catalog.Catalog {
 			value.NewInt(int64(i % dupA)),
 			value.NewInt(int64(rnd.Intn(100))),
 			value.NewFloat(rnd.Float64() * 1000),
-		})
+		}, storage.FrozenXID, storage.NoPrevTID, cat.Disk())
 	}
 	if rnd.Intn(2) == 0 {
 		cat.CreateIndex("R_A", "R", []string{"A"}, false, rnd.Intn(2) == 0)

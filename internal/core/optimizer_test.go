@@ -76,7 +76,7 @@ func uniqueDB(t testing.TB) *catalog.Catalog {
 			value.NewInt(int64((i * 7) % 100)),
 			value.NewInt(int64(i % 5)),
 			value.NewString(pad),
-		})
+		}, storage.FrozenXID, storage.NoPrevTID, cat.Disk())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -260,7 +260,7 @@ func joinDB(t testing.TB, tables int, rows int) *catalog.Catalog {
 			t.Fatal(err)
 		}
 		for i := 0; i < rows; i++ {
-			rss.Insert(tab, value.Row{value.NewInt(int64(i % 20)), value.NewInt(int64(i))})
+			rss.Insert(tab, value.Row{value.NewInt(int64(i % 20)), value.NewInt(int64(i))}, storage.FrozenXID, storage.NoPrevTID, cat.Disk())
 		}
 		if _, err := cat.CreateIndex(fmt.Sprintf("T%d_K", ti), fmt.Sprintf("T%d", ti), []string{"K"}, false, false); err != nil {
 			t.Fatal(err)
@@ -416,7 +416,7 @@ func TestCompositeIndexMatching(t *testing.T) {
 	for i := 0; i < 300; i++ {
 		rss.Insert(tab, value.Row{
 			value.NewInt(int64(i % 10)), value.NewInt(int64(i % 30)), value.NewInt(int64(i)),
-		})
+		}, storage.FrozenXID, storage.NoPrevTID, cat.Disk())
 	}
 	cat.CreateIndex("M_AB", "M", []string{"A", "B"}, false, false)
 	cat.UpdateStatistics()

@@ -24,37 +24,43 @@ import (
 //   - no residual predicates (residuals may contain correlated subqueries,
 //     whose evaluation state is per-statement, not per-worker);
 //   - no subquery-valued search arguments (sarg bounds resolve at OPEN,
-//     which on a worker would evaluate the subquery concurrently).
+//     which on a worker would evaluate the subquery concurrently);
+//   - at least minPages segment pages (when minPages > 0): on a smaller
+//     relation the exchange's worker startup and row hand-off cost more
+//     than the scan itself, so tiny scans stay serial.
 //
 // Merge joins and ordered GROUP BY never consume a bare segment scan (a
 // segment scan produces no order), so recursing through every other operator
 // is safe: whatever order the exchange scrambles was not relied upon.
-func parallelize(n plan.Node, degree int, nlInner bool) plan.Node {
+func parallelize(n plan.Node, degree, minPages int, nlInner bool) plan.Node {
 	switch x := n.(type) {
 	case *plan.SegScan:
 		if nlInner || len(x.Residual) > 0 || sargsBindSubquery(x.Sargs) {
+			return n
+		}
+		if minPages > 0 && x.Table.Segment.NumPages() < minPages {
 			return n
 		}
 		p := &plan.Parallel{Input: x, Degree: degree}
 		p.SetEst(x.Est())
 		return p
 	case *plan.NLJoin:
-		x.Outer = parallelize(x.Outer, degree, nlInner)
-		x.Inner = parallelize(x.Inner, degree, true)
+		x.Outer = parallelize(x.Outer, degree, minPages, nlInner)
+		x.Inner = parallelize(x.Inner, degree, minPages, true)
 	case *plan.MergeJoin:
-		x.Outer = parallelize(x.Outer, degree, nlInner)
-		x.Inner = parallelize(x.Inner, degree, nlInner)
+		x.Outer = parallelize(x.Outer, degree, minPages, nlInner)
+		x.Inner = parallelize(x.Inner, degree, minPages, nlInner)
 	case *plan.HashJoin:
-		x.Outer = parallelize(x.Outer, degree, nlInner)
-		x.Inner = parallelize(x.Inner, degree, nlInner)
+		x.Outer = parallelize(x.Outer, degree, minPages, nlInner)
+		x.Inner = parallelize(x.Inner, degree, minPages, nlInner)
 	case *plan.Sort:
-		x.Input = parallelize(x.Input, degree, nlInner)
+		x.Input = parallelize(x.Input, degree, minPages, nlInner)
 	case *plan.GroupAgg:
-		x.Input = parallelize(x.Input, degree, nlInner)
+		x.Input = parallelize(x.Input, degree, minPages, nlInner)
 	case *plan.Project:
-		x.Input = parallelize(x.Input, degree, nlInner)
+		x.Input = parallelize(x.Input, degree, minPages, nlInner)
 	case *plan.Distinct:
-		x.Input = parallelize(x.Input, degree, nlInner)
+		x.Input = parallelize(x.Input, degree, minPages, nlInner)
 	}
 	return n
 }

@@ -40,7 +40,7 @@ func testDB(t testing.TB) *catalog.Catalog {
 			value.NewInt(int64(i % 10)),
 			value.NewString(fmt.Sprintf("C%02d", i%20)),
 			value.NewFloat(float64(i)),
-		})
+		}, storage.FrozenXID, storage.NoPrevTID, cat.Disk())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -59,7 +59,7 @@ func testDB(t testing.TB) *catalog.Catalog {
 		t.Fatal(err)
 	}
 	for i := 0; i < 50; i++ {
-		if _, _, err := rss.Insert(s, value.Row{value.NewInt(int64(i % 10)), value.NewInt(int64(i))}); err != nil {
+		if _, _, err := rss.Insert(s, value.Row{value.NewInt(int64(i % 10)), value.NewInt(int64(i))}, storage.FrozenXID, storage.NoPrevTID, cat.Disk()); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -216,7 +216,7 @@ func TestDefaultStatisticsSelectivities(t *testing.T) {
 	cat := catalog.New(storage.NewDisk())
 	r, _ := cat.CreateTable("R", []catalog.Column{{Name: "A", Type: value.KindInt}}, "")
 	for i := 0; i < 100; i++ {
-		rss.Insert(r, value.Row{value.NewInt(int64(i))})
+		rss.Insert(r, value.Row{value.NewInt(int64(i))}, storage.FrozenXID, storage.NoPrevTID, cat.Disk())
 	}
 	cat.CreateIndex("R_A", "R", []string{"A"}, false, false)
 	// No UpdateStatistics: ICARD defaults to DefaultICard.

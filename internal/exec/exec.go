@@ -43,6 +43,12 @@ type Runtime struct {
 	// OnParallel, when non-nil, observes the worker count of every parallel
 	// exchange opened (metrics hook).
 	OnParallel func(workers int)
+
+	// Snap is the MVCC snapshot every scan in this statement reads under:
+	// only versions visible to it cross the RSS interface. Nil means "latest
+	// committed" (bootstrap and lock-excluded callers). Worker contexts copy
+	// the whole Runtime, so parallel scans inherit it.
+	Snap *storage.Snapshot
 }
 
 // ensureIO guarantees the runtime carries a statement accumulator, creating

@@ -66,10 +66,10 @@ func (e *env) loadPair(t testing.TB) {
 		{Name: "K", Type: value.KindInt}, {Name: "W", Type: value.KindInt}}, "")
 	// L: keys 1,1,2,3 ; R: keys 1,2,2,5 → join rows: (1)×2 + (2)×2 = 4.
 	for i, k := range []int64{1, 1, 2, 3} {
-		rss.Insert(l, value.Row{value.NewInt(k), value.NewInt(int64(i))})
+		rss.Insert(l, value.Row{value.NewInt(k), value.NewInt(int64(i))}, storage.FrozenXID, storage.NoPrevTID, e.disk)
 	}
 	for i, k := range []int64{1, 2, 2, 5} {
-		rss.Insert(r, value.Row{value.NewInt(k), value.NewInt(int64(100 + i))})
+		rss.Insert(r, value.Row{value.NewInt(k), value.NewInt(int64(100 + i))}, storage.FrozenXID, storage.NoPrevTID, e.disk)
 	}
 	e.cat.CreateIndex("L_K", "L", []string{"K"}, false, false)
 	e.cat.CreateIndex("R_K", "R", []string{"K"}, false, false)
@@ -102,10 +102,10 @@ func TestMergeJoinNullKeysMatchNothing(t *testing.T) {
 	e := newEnv(t)
 	l, _ := e.cat.CreateTable("L", []catalog.Column{{Name: "K", Type: value.KindInt}}, "")
 	r, _ := e.cat.CreateTable("R", []catalog.Column{{Name: "K", Type: value.KindInt}}, "")
-	rss.Insert(l, value.Row{value.Null()})
-	rss.Insert(l, value.Row{value.NewInt(1)})
-	rss.Insert(r, value.Row{value.Null()})
-	rss.Insert(r, value.Row{value.NewInt(1)})
+	rss.Insert(l, value.Row{value.Null()}, storage.FrozenXID, storage.NoPrevTID, e.disk)
+	rss.Insert(l, value.Row{value.NewInt(1)}, storage.FrozenXID, storage.NoPrevTID, e.disk)
+	rss.Insert(r, value.Row{value.Null()}, storage.FrozenXID, storage.NoPrevTID, e.disk)
+	rss.Insert(r, value.Row{value.NewInt(1)}, storage.FrozenXID, storage.NoPrevTID, e.disk)
 	e.cat.UpdateStatistics()
 	for _, cfg := range []core.Config{{MergeOnly: true}, {NestedLoopsOnly: true}} {
 		rows, _ := e.exec(t, "SELECT L.K FROM L, R WHERE L.K = R.K", cfg)
@@ -123,7 +123,7 @@ func TestCorrelatedSubqueryCaching(t *testing.T) {
 	// order so the correlated value repeats consecutively).
 	for g := 0; g < 10; g++ {
 		for i := 0; i < 3; i++ {
-			rss.Insert(tab, value.Row{value.NewInt(int64(g)), value.NewInt(int64(g*3 + i))})
+			rss.Insert(tab, value.Row{value.NewInt(int64(g)), value.NewInt(int64(g*3 + i))}, storage.FrozenXID, storage.NoPrevTID, e.disk)
 		}
 	}
 	e.cat.CreateIndex("T_G", "T", []string{"G"}, false, true)
@@ -142,7 +142,7 @@ func TestNonCorrelatedSubqueryEvaluatedOnce(t *testing.T) {
 	e := newEnv(t)
 	tab, _ := e.cat.CreateTable("T", []catalog.Column{{Name: "V", Type: value.KindInt}}, "")
 	for i := 0; i < 50; i++ {
-		rss.Insert(tab, value.Row{value.NewInt(int64(i))})
+		rss.Insert(tab, value.Row{value.NewInt(int64(i))}, storage.FrozenXID, storage.NoPrevTID, e.disk)
 	}
 	e.cat.UpdateStatistics()
 	rows, stats := e.exec(t, "SELECT V FROM T WHERE V > (SELECT AVG(V) FROM T)", core.Config{})
@@ -157,8 +157,8 @@ func TestNonCorrelatedSubqueryEvaluatedOnce(t *testing.T) {
 func TestScalarSubqueryCardinalityError(t *testing.T) {
 	e := newEnv(t)
 	tab, _ := e.cat.CreateTable("T", []catalog.Column{{Name: "V", Type: value.KindInt}}, "")
-	rss.Insert(tab, value.Row{value.NewInt(1)})
-	rss.Insert(tab, value.Row{value.NewInt(2)})
+	rss.Insert(tab, value.Row{value.NewInt(1)}, storage.FrozenXID, storage.NoPrevTID, e.disk)
+	rss.Insert(tab, value.Row{value.NewInt(2)}, storage.FrozenXID, storage.NoPrevTID, e.disk)
 	e.cat.UpdateStatistics()
 	st, _ := sql.Parse("SELECT V FROM T WHERE V = (SELECT V FROM T)")
 	blk, err := sem.Analyze(st.(*sql.SelectStmt), e.cat)
@@ -177,7 +177,7 @@ func TestScalarSubqueryCardinalityError(t *testing.T) {
 func TestEmptyScalarSubqueryIsNull(t *testing.T) {
 	e := newEnv(t)
 	tab, _ := e.cat.CreateTable("T", []catalog.Column{{Name: "V", Type: value.KindInt}}, "")
-	rss.Insert(tab, value.Row{value.NewInt(1)})
+	rss.Insert(tab, value.Row{value.NewInt(1)}, storage.FrozenXID, storage.NoPrevTID, e.disk)
 	e.cat.UpdateStatistics()
 	// Empty subquery → NULL → comparison false → no rows.
 	rows, _ := e.exec(t, "SELECT V FROM T WHERE V = (SELECT V FROM T WHERE V = 99)", core.Config{})
@@ -218,9 +218,9 @@ func TestGroupedQueryOverEmptyInputHasNoRows(t *testing.T) {
 func TestAggregateNullHandling(t *testing.T) {
 	e := newEnv(t)
 	tab, _ := e.cat.CreateTable("T", []catalog.Column{{Name: "V", Type: value.KindInt}}, "")
-	rss.Insert(tab, value.Row{value.NewInt(10)})
-	rss.Insert(tab, value.Row{value.Null()})
-	rss.Insert(tab, value.Row{value.NewInt(20)})
+	rss.Insert(tab, value.Row{value.NewInt(10)}, storage.FrozenXID, storage.NoPrevTID, e.disk)
+	rss.Insert(tab, value.Row{value.Null()}, storage.FrozenXID, storage.NoPrevTID, e.disk)
+	rss.Insert(tab, value.Row{value.NewInt(20)}, storage.FrozenXID, storage.NoPrevTID, e.disk)
 	e.cat.UpdateStatistics()
 	rows, _ := e.exec(t, "SELECT COUNT(*), COUNT(V), SUM(V), AVG(V) FROM T", core.Config{})
 	r := rows[0]
@@ -233,7 +233,7 @@ func TestDistinctPreservesOrder(t *testing.T) {
 	e := newEnv(t)
 	tab, _ := e.cat.CreateTable("T", []catalog.Column{{Name: "V", Type: value.KindInt}}, "")
 	for _, v := range []int64{3, 1, 3, 2, 1, 2, 2} {
-		rss.Insert(tab, value.Row{value.NewInt(v)})
+		rss.Insert(tab, value.Row{value.NewInt(v)}, storage.FrozenXID, storage.NoPrevTID, e.disk)
 	}
 	e.cat.UpdateStatistics()
 	rows, _ := e.exec(t, "SELECT DISTINCT V FROM T ORDER BY V", core.Config{})
@@ -253,7 +253,7 @@ func TestSortSpillsThroughTempPages(t *testing.T) {
 		{Name: "V", Type: value.KindInt}, {Name: "PAD", Type: value.KindString}}, "")
 	pad := strings.Repeat("z", 200)
 	for i := 0; i < 2000; i++ {
-		rss.Insert(tab, value.Row{value.NewInt(int64((i * 7919) % 2000)), value.NewString(pad)})
+		rss.Insert(tab, value.Row{value.NewInt(int64((i * 7919) % 2000)), value.NewString(pad)}, storage.FrozenXID, storage.NoPrevTID, e.disk)
 	}
 	e.cat.UpdateStatistics()
 	rows, stats := e.exec(t, "SELECT V FROM T ORDER BY V", core.Config{BufferPages: 8})
@@ -287,7 +287,7 @@ func TestProjectionExpressions(t *testing.T) {
 	e := newEnv(t)
 	tab, _ := e.cat.CreateTable("T", []catalog.Column{
 		{Name: "A", Type: value.KindInt}, {Name: "B", Type: value.KindFloat}}, "")
-	rss.Insert(tab, value.Row{value.NewInt(7), value.NewFloat(2.5)})
+	rss.Insert(tab, value.Row{value.NewInt(7), value.NewFloat(2.5)}, storage.FrozenXID, storage.NoPrevTID, e.disk)
 	e.cat.UpdateStatistics()
 	rows, _ := e.exec(t, "SELECT A * 2 + 1, B / 0, -A FROM T", core.Config{})
 	r := rows[0]
@@ -306,7 +306,7 @@ func TestPredContext(t *testing.T) {
 	e := newEnv(t)
 	tab, _ := e.cat.CreateTable("T", []catalog.Column{{Name: "V", Type: value.KindInt}}, "")
 	for i := 0; i < 10; i++ {
-		rss.Insert(tab, value.Row{value.NewInt(int64(i))})
+		rss.Insert(tab, value.Row{value.NewInt(int64(i))}, storage.FrozenXID, storage.NoPrevTID, e.disk)
 	}
 	e.cat.UpdateStatistics()
 	st, _ := sql.Parse("DELETE FROM T WHERE V >= (SELECT AVG(V) FROM T)")
@@ -385,12 +385,12 @@ func TestManyJoinKeysStress(t *testing.T) {
 	// L: every key 0..49 three times; R: every even key twice.
 	for rep := 0; rep < 3; rep++ {
 		for k := 0; k < 50; k++ {
-			rss.Insert(l, value.Row{value.NewInt(int64(k))})
+			rss.Insert(l, value.Row{value.NewInt(int64(k))}, storage.FrozenXID, storage.NoPrevTID, e.disk)
 		}
 	}
 	for rep := 0; rep < 2; rep++ {
 		for k := 0; k < 50; k += 2 {
-			rss.Insert(r, value.Row{value.NewInt(int64(k))})
+			rss.Insert(r, value.Row{value.NewInt(int64(k))}, storage.FrozenXID, storage.NoPrevTID, e.disk)
 		}
 	}
 	e.cat.CreateIndex("L_K", "L", []string{"K"}, false, false)

@@ -27,6 +27,7 @@ func (it *segScanOp) open() error {
 		Table: it.node.Table, Pool: it.ctx.rt.Pool, Sargs: sargs,
 		Part: it.node.Part, NParts: it.node.NParts,
 		Stmt: it.ctx.rt.IO, Budget: it.ctx.rt.Budget,
+		Snap: it.ctx.rt.Snap,
 	}
 	return it.scan.Open()
 }
@@ -122,6 +123,7 @@ func (it *indexScanOp) open() error {
 		Index: it.node.Index, Pool: it.ctx.rt.Pool,
 		Lo: lo, LoInc: it.node.LoInc, Hi: hi, HiInc: it.node.HiInc,
 		Sargs: sargs, Stmt: it.ctx.rt.IO, Budget: it.ctx.rt.Budget,
+		Snap: it.ctx.rt.Snap,
 	}
 	return it.scan.Open()
 }

@@ -11,9 +11,20 @@
 // sargable predicates ("column comparison-operator value") in disjunctive
 // normal form, applied to each tuple *before* it is returned, so that
 // rejected tuples never cost an RSI call — the paper's CPU-saving mechanism.
+//
+// The RSI is also the MVCC visibility boundary. Heap records are versions
+// (storage.VersionHeader + row); both scan types carry the caller's
+// storage.Snapshot and return only versions visible to it, so nothing above
+// the RSS ever sees an uncommitted or superseded tuple. The write path
+// creates versions (Insert), flips delete marks in place (MarkDeleted, with
+// first-updater-wins conflict detection → ErrWriteConflict), physically
+// undoes them (ClearDeleted, Remove — the transaction layer's rollback
+// primitives), and garbage-collects versions no live snapshot can reach
+// (VacuumTable).
 package rss
 
 import (
+	"errors"
 	"fmt"
 	"sync/atomic"
 
@@ -30,6 +41,14 @@ var openScans atomic.Int64
 
 // OpenScans returns the number of RSI scans currently open.
 func OpenScans() int64 { return openScans.Load() }
+
+// ErrWriteConflict reports a first-updater-wins conflict: the tuple a
+// transaction tried to delete or update already carries another
+// transaction's delete mark. Because writers hold exclusive table locks,
+// that other transaction has necessarily committed — the row version this
+// statement's snapshot saw is stale. Retryable, like lock.ErrDeadlock: roll
+// the transaction back and run it again against a fresh snapshot.
+var ErrWriteConflict = errors.New("rss: write conflict: tuple concurrently updated or deleted")
 
 // SargTerm is one sargable predicate: column <op> value.
 type SargTerm struct {
@@ -138,13 +157,18 @@ type SegmentScan struct {
 	// partition sees the same snapshot boundary its siblings do.
 	Part   int
 	NParts int
+	// Snap is the caller's visibility snapshot: only versions it can see are
+	// returned. Nil means "latest committed" (visible ⇔ no delete mark) —
+	// correct only for callers that exclude concurrent writers.
+	Snap *storage.Snapshot
 
-	io    storage.StmtIO
-	pages []storage.PageID
-	pi    int
-	slot  uint16
-	page  *storage.Page
-	open  bool
+	io     storage.StmtIO
+	pages  []storage.PageID
+	pi     int
+	slot   uint16
+	nslots uint16
+	page   *storage.Page
+	open   bool
 }
 
 // Open positions the scan before the first page.
@@ -162,6 +186,7 @@ func (s *SegmentScan) Open() error {
 	s.pi = -1
 	s.page = nil
 	s.slot = 0
+	s.nslots = 0
 	if !s.open {
 		s.open = true
 		openScans.Add(1)
@@ -175,7 +200,7 @@ func (s *SegmentScan) Next() (value.Row, storage.TID, bool, error) {
 		return nil, storage.TID{}, false, fmt.Errorf("rss: Next on closed segment scan of %s", s.Table.Name)
 	}
 	for {
-		if s.page == nil || s.slot >= s.page.NumSlots() {
+		if s.page == nil || s.slot >= s.nslots {
 			s.pi++
 			if s.pi >= len(s.pages) {
 				return nil, storage.TID{}, false, nil
@@ -188,19 +213,27 @@ func (s *SegmentScan) Next() (value.Row, storage.TID, bool, error) {
 				return nil, storage.TID{}, false, err
 			}
 			s.page = page
+			// The slot window is frozen at page entry: versions appended to
+			// this page afterwards were created after the snapshot and could
+			// not be visible anyway.
+			s.nslots = page.SlotCount()
 			s.slot = 0
 			continue
 		}
 		slot := s.slot
 		s.slot++
-		rec, rel, ok := s.page.Record(slot)
-		if !ok || rel != s.Table.ID {
-			continue
-		}
-		row, err := storage.DecodeRow(rec)
+		h, row, rel, ok, err := s.page.ReadVersioned(slot)
 		if err != nil {
 			return nil, storage.TID{}, false, err
 		}
+		if !ok || rel != s.Table.ID {
+			continue
+		}
+		if !s.Snap.Visible(h) {
+			s.io.AddVersionScanned(true)
+			continue
+		}
+		s.io.AddVersionScanned(false)
 		if err := s.Budget.CheckRow(); err != nil {
 			return nil, storage.TID{}, false, err
 		}
@@ -239,6 +272,10 @@ type IndexScan struct {
 	// Budget, when non-nil, is the statement's execution governor, checked
 	// at OPEN and per index entry examined.
 	Budget *governor.Budget
+	// Snap is the caller's visibility snapshot (see SegmentScan.Snap). Dead
+	// versions keep their index entries until vacuum, so the heap fetch
+	// arbitrates visibility here exactly as in the segment scan.
+	Snap *storage.Snapshot
 
 	io   storage.StmtIO
 	it   *btree.Iterator
@@ -285,14 +322,18 @@ func (s *IndexScan) Next() (value.Row, storage.TID, bool, error) {
 		if err != nil {
 			return nil, storage.TID{}, false, err
 		}
-		rec, rel, live := page.Record(e.TID.Slot)
-		if !live || rel != s.Index.Table.ID {
-			continue // stale index entry (deleted tuple)
-		}
-		row, err := storage.DecodeRow(rec)
+		h, row, rel, live, err := page.ReadVersioned(e.TID.Slot)
 		if err != nil {
 			return nil, storage.TID{}, false, err
 		}
+		if !live || rel != s.Index.Table.ID {
+			continue // stale index entry (vacuumed or undone version)
+		}
+		if !s.Snap.Visible(h) {
+			s.io.AddVersionScanned(true)
+			continue
+		}
+		s.io.AddVersionScanned(false)
 		if !s.Sargs.Match(row) {
 			continue
 		}
@@ -311,11 +352,14 @@ func (s *IndexScan) Close() error {
 	return nil
 }
 
-// Insert validates a row against the table schema, stores it, and maintains
-// every index. Unique-index violations roll the insertion back. The returned
-// row is the stored image (after coercion) — the image a transaction's undo
-// log must record, since index keys are derived from it.
-func Insert(t *catalog.Table, row value.Row) (storage.TID, value.Row, error) {
+// Insert validates a row against the table schema, stores it as a new
+// version created by xid, and maintains every index. prev links the version
+// this one supersedes (UPDATE) or NoPrevTID (INSERT). Unique-index
+// violations are detected against *live* heap versions — dead versions keep
+// their index entries until vacuum, so the index alone cannot arbitrate.
+// The returned row is the stored image (after coercion) — the image a
+// transaction's undo log must record, since index keys are derived from it.
+func Insert(t *catalog.Table, row value.Row, xid storage.XID, prev storage.TID, disk *storage.Disk) (storage.TID, value.Row, error) {
 	if len(row) != len(t.Columns) {
 		return storage.TID{}, nil, fmt.Errorf("rss: table %s has %d columns, row has %d", t.Name, len(t.Columns), len(row))
 	}
@@ -328,11 +372,12 @@ func Insert(t *catalog.Table, row value.Row) (storage.TID, value.Row, error) {
 		coerced[i] = cv
 	}
 	for _, ix := range t.Indexes {
-		if ix.Unique && indexHasKey(ix, ix.KeyFor(coerced)) {
+		if ix.Unique && indexHasLiveKey(ix, ix.KeyFor(coerced), disk) {
 			return storage.TID{}, nil, fmt.Errorf("rss: duplicate key %v violates unique index %s", ix.KeyFor(coerced), ix.Name)
 		}
 	}
-	tid, err := t.Segment.Insert(t.ID, storage.EncodeRow(coerced))
+	rec := storage.EncodeVersionedRow(storage.VersionHeader{Xmin: xid, Prev: prev}, coerced)
+	tid, err := t.Segment.Insert(t.ID, rec)
 	if err != nil {
 		return storage.TID{}, nil, err
 	}
@@ -342,18 +387,64 @@ func Insert(t *catalog.Table, row value.Row) (storage.TID, value.Row, error) {
 	return tid, coerced, nil
 }
 
-func indexHasKey(ix *catalog.Index, key value.Row) bool {
+// indexHasLiveKey reports whether a live heap version carries key in ix.
+// Reading "no delete mark" as live is exact here: the inserting transaction
+// holds the table's exclusive lock, so any mark it finds is its own or a
+// committed writer's, and any unmarked version is a genuine duplicate (its
+// own earlier insert, or a committed row).
+func indexHasLiveKey(ix *catalog.Index, key value.Row, disk *storage.Disk) bool {
 	it := ix.Tree.Seek(storage.StmtIO{}, key)
-	e, ok := it.Next()
-	return ok && btree.ComparePrefix(e.Key, key) == 0
+	for {
+		e, ok := it.Next()
+		if !ok || btree.ComparePrefix(e.Key, key) != 0 {
+			return false
+		}
+		h, _, rel, live, err := disk.Page(e.TID.Page).ReadVersioned(e.TID.Slot)
+		if err == nil && live && rel == ix.Table.ID && h.Xmax == 0 {
+			return true
+		}
+	}
 }
 
-// Delete removes the tuple at tid (whose decoded image is row) and its index
-// entries.
-func Delete(t *catalog.Table, tid storage.TID, row value.Row, disk *storage.Disk) error {
+// MarkDeleted stamps xid as the deleter of the version at tid — DELETE (and
+// the delete half of UPDATE) under MVCC: the version stays in place and in
+// its indexes so older snapshots keep seeing it; only readers whose snapshot
+// includes xid's commit observe the deletion. A version already marked by
+// another transaction loses first-updater-wins: that writer committed (table
+// X locks serialize writers), so the statement's snapshot is stale and the
+// caller gets ErrWriteConflict.
+func MarkDeleted(t *catalog.Table, tid storage.TID, xid storage.XID, disk *storage.Disk) error {
+	prior, live, swapped := disk.Page(tid.Page).SwapXmax(tid.Slot, 0, xid)
+	if swapped {
+		return nil
+	}
+	if !live {
+		return fmt.Errorf("rss: tuple %v of %s already removed", tid, t.Name)
+	}
+	if prior == xid {
+		return fmt.Errorf("rss: tuple %v of %s already deleted by this transaction", tid, t.Name)
+	}
+	return fmt.Errorf("rss: tuple %v of %s already deleted by txn %d: %w", tid, t.Name, prior, ErrWriteConflict)
+}
+
+// ClearDeleted undoes a MarkDeleted by xid: the delete mark is cleared in
+// place, resurrecting the version for every snapshot byte-exactly (nothing
+// else of the record was touched, and its index entries never left).
+func ClearDeleted(t *catalog.Table, tid storage.TID, xid storage.XID, disk *storage.Disk) error {
+	if _, _, swapped := disk.Page(tid.Page).SwapXmax(tid.Slot, xid, 0); !swapped {
+		return fmt.Errorf("rss: undo: tuple %v of %s does not carry txn %d's delete mark", tid, t.Name, xid)
+	}
+	return nil
+}
+
+// Remove physically deletes the version at tid (whose decoded image is row)
+// and its index entries: the undo of an Insert, and vacuum's reclamation
+// primitive. The slot is never reused, so surviving TIDs and physical dump
+// order are unperturbed.
+func Remove(t *catalog.Table, tid storage.TID, row value.Row, disk *storage.Disk) error {
 	page := disk.Page(tid.Page)
 	if !page.Delete(tid.Slot) {
-		return fmt.Errorf("rss: tuple %v of %s already deleted", tid, t.Name)
+		return fmt.Errorf("rss: version %v of %s already removed", tid, t.Name)
 	}
 	for _, ix := range t.Indexes {
 		ix.Tree.Delete(ix.KeyFor(row), tid)
@@ -361,21 +452,53 @@ func Delete(t *catalog.Table, tid storage.TID, row value.Row, disk *storage.Disk
 	return nil
 }
 
-// Restore undoes a Delete: it resurrects the tuple at its original TID —
-// byte-exactly, preserving physical page/slot order — and re-inserts its
-// index entries. row must be the stored image the tuple held when deleted
-// (a transaction's undo log records exactly that). No unique check runs:
-// restoring a logged pre-image cannot introduce a duplicate the original
-// insert did not.
-func Restore(t *catalog.Table, tid storage.TID, row value.Row, disk *storage.Disk) error {
-	page := disk.Page(tid.Page)
-	if !page.Restore(tid.Slot, t.ID, storage.EncodeRow(row)) {
-		return fmt.Errorf("rss: tuple %v of %s is not restorable", tid, t.Name)
+// VacuumTable reclaims every version of t deleted by a transaction older
+// than horizon (the registry's oldest reachable XID): no live or future
+// snapshot can see such a version, so its slot is freed and its index
+// entries are dropped. onChain, when non-nil, observes the version-chain
+// length behind each live version before reclamation (metrics). The caller
+// must hold t's exclusive lock.
+func VacuumTable(t *catalog.Table, disk *storage.Disk, horizon storage.XID, onChain func(length int)) (int, error) {
+	pages := t.Segment.Pages()
+	if onChain != nil {
+		for _, pid := range pages {
+			page := disk.Page(pid)
+			for slot := uint16(0); slot < page.SlotCount(); slot++ {
+				h, _, rel, ok, err := page.ReadVersioned(slot)
+				if err != nil || !ok || rel != t.ID || h.Xmax != 0 {
+					continue
+				}
+				length := 1
+				for prev := h.Prev; prev != storage.NoPrevTID; {
+					ph, _, prel, pok, perr := disk.Page(prev.Page).ReadVersioned(prev.Slot)
+					if perr != nil || !pok || prel != t.ID {
+						break
+					}
+					length++
+					prev = ph.Prev
+				}
+				onChain(length)
+			}
+		}
 	}
-	for _, ix := range t.Indexes {
-		ix.Tree.Insert(ix.KeyFor(row), tid)
+	reclaimed := 0
+	for _, pid := range pages {
+		page := disk.Page(pid)
+		for slot := uint16(0); slot < page.SlotCount(); slot++ {
+			h, row, rel, ok, err := page.ReadVersioned(slot)
+			if err != nil {
+				return reclaimed, err
+			}
+			if !ok || rel != t.ID || h.Xmax == 0 || h.Xmax >= horizon {
+				continue
+			}
+			if err := Remove(t, storage.TID{Page: pid, Slot: slot}, row, disk); err != nil {
+				return reclaimed, err
+			}
+			reclaimed++
+		}
 	}
-	return nil
+	return reclaimed, nil
 }
 
 // coerce converts v to the column type, allowing the int→float widening the

@@ -1,6 +1,7 @@
 package rss
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -45,7 +46,7 @@ func (e *env) newEmp(t *testing.T, n int) *catalog.Table {
 			value.NewInt(int64(i % 10)),
 			value.NewInt(int64(i)),
 			value.NewString("E" + strings.Repeat("x", i%5)),
-		})
+		}, storage.FrozenXID, storage.NoPrevTID, e.disk)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -215,7 +216,7 @@ func TestIndexScanSkipsDeleted(t *testing.T) {
 			break
 		}
 		if row[1].Int == 5 {
-			if err := Delete(tab, tid, row, e.disk); err != nil {
+			if err := MarkDeleted(tab, tid, 1, e.disk); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -235,15 +236,15 @@ func TestIndexScanSkipsDeleted(t *testing.T) {
 func TestInsertValidation(t *testing.T) {
 	e := newEnv(t, 16)
 	tab := e.newEmp(t, 1)
-	if _, _, err := Insert(tab, value.Row{value.NewInt(1)}); err == nil {
+	if _, _, err := Insert(tab, value.Row{value.NewInt(1)}, storage.FrozenXID, storage.NoPrevTID, e.disk); err == nil {
 		t.Fatal("arity mismatch must fail")
 	}
-	if _, _, err := Insert(tab, value.Row{value.NewString("x"), value.NewInt(1), value.NewString("n")}); err == nil {
+	if _, _, err := Insert(tab, value.Row{value.NewString("x"), value.NewInt(1), value.NewString("n")}, storage.FrozenXID, storage.NoPrevTID, e.disk); err == nil {
 		t.Fatal("type mismatch must fail")
 	}
 	// Int widens into float columns.
 	tab2, _ := e.cat.CreateTable("F", []catalog.Column{{Name: "X", Type: value.KindFloat}}, "")
-	if _, _, err := Insert(tab2, value.Row{value.NewInt(3)}); err != nil {
+	if _, _, err := Insert(tab2, value.Row{value.NewInt(3)}, storage.FrozenXID, storage.NoPrevTID, e.disk); err != nil {
 		t.Fatal(err)
 	}
 	rows := drainScan(t, &SegmentScan{Table: tab2, Pool: e.pool})
@@ -251,7 +252,7 @@ func TestInsertValidation(t *testing.T) {
 		t.Fatalf("widening failed: %v", rows[0])
 	}
 	// NULLs store into any column.
-	if _, _, err := Insert(tab2, value.Row{value.Null()}); err != nil {
+	if _, _, err := Insert(tab2, value.Row{value.Null()}, storage.FrozenXID, storage.NoPrevTID, e.disk); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -262,11 +263,11 @@ func TestUniqueIndexRejectsDuplicates(t *testing.T) {
 	if _, err := e.cat.CreateIndex("EMP_SAL", "EMP", []string{"SAL"}, true, false); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := Insert(tab, value.Row{value.NewInt(0), value.NewInt(5), value.NewString("dup")}); err == nil {
+	if _, _, err := Insert(tab, value.Row{value.NewInt(0), value.NewInt(5), value.NewString("dup")}, storage.FrozenXID, storage.NoPrevTID, e.disk); err == nil {
 		t.Fatal("unique violation must fail")
 	}
 	// A distinct key still inserts and maintains the index.
-	if _, _, err := Insert(tab, value.Row{value.NewInt(0), value.NewInt(999), value.NewString("new")}); err != nil {
+	if _, _, err := Insert(tab, value.Row{value.NewInt(0), value.NewInt(999), value.NewString("new")}, storage.FrozenXID, storage.NoPrevTID, e.disk); err != nil {
 		t.Fatal(err)
 	}
 	ix, _ := e.cat.Index("EMP_SAL")
@@ -275,44 +276,134 @@ func TestUniqueIndexRejectsDuplicates(t *testing.T) {
 	}
 }
 
-// TestRestoreUndoesDelete: Restore brings a deleted tuple back at its
-// original TID with its index entries, visible to both scan types again.
-func TestRestoreUndoesDelete(t *testing.T) {
+// TestClearDeletedUndoesMark: ClearDeleted brings a delete-marked version
+// back at its original TID, visible to both scan types again. MVCC deletes
+// leave index entries in place (visibility filters them out).
+func TestClearDeletedUndoesMark(t *testing.T) {
 	e := newEnv(t, 16)
 	tab := e.newEmp(t, 10)
 	if _, err := e.cat.CreateIndex("EMP_SAL", "EMP", []string{"SAL"}, true, false); err != nil {
 		t.Fatal(err)
 	}
 	ix, _ := e.cat.Index("EMP_SAL")
-	tid, row, err := Insert(tab, value.Row{value.NewInt(3), value.NewInt(500), value.NewString("victim")})
+	tid, _, err := Insert(tab, value.Row{value.NewInt(3), value.NewInt(500), value.NewString("victim")}, storage.FrozenXID, storage.NoPrevTID, e.disk)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := Delete(tab, tid, row, e.disk); err != nil {
+	const xid = 7
+	if err := MarkDeleted(tab, tid, xid, e.disk); err != nil {
 		t.Fatal(err)
 	}
-	if ix.Tree.Len() != 10 {
-		t.Fatalf("index has %d entries after delete, want 10", ix.Tree.Len())
-	}
-	if err := Restore(tab, tid, row, e.disk); err != nil {
-		t.Fatal(err)
-	}
-	if err := Restore(tab, tid, row, e.disk); err == nil {
-		t.Fatal("restore of a live tuple must fail")
-	}
+	// The index entry stays; scans skip the dead version.
 	if ix.Tree.Len() != 11 {
-		t.Fatalf("index has %d entries after restore, want 11", ix.Tree.Len())
+		t.Fatalf("index has %d entries after delete mark, want 11", ix.Tree.Len())
 	}
-	rec, rel, ok := e.disk.Page(tid.Page).Record(tid.Slot)
-	if !ok || rel != tab.ID {
-		t.Fatalf("restored tuple unreadable: ok=%v rel=%d", ok, rel)
+	if rows := drainScan(t, &IndexScan{Index: ix, Pool: e.pool}); len(rows) != 10 {
+		t.Fatalf("index scan sees %d rows after delete mark, want 10", len(rows))
 	}
-	got, err := storage.DecodeRow(rec)
-	if err != nil {
+	if err := MarkDeleted(tab, tid, xid, e.disk); err == nil {
+		t.Fatal("re-marking by the same txn must fail")
+	}
+	if err := MarkDeleted(tab, tid, 9, e.disk); !errors.Is(err, ErrWriteConflict) {
+		t.Fatalf("marking an already-deleted version = %v, want write conflict", err)
+	}
+	if err := ClearDeleted(tab, tid, xid, e.disk); err != nil {
 		t.Fatal(err)
+	}
+	if err := ClearDeleted(tab, tid, xid, e.disk); err == nil {
+		t.Fatal("clearing a live version must fail")
+	}
+	if rows := drainScan(t, &IndexScan{Index: ix, Pool: e.pool}); len(rows) != 11 {
+		t.Fatalf("index scan sees %d rows after clear, want 11", len(rows))
+	}
+	h, got, rel, ok, err := e.disk.Page(tid.Page).ReadVersioned(tid.Slot)
+	if err != nil || !ok || rel != tab.ID {
+		t.Fatalf("restored version unreadable: ok=%v rel=%d err=%v", ok, rel, err)
+	}
+	if h.Xmax != 0 {
+		t.Fatalf("xmax = %d after clear, want 0", h.Xmax)
 	}
 	if len(got) != 3 || got[1].Int != 500 || got[2].Str != "victim" {
 		t.Fatalf("restored row = %v", got)
+	}
+}
+
+// TestRemoveReclaimsVersion: Remove physically deletes a version and its
+// index entries — the undo path for an aborted insert, and vacuum's tool.
+func TestRemoveReclaimsVersion(t *testing.T) {
+	e := newEnv(t, 16)
+	tab := e.newEmp(t, 10)
+	if _, err := e.cat.CreateIndex("EMP_SAL", "EMP", []string{"SAL"}, true, false); err != nil {
+		t.Fatal(err)
+	}
+	ix, _ := e.cat.Index("EMP_SAL")
+	tid, row, err := Insert(tab, value.Row{value.NewInt(3), value.NewInt(500), value.NewString("victim")}, 7, storage.NoPrevTID, e.disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Remove(tab, tid, row, e.disk); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Tree.Len() != 10 {
+		t.Fatalf("index has %d entries after remove, want 10", ix.Tree.Len())
+	}
+	if _, _, _, ok, _ := e.disk.Page(tid.Page).ReadVersioned(tid.Slot); ok {
+		t.Fatal("removed version still readable")
+	}
+	if err := Remove(tab, tid, row, e.disk); err == nil {
+		t.Fatal("double remove must fail")
+	}
+}
+
+// TestVacuumTableReclaimsDeadVersions: versions whose deleter committed
+// before the horizon are physically reclaimed; live and recently-dead
+// versions survive.
+func TestVacuumTableReclaimsDeadVersions(t *testing.T) {
+	e := newEnv(t, 16)
+	tab := e.newEmp(t, 10)
+	if _, err := e.cat.CreateIndex("EMP_SAL", "EMP", []string{"SAL"}, true, false); err != nil {
+		t.Fatal(err)
+	}
+	ix, _ := e.cat.Index("EMP_SAL")
+
+	// Mark SAL=3 deleted by txn 5 (old) and SAL=4 deleted by txn 9 (recent).
+	scan := &SegmentScan{Table: tab, Pool: e.pool}
+	scan.Open()
+	for {
+		row, tid, ok, _ := scan.Next()
+		if !ok {
+			break
+		}
+		switch row[1].Int {
+		case 3:
+			if err := MarkDeleted(tab, tid, 5, e.disk); err != nil {
+				t.Fatal(err)
+			}
+		case 4:
+			if err := MarkDeleted(tab, tid, 9, e.disk); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	scan.Close()
+
+	var chains int
+	reclaimed, err := VacuumTable(tab, e.disk, 8, func(int) { chains++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reclaimed != 1 {
+		t.Fatalf("reclaimed %d versions, want 1 (only xmax=5 < horizon 8)", reclaimed)
+	}
+	if chains != 8 {
+		t.Fatalf("observed %d live chains, want 8", chains)
+	}
+	// The reclaimed version's index entry is gone; the recent one's remains.
+	if ix.Tree.Len() != 9 {
+		t.Fatalf("index has %d entries after vacuum, want 9", ix.Tree.Len())
+	}
+	if rows := drainScan(t, &SegmentScan{Table: tab, Pool: e.pool}); len(rows) != 8 {
+		t.Fatalf("scan sees %d rows, want 8", len(rows))
 	}
 }
 

@@ -39,7 +39,13 @@ type IOStats struct {
 	logicalReads atomic.Int64
 	rsiCalls     atomic.Int64
 	pagesWritten atomic.Int64
-	kids         atomic.Pointer[[]*IOStats]
+	// MVCC visibility accounting: versionsScanned counts every heap version a
+	// scan examined; versionsSkipped the subset the caller's snapshot could
+	// not see (dead or not-yet-visible versions — the per-statement price of
+	// multi-versioning).
+	versionsScanned atomic.Int64
+	versionsSkipped atomic.Int64
+	kids            atomic.Pointer[[]*IOStats]
 }
 
 // Attach adds a child accumulator whose counters aggregate into this one's
@@ -72,10 +78,12 @@ func (s *IOStats) Snapshot() IOStatsSnapshot {
 		return IOStatsSnapshot{}
 	}
 	snap := IOStatsSnapshot{
-		PageFetches:  s.pageFetches.Load(),
-		LogicalReads: s.logicalReads.Load(),
-		RSICalls:     s.rsiCalls.Load(),
-		PagesWritten: s.pagesWritten.Load(),
+		PageFetches:     s.pageFetches.Load(),
+		LogicalReads:    s.logicalReads.Load(),
+		RSICalls:        s.rsiCalls.Load(),
+		PagesWritten:    s.pagesWritten.Load(),
+		VersionsScanned: s.versionsScanned.Load(),
+		VersionsSkipped: s.versionsSkipped.Load(),
 	}
 	if kids := s.kids.Load(); kids != nil {
 		for _, k := range *kids {
@@ -84,6 +92,8 @@ func (s *IOStats) Snapshot() IOStatsSnapshot {
 			snap.LogicalReads += ks.LogicalReads
 			snap.RSICalls += ks.RSICalls
 			snap.PagesWritten += ks.PagesWritten
+			snap.VersionsScanned += ks.VersionsScanned
+			snap.VersionsSkipped += ks.VersionsSkipped
 		}
 	}
 	return snap
@@ -125,7 +135,21 @@ func (s *IOStats) Reset() {
 	s.logicalReads.Store(0)
 	s.rsiCalls.Store(0)
 	s.pagesWritten.Store(0)
+	s.versionsScanned.Store(0)
+	s.versionsSkipped.Store(0)
 	s.kids.Store(nil)
+}
+
+// AddVersionScanned records one heap version examined by a scan; skipped
+// additionally marks it invisible to the scanning snapshot.
+func (s *IOStats) AddVersionScanned(skipped bool) {
+	if s == nil {
+		return
+	}
+	s.versionsScanned.Add(1)
+	if skipped {
+		s.versionsSkipped.Add(1)
+	}
 }
 
 // AddRSICall records one tuple crossing the RSS interface.
@@ -155,19 +179,23 @@ func (s *IOStats) addWrite() {
 
 // IOStatsSnapshot is an immutable copy of IOStats.
 type IOStatsSnapshot struct {
-	PageFetches  int64
-	LogicalReads int64
-	RSICalls     int64
-	PagesWritten int64
+	PageFetches     int64
+	LogicalReads    int64
+	RSICalls        int64
+	PagesWritten    int64
+	VersionsScanned int64
+	VersionsSkipped int64
 }
 
 // Sub returns the per-statement delta between two snapshots.
 func (a IOStatsSnapshot) Sub(b IOStatsSnapshot) IOStatsSnapshot {
 	return IOStatsSnapshot{
-		PageFetches:  a.PageFetches - b.PageFetches,
-		LogicalReads: a.LogicalReads - b.LogicalReads,
-		RSICalls:     a.RSICalls - b.RSICalls,
-		PagesWritten: a.PagesWritten - b.PagesWritten,
+		PageFetches:     a.PageFetches - b.PageFetches,
+		LogicalReads:    a.LogicalReads - b.LogicalReads,
+		RSICalls:        a.RSICalls - b.RSICalls,
+		PagesWritten:    a.PagesWritten - b.PagesWritten,
+		VersionsScanned: a.VersionsScanned - b.VersionsScanned,
+		VersionsSkipped: a.VersionsSkipped - b.VersionsSkipped,
 	}
 }
 

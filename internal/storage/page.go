@@ -11,6 +11,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // PageSize is the size of every data page in bytes. The paper's System R used
@@ -59,8 +60,17 @@ func (t TID) Less(o TID) bool {
 //
 // A Page is a real byte image: rows are serialized into it and parsed back
 // out, so TCARD (pages per relation) emerges from actual record sizes.
+//
+// The page latch (mu) makes the MVCC concurrency contract explicit: the
+// mutators (Insert, Delete, Restore, SwapXmax) lock it internally, and
+// ReadVersioned/SlotCount read under the shared latch, so snapshot scans can
+// run against a page while a writer appends versions or flips delete marks
+// in place. The raw readers (Record, NumSlots, …) take no latch — they are
+// for callers that already exclude writers (table locks, the catalog lock,
+// single-threaded tests, private sort temp pages).
 type Page struct {
 	ID   PageID
+	mu   sync.RWMutex
 	Data [PageSize]byte
 }
 
@@ -106,6 +116,8 @@ const MaxRecordSize = PageSize - pageHeaderSize - slotSize
 
 // Insert appends a record belonging to rel and returns its slot number.
 func (p *Page) Insert(rel RelID, record []byte) (uint16, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if len(record) > MaxRecordSize {
 		return 0, ErrRecordTooLarge
 	}
@@ -126,8 +138,14 @@ func (p *Page) Insert(rel RelID, record []byte) (uint16, error) {
 }
 
 // Record returns the bytes and owning relation of slot i. ok is false when
-// the slot does not exist or has been deleted.
+// the slot does not exist or has been deleted. The returned slice aliases
+// the page image and no latch is taken: callers must exclude concurrent
+// writers (table lock, catalog lock) or use ReadVersioned.
 func (p *Page) Record(i uint16) (rec []byte, rel RelID, ok bool) {
+	return p.record(i)
+}
+
+func (p *Page) record(i uint16) (rec []byte, rel RelID, ok bool) {
 	if i >= p.NumSlots() {
 		return nil, 0, false
 	}
@@ -145,6 +163,8 @@ func (p *Page) Record(i uint16) (rec []byte, rel RelID, ok bool) {
 // model does not depend on in-page compaction and segment scans simply skip
 // deleted slots.
 func (p *Page) Delete(i uint16) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if i >= p.NumSlots() {
 		return false
 	}
@@ -163,6 +183,8 @@ func (p *Page) Delete(i uint16) bool {
 // reports false — without touching the page — when the slot does not exist,
 // is still live, or the record would overrun the slot's original footprint.
 func (p *Page) Restore(i uint16, rel RelID, record []byte) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if i >= p.NumSlots() {
 		return false
 	}
@@ -195,8 +217,10 @@ func (p *Page) Restore(i uint16, rel RelID, record []byte) bool {
 
 // HasRecordsFor reports whether any live slot on the page belongs to rel.
 func (p *Page) HasRecordsFor(rel RelID) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	for i := uint16(0); i < p.NumSlots(); i++ {
-		if _, r, ok := p.Record(i); ok && r == rel {
+		if _, r, ok := p.record(i); ok && r == rel {
 			return true
 		}
 	}
@@ -205,9 +229,11 @@ func (p *Page) HasRecordsFor(rel RelID) bool {
 
 // LiveRecords returns the number of live (non-deleted) slots.
 func (p *Page) LiveRecords() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	n := 0
 	for i := uint16(0); i < p.NumSlots(); i++ {
-		if _, _, ok := p.Record(i); ok {
+		if _, _, ok := p.record(i); ok {
 			n++
 		}
 	}

@@ -73,6 +73,16 @@ func (io StmtIO) AddRSICall() {
 	io.stmt.AddRSICall()
 }
 
+// AddVersionScanned records one heap version examined (skipped = invisible
+// to the scanning snapshot) on both ledgers.
+func (io StmtIO) AddVersionScanned(skipped bool) {
+	if io.pool == nil {
+		return
+	}
+	io.pool.stats.AddVersionScanned(skipped)
+	io.stmt.AddVersionScanned(skipped)
+}
+
 // FetchCount returns the statement-local page-fetch counter — the number the
 // executor deltas around operator calls. Falls back to the global counter
 // only when the view carries no statement accumulator (single-statement

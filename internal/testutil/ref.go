@@ -106,7 +106,14 @@ func loadTable(disk *storage.Disk, r *sem.RelRef) ([]value.Row, error) {
 			if !ok || rel != r.Table.ID {
 				continue
 			}
-			row, err := storage.DecodeRow(rec)
+			h, body, err := storage.ParseVersionHeader(rec)
+			if err != nil {
+				return nil, err
+			}
+			if h.Xmax != 0 {
+				continue // dead version awaiting vacuum
+			}
+			row, err := storage.DecodeRow(body)
 			if err != nil {
 				return nil, err
 			}

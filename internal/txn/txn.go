@@ -6,10 +6,12 @@
 // Every mutation flows through Txn.Insert / Txn.Delete, which append the
 // inverse operation to the undo log around the segment mutation (the txnundo
 // sysrcheck analyzer enforces that no other write path exists in the
-// engine). Undo is logical but lands physically byte-exact: pages never
-// compact or reuse heap space, so undoing a delete restores the tuple at its
-// original TID and offset, and the post-rollback state is byte-identical to
-// the pre-statement dump — the crash-consistency harness asserts exactly
+// engine). Under MVCC the forward operations are versioned — Insert stores a
+// new version stamped with the transaction's XID, Delete stamps the XID as
+// the version's deleter in place — and undo is their exact physical inverse:
+// removing the fresh version, or clearing the delete mark. Pages never
+// compact or reuse heap space, so the post-rollback state is byte-identical
+// to the pre-statement dump — the crash-consistency harness asserts exactly
 // that.
 //
 // A Txn is a state machine: Active until Commit/Rollback (→ Finished) or
@@ -73,12 +75,18 @@ func FailNth(n int64) FaultFunc {
 	}
 }
 
+// ErrWriteConflict is rss.ErrWriteConflict re-exported: a statement tried to
+// delete or update a tuple version that a concurrent, already-committed
+// transaction deleted first (first-updater-wins). The engine aborts the
+// whole transaction; like a deadlock, the transaction is safe to retry.
+var ErrWriteConflict = rss.ErrWriteConflict
+
 // op is an undo record's operation.
 type op uint8
 
 const (
-	opInsert op = iota // forward insert; undo deletes at TID
-	opDelete           // forward delete; undo restores at TID
+	opInsert op = iota // forward insert; undo removes the version at TID
+	opMark             // forward delete mark; undo clears the mark at TID
 )
 
 // undoRec is one logged inverse: enough to exactly revert a single RSI
@@ -98,15 +106,40 @@ type Txn struct {
 	Locks *lock.Txn
 
 	disk  *storage.Disk
+	reg   *Reg
 	state State
 	undo  []undoRec
 	muts  int64 // logged mutations so far (fault-hook ordinal)
 	fault FaultFunc
 }
 
-// New creates an Active transaction owning locks through lt.
-func New(lt *lock.Txn, disk *storage.Disk) *Txn {
-	return &Txn{Locks: lt, disk: disk}
+// New creates an Active transaction owning locks through lt, stamping its
+// versions with (and reading under the snapshot of) the registration reg.
+// A nil reg yields XID 0 (FrozenXID) and a nil snapshot — bootstrap and
+// storage-level tests only.
+func New(lt *lock.Txn, disk *storage.Disk, reg *Reg) *Txn {
+	return &Txn{Locks: lt, disk: disk, reg: reg}
+}
+
+// Reg returns the transaction's registry registration (nil for bootstrap
+// transactions).
+func (t *Txn) Reg() *Reg { return t.reg }
+
+// XID returns the transaction's ID (FrozenXID when unregistered).
+func (t *Txn) XID() storage.XID {
+	if t.reg == nil {
+		return storage.FrozenXID
+	}
+	return t.reg.ID
+}
+
+// Snapshot returns the MVCC snapshot the transaction reads under (nil —
+// "latest committed" — when unregistered).
+func (t *Txn) Snapshot() *storage.Snapshot {
+	if t.reg == nil {
+		return nil
+	}
+	return t.reg.Snap
 }
 
 // SetFault installs the mutation fault hook (nil removes it).
@@ -135,15 +168,17 @@ func (t *Txn) tick() error {
 	return t.fault(t.muts)
 }
 
-// Insert stores a row through the RSI and logs its inverse. The log entry is
-// appended after the store: rss.Insert either completes fully or mutates
-// nothing (validation and unique checks precede the segment write), so there
-// is no half-applied state to log for.
-func (t *Txn) Insert(tab *catalog.Table, row value.Row) (storage.TID, error) {
+// Insert stores a row through the RSI as a new version created by this
+// transaction and logs its inverse. prev links the version this one
+// supersedes (the delete half of an UPDATE) or storage.NoPrevTID for a plain
+// INSERT. The log entry is appended after the store: rss.Insert either
+// completes fully or mutates nothing (validation and unique checks precede
+// the segment write), so there is no half-applied state to log for.
+func (t *Txn) Insert(tab *catalog.Table, row value.Row, prev storage.TID) (storage.TID, error) {
 	if err := t.tick(); err != nil {
 		return storage.TID{}, err
 	}
-	tid, stored, err := rss.Insert(tab, row)
+	tid, stored, err := rss.Insert(tab, row, t.XID(), prev, t.disk)
 	if err != nil {
 		return storage.TID{}, err
 	}
@@ -151,15 +186,17 @@ func (t *Txn) Insert(tab *catalog.Table, row value.Row) (storage.TID, error) {
 	return tid, nil
 }
 
-// Delete removes the tuple at tid (stored image row) through the RSI and
-// logs its inverse. The log entry is appended before the mutation and popped
-// if the delete reports the tuple already gone (nothing mutated).
+// Delete stamps this transaction as the deleter of the version at tid
+// (stored image row) through the RSI and logs its inverse. The log entry is
+// appended before the mutation and popped if the mark fails (nothing
+// mutated) — including with rss.ErrWriteConflict when another transaction
+// got there first.
 func (t *Txn) Delete(tab *catalog.Table, tid storage.TID, row value.Row) error {
 	if err := t.tick(); err != nil {
 		return err
 	}
-	t.undo = append(t.undo, undoRec{op: opDelete, table: tab, tid: tid, row: row})
-	if err := rss.Delete(tab, tid, row, t.disk); err != nil {
+	t.undo = append(t.undo, undoRec{op: opMark, table: tab, tid: tid, row: row})
+	if err := rss.MarkDeleted(tab, tid, t.XID(), t.disk); err != nil {
 		t.undo = t.undo[:len(t.undo)-1]
 		return err
 	}
@@ -167,11 +204,12 @@ func (t *Txn) Delete(tab *catalog.Table, tid storage.TID, row value.Row) error {
 }
 
 // UndoTo reverts every mutation logged after mark, newest first, and
-// truncates the log. Undo of an insert deletes the fresh tuple (leaving a
-// dead slot dumps ignore); undo of a delete restores the tuple byte-exactly
-// at its original TID. Errors are collected but do not stop the unwind —
-// every remaining record is still attempted — and the log is truncated
-// regardless, so a second UndoTo cannot double-apply.
+// truncates the log. Undo of an insert physically removes the fresh version
+// (leaving a dead slot dumps ignore); undo of a delete clears the mark in
+// place, resurrecting the version byte-exactly at its original TID. Errors
+// are collected but do not stop the unwind — every remaining record is still
+// attempted — and the log is truncated regardless, so a second UndoTo cannot
+// double-apply.
 func (t *Txn) UndoTo(mark int) error {
 	var errs []error
 	for i := len(t.undo) - 1; i >= mark; i-- {
@@ -179,9 +217,9 @@ func (t *Txn) UndoTo(mark int) error {
 		var err error
 		switch r.op {
 		case opInsert:
-			err = rss.Delete(r.table, r.tid, r.row, t.disk)
-		case opDelete:
-			err = rss.Restore(r.table, r.tid, r.row, t.disk)
+			err = rss.Remove(r.table, r.tid, r.row, t.disk)
+		case opMark:
+			err = rss.ClearDeleted(r.table, r.tid, t.XID(), t.disk)
 		}
 		if err != nil {
 			errs = append(errs, fmt.Errorf("txn: undo of %s %v: %w", r.table.Name, r.tid, err))

@@ -14,6 +14,7 @@ type env struct {
 	disk *storage.Disk
 	cat  *catalog.Catalog
 	mgr  *lock.Manager
+	reg  *Registry
 }
 
 func newEnv(t *testing.T) (*env, *catalog.Table) {
@@ -30,10 +31,10 @@ func newEnv(t *testing.T) (*env, *catalog.Table) {
 	if _, err := cat.CreateIndex("T_K", "T", []string{"K"}, true, false); err != nil {
 		t.Fatal(err)
 	}
-	return &env{disk: disk, cat: cat, mgr: lock.NewManager()}, tab
+	return &env{disk: disk, cat: cat, mgr: lock.NewManager(), reg: NewRegistry()}, tab
 }
 
-func (e *env) begin() *Txn { return New(e.mgr.Begin(), e.disk) }
+func (e *env) begin() *Txn { return New(e.mgr.Begin(), e.disk, e.reg.Begin()) }
 
 func row(k int64, v string) value.Row {
 	return value.Row{value.NewInt(k), value.NewString(v)}
@@ -46,13 +47,12 @@ func dump(t *testing.T, e *env, tab *catalog.Table) []value.Row {
 	for _, pid := range tab.Segment.Pages() {
 		p := e.disk.Page(pid)
 		for s := uint16(0); s < p.NumSlots(); s++ {
-			rec, rel, ok := p.Record(s)
-			if !ok || rel != tab.ID {
-				continue
-			}
-			r, err := storage.DecodeRow(rec)
+			h, r, rel, ok, err := p.ReadVersioned(s)
 			if err != nil {
 				t.Fatal(err)
+			}
+			if !ok || rel != tab.ID || h.Xmax != 0 {
+				continue
 			}
 			out = append(out, r)
 		}
@@ -63,14 +63,14 @@ func dump(t *testing.T, e *env, tab *catalog.Table) []value.Row {
 func TestUndoToMarkRevertsStatement(t *testing.T) {
 	e, tab := newEnv(t)
 	tx := e.begin()
-	if _, err := tx.Insert(tab, row(1, "keep")); err != nil {
+	if _, err := tx.Insert(tab, row(1, "keep"), storage.NoPrevTID); err != nil {
 		t.Fatal(err)
 	}
 	before := dump(t, e, tab)
 	mark := tx.Mark()
 
 	// A failing "statement": one insert, one delete, then abort.
-	tid2, err := tx.Insert(tab, row(2, "doomed"))
+	tid2, err := tx.Insert(tab, row(2, "doomed"), storage.NoPrevTID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,10 +88,10 @@ func TestUndoToMarkRevertsStatement(t *testing.T) {
 	}
 	// The unique index must be consistent again: re-inserting key 1 fails,
 	// key 2 succeeds.
-	if _, err := tx.Insert(tab, row(1, "dup")); err == nil {
+	if _, err := tx.Insert(tab, row(1, "dup"), storage.NoPrevTID); err == nil {
 		t.Fatal("unique key restored by undo must reject duplicates")
 	}
-	if _, err := tx.Insert(tab, row(2, "fresh")); err != nil {
+	if _, err := tx.Insert(tab, row(2, "fresh"), storage.NoPrevTID); err != nil {
 		t.Fatalf("key 2 should be free again after undo: %v", err)
 	}
 }
@@ -114,7 +114,7 @@ func TestUndoAllEmptiesLog(t *testing.T) {
 	e, tab := newEnv(t)
 	tx := e.begin()
 	for i := int64(0); i < 5; i++ {
-		if _, err := tx.Insert(tab, row(i, "x")); err != nil {
+		if _, err := tx.Insert(tab, row(i, "x"), storage.NoPrevTID); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -133,17 +133,17 @@ func TestUndoAllEmptiesLog(t *testing.T) {
 func TestFaultHookFailsBeforeMutating(t *testing.T) {
 	e, tab := newEnv(t)
 	tx := e.begin()
-	if _, err := tx.Insert(tab, row(1, "a")); err != nil {
+	if _, err := tx.Insert(tab, row(1, "a"), storage.NoPrevTID); err != nil {
 		t.Fatal(err)
 	}
 	tx.SetFault(FailNth(2))
-	_, err := tx.Insert(tab, row(2, "b"))
+	_, err := tx.Insert(tab, row(2, "b"), storage.NoPrevTID)
 	if !errors.Is(err, storage.ErrInjectedFault) {
 		t.Fatalf("err = %v, want ErrInjectedFault", err)
 	}
 	// The failed mutation must not have touched the table: key 2 is free.
 	tx.SetFault(nil)
-	if _, err := tx.Insert(tab, row(2, "b")); err != nil {
+	if _, err := tx.Insert(tab, row(2, "b"), storage.NoPrevTID); err != nil {
 		t.Fatalf("faulted mutation left state behind: %v", err)
 	}
 	if got := len(dump(t, e, tab)); got != 2 {

@@ -44,6 +44,12 @@ type dbMetrics struct {
 	lockTimeouts   *metrics.Counter
 	execBatchRows  *metrics.Histogram
 	parallelDegree *metrics.Histogram
+
+	// MVCC.
+	writeConflicts  *metrics.Counter
+	vacuumRuns      *metrics.Counter
+	vacuumReclaimed *metrics.Counter
+	versionChainLen *metrics.Histogram
 }
 
 // newDBMetrics registers the engine's instruments and the scrape-time
@@ -91,6 +97,15 @@ func newDBMetrics(db *DB) *dbMetrics {
 		parallelDegree: reg.NewHistogram("systemr_parallel_workers",
 			"Worker count of each parallel exchange opened",
 			[]float64{1, 2, 4, 8, 16}),
+		writeConflicts: reg.NewCounter("systemr_write_conflicts_total",
+			"Transactions aborted by first-updater-wins write conflicts"),
+		vacuumRuns: reg.NewCounter("systemr_vacuum_runs_total",
+			"Vacuum passes executed (automatic and DB.Vacuum)"),
+		vacuumReclaimed: reg.NewCounter("systemr_vacuum_reclaimed_total",
+			"Dead row versions physically reclaimed by vacuum"),
+		versionChainLen: reg.NewHistogram("systemr_version_chain_length",
+			"Version-chain length behind each live row version, observed at vacuum",
+			[]float64{1, 2, 4, 8, 16, 32, 64}),
 	}
 
 	// Collect-on-scrape gauges from live engine state.
@@ -108,6 +123,10 @@ func newDBMetrics(db *DB) *dbMetrics {
 		"Buffer pool capacity in pages")
 	rsiCalls := reg.NewGauge("systemr_rsi_calls",
 		"Tuples returned across the RSS interface (DB-global)")
+	versionsScanned := reg.NewGauge("systemr_versions_scanned",
+		"Heap row versions examined by scans (DB-global)")
+	versionsSkipped := reg.NewGauge("systemr_versions_skipped",
+		"Heap row versions skipped as invisible to the scanning snapshot (DB-global)")
 	cacheHits := reg.NewGauge("systemr_plan_cache_hits",
 		"Plan-cache hits (statements that skipped compilation)")
 	cacheMisses := reg.NewGauge("systemr_plan_cache_misses",
@@ -146,6 +165,8 @@ func newDBMetrics(db *DB) *dbMetrics {
 		bufEvictions.Set(float64(db.pool.Evictions()))
 		bufCapacity.Set(float64(db.pool.Capacity()))
 		rsiCalls.Set(float64(io.RSICalls))
+		versionsScanned.Set(float64(io.VersionsScanned))
+		versionsSkipped.Set(float64(io.VersionsSkipped))
 		cs := db.PlanCacheStats()
 		cacheHits.Set(float64(cs.Hits))
 		cacheMisses.Set(float64(cs.Misses))
@@ -197,6 +218,9 @@ func (db *DB) observeStatement(start time.Time, err error) {
 	}
 	if errors.Is(err, lock.ErrLockTimeout) {
 		m.lockTimeouts.Inc()
+	}
+	if errors.Is(err, rss.ErrWriteConflict) {
+		m.writeConflicts.Inc()
 	}
 }
 

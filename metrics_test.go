@@ -106,8 +106,9 @@ func TestMetricsGovernorAborts(t *testing.T) {
 	}
 }
 
-// TestMetricsLockWaitObserved forces a reader to wait behind a writer and
-// checks the lock-wait histogram records the blocked acquisition.
+// TestMetricsLockWaitObserved forces a writer to wait behind another writer
+// and checks the lock-wait histogram records the blocked acquisition.
+// (Snapshot readers take no table locks, so only writers can wait.)
 func TestMetricsLockWaitObserved(t *testing.T) {
 	db := systemr.Open(systemr.Config{})
 	db.MustExec("CREATE TABLE T (A INTEGER)")
@@ -118,13 +119,13 @@ func TestMetricsLockWaitObserved(t *testing.T) {
 	}
 	done := make(chan error, 1)
 	go func() {
-		_, err := db.Exec("SELECT A FROM T")
+		_, err := db.Exec("UPDATE T SET A = 2 WHERE A = 1")
 		done <- err
 	}()
 	time.Sleep(20 * time.Millisecond)
 	held.Release()
 	if err := <-done; err != nil {
-		t.Fatalf("blocked SELECT: %v", err)
+		t.Fatalf("blocked UPDATE: %v", err)
 	}
 	m := sampleMap(db)
 	if got := m["systemr_lock_wait_seconds"].Count; got < 1 {

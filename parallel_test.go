@@ -24,7 +24,9 @@ import (
 // workers per eligible segment scan.
 func parallelDB(t *testing.T) *systemr.DB {
 	t.Helper()
-	db := systemr.Open(systemr.Config{BufferPages: 4096, DegreeOfParallelism: 8})
+	// ParallelMinPages: 1 — the fixture tables are small; the tests exercise
+	// exchange mechanics, not the size threshold (covered in config_test).
+	db := systemr.Open(systemr.Config{BufferPages: 4096, DegreeOfParallelism: 8, ParallelMinPages: 1})
 	for _, tbl := range []string{"T1", "T2"} {
 		db.MustExec(fmt.Sprintf("CREATE TABLE %s (A INTEGER, B INTEGER)", tbl))
 		db.MustExec(fmt.Sprintf("CREATE INDEX %s_A ON %s (A)", tbl, tbl))
@@ -159,5 +161,63 @@ func TestParallelRowsCloseMidStream(t *testing.T) {
 			t.Fatalf("goroutine leak: %d goroutines alive, baseline %d", runtime.NumGoroutine(), baseline)
 		}
 		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestParallelMinPagesThreshold validates the Config.ParallelMinPages knob:
+// an exchange is planted only over segment scans of relations at least that
+// many pages long, so small tables never pay worker startup and batch
+// hand-off for a scan a single goroutine finishes faster. Zero means the
+// default threshold; negative disables the floor entirely.
+func TestParallelMinPagesThreshold(t *testing.T) {
+	small := func(db *systemr.DB) {
+		db.MustExec("CREATE TABLE S (A INTEGER, B INTEGER)")
+		db.MustExec("INSERT INTO S VALUES (1, 1), (2, 2), (3, 3)")
+		db.MustExec("UPDATE STATISTICS")
+	}
+	planFor := func(db *systemr.DB, q string) string {
+		t.Helper()
+		pl, err := db.Explain(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pl
+	}
+
+	// Default threshold: a table of a few rows stays serial...
+	db := systemr.Open(systemr.Config{DegreeOfParallelism: 8})
+	small(db)
+	if pl := planFor(db, "SELECT A FROM S WHERE B < 2"); strings.Contains(pl, "PARALLEL") {
+		t.Fatalf("tiny table parallelized under the default threshold:\n%s", pl)
+	}
+	// ...while a table comfortably above the threshold parallelizes.
+	db.MustExec("CREATE TABLE BIG (A INTEGER, B INTEGER)")
+	for i := 0; i < 2000; i += 100 {
+		stmt := "INSERT INTO BIG VALUES "
+		for j := i; j < i+100; j++ {
+			if j > i {
+				stmt += ", "
+			}
+			stmt += fmt.Sprintf("(%d, %d)", j, (j*13)%100)
+		}
+		db.MustExec(stmt)
+	}
+	db.MustExec("UPDATE STATISTICS")
+	if pl := planFor(db, "SELECT A FROM BIG WHERE B < 50"); !strings.Contains(pl, "PARALLEL degree=8") {
+		t.Fatalf("large table did not parallelize under the default threshold:\n%s", pl)
+	}
+
+	// An explicit floor of one page admits the tiny table.
+	db1 := systemr.Open(systemr.Config{DegreeOfParallelism: 8, ParallelMinPages: 1})
+	small(db1)
+	if pl := planFor(db1, "SELECT A FROM S WHERE B < 2"); !strings.Contains(pl, "PARALLEL degree=8") {
+		t.Fatalf("ParallelMinPages=1 did not admit a one-page table:\n%s", pl)
+	}
+
+	// Negative disables the floor.
+	dbNeg := systemr.Open(systemr.Config{DegreeOfParallelism: 8, ParallelMinPages: -1})
+	small(dbNeg)
+	if pl := planFor(dbNeg, "SELECT A FROM S WHERE B < 2"); !strings.Contains(pl, "PARALLEL degree=8") {
+		t.Fatalf("ParallelMinPages<0 did not disable the floor:\n%s", pl)
 	}
 }

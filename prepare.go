@@ -24,6 +24,7 @@ import (
 	"systemr/internal/governor"
 	"systemr/internal/lock"
 	"systemr/internal/sql"
+	"systemr/internal/txn"
 	"systemr/internal/value"
 )
 
@@ -52,7 +53,7 @@ func (db *DB) Prepare(text string) (*Stmt, error) {
 		return nil, fmt.Errorf("systemr: Prepare supports SELECT statements, got %T", parsed)
 	}
 	norm, _ := sql.Normalize(text)
-	held := db.locks.Acquire(compile.LockRequests(parsed))
+	held := db.locks.Acquire(compile.LockRequests(parsed, !db.cfg.DisableSnapshotReads))
 	defer held.Release()
 	cp, _, err := db.resolveSelect(nil, norm, "", sel)
 	if err != nil {
@@ -123,12 +124,16 @@ func (s *Stmt) RunContext(ctx context.Context, args ...any) (res *Result, err er
 		return nil, lockErr(err)
 	}
 	defer held.Release()
+	// Register the run as a reader: it captures a statement snapshot and
+	// pins the vacuum horizon for its duration.
+	reg := s.db.txns.Begin()
+	defer s.db.txns.Finish(reg)
 	gov := s.db.newGovernor(ctx)
 	cp, err := s.planFor(gov, vals)
 	if err != nil {
 		return nil, err
 	}
-	rows, stats, err := exec.RunQueryArgs(s.db.runtime(gov), cp.Query, vals)
+	rows, stats, err := exec.RunQueryArgs(s.db.runtime(gov, reg.Snap), cp.Query, vals)
 	es := execStatsFrom(stats)
 	s.db.setLast(es)
 	if err != nil {
@@ -188,6 +193,7 @@ type Rows struct {
 	cols   []string
 	cursor *exec.Cursor
 	held   *lock.Held
+	reg    *txn.Reg
 	closed bool
 }
 
@@ -213,14 +219,20 @@ func (s *Stmt) OpenContext(ctx context.Context, args ...any) (*Rows, error) {
 	if err != nil {
 		return nil, lockErr(err)
 	}
+	// The cursor reads under one snapshot, captured here and held — with
+	// the vacuum horizon it pins — until Close: rows committed (or
+	// vacuumed) while the cursor is open are invisible to it.
+	reg := s.db.txns.Begin()
 	gov := s.db.newGovernor(ctx)
 	cp, err := s.planFor(gov, vals)
 	if err != nil {
+		s.db.txns.Finish(reg)
 		held.Release()
 		return nil, err
 	}
-	cur, err := exec.OpenQueryArgs(s.db.runtime(gov), cp.Query, vals)
+	cur, err := exec.OpenQueryArgs(s.db.runtime(gov, reg.Snap), cp.Query, vals)
 	if err != nil {
+		s.db.txns.Finish(reg)
 		held.Release()
 		return nil, wrapGovErr(err, ExecStats{})
 	}
@@ -228,7 +240,7 @@ func (s *Stmt) OpenContext(ctx context.Context, args ...any) (*Rows, error) {
 	if cols == nil {
 		cols = []string{}
 	}
-	return &Rows{db: s.db, cols: cols, cursor: cur, held: held}, nil
+	return &Rows{db: s.db, cols: cols, cursor: cur, held: held, reg: reg}, nil
 }
 
 // Columns returns the output column names.
@@ -262,6 +274,7 @@ func (r *Rows) Close() error {
 	if st := r.cursor.Stats(); st != nil {
 		r.db.setLast(execStatsFrom(st))
 	}
+	r.db.txns.Finish(r.reg)
 	r.held.Release()
 	return err
 }

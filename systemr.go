@@ -41,6 +41,7 @@ import (
 	"systemr/internal/governor"
 	"systemr/internal/lock"
 	"systemr/internal/plan"
+	"systemr/internal/rss"
 	"systemr/internal/sem"
 	"systemr/internal/sql"
 	"systemr/internal/storage"
@@ -82,6 +83,23 @@ type Config struct {
 	// many worker goroutines via a Parallel exchange operator planted at
 	// compile time (so it salts the plan-cache key). 0 or 1 means serial.
 	DegreeOfParallelism int
+	// ParallelMinPages is the smallest relation (in segment pages) worth a
+	// Parallel exchange: scans of smaller relations stay serial even when
+	// DegreeOfParallelism > 1, because worker startup and row hand-off cost
+	// more than they save on a handful of pages. 0 means the default (8);
+	// negative means no threshold (every eligible scan parallelizes).
+	ParallelMinPages int
+
+	// DisableSnapshotReads turns MVCC snapshot reads off: SELECTs take
+	// shared table locks again (pure strict 2PL, the pre-MVCC engine) and
+	// block behind writers. Reads are still version-aware — they see the
+	// latest committed versions — so the switch only changes concurrency,
+	// not results. Benchmark baseline and escape hatch.
+	DisableSnapshotReads bool
+	// VacuumEvery triggers automatic version garbage collection after that
+	// many committed writing transactions (0 = default 512; negative
+	// disables). Vacuum also runs on demand via DB.Vacuum.
+	VacuumEvery int
 
 	// PlanCacheSize bounds the shared compiled-plan cache in entries: a
 	// repeated SELECT (same normalized text, same host-variable types,
@@ -135,11 +153,25 @@ type DB struct {
 
 	mutFault   atomic.Value // txn.FaultFunc consulted by every new transaction
 	activeTxns atomic.Int64 // explicit transactions currently Active
+
+	txns *txn.Registry // XID allocation, snapshots, vacuum horizon
+
+	commits   atomic.Int64 // committed writing txns since the last auto-vacuum
+	vacuuming atomic.Bool  // serializes vacuum passes (auto and manual)
 }
 
 // DefaultPlanCacheSize is the plan cache's entry bound when
 // Config.PlanCacheSize is zero.
 const DefaultPlanCacheSize = 256
+
+// DefaultParallelMinPages is the parallel-scan page threshold when
+// Config.ParallelMinPages is zero: a few multiples of the executor's batch
+// size in pages, below which exchange overhead dominates.
+const DefaultParallelMinPages = 8
+
+// DefaultVacuumEvery is the auto-vacuum commit interval when
+// Config.VacuumEvery is zero.
+const DefaultVacuumEvery = 512
 
 // Result is the outcome of a statement.
 type Result struct {
@@ -187,6 +219,12 @@ func Open(cfg Config) *DB {
 	stats := &storage.IOStats{}
 	cat := catalog.New(disk)
 	cat.BTreeOrder = cfg.BTreeOrder
+	if cfg.ParallelMinPages == 0 {
+		cfg.ParallelMinPages = DefaultParallelMinPages
+	}
+	if cfg.VacuumEvery == 0 {
+		cfg.VacuumEvery = DefaultVacuumEvery
+	}
 	db := &DB{
 		cfg:   cfg,
 		disk:  disk,
@@ -194,11 +232,12 @@ func Open(cfg Config) *DB {
 		pool:  storage.NewBufferPool(disk, cfg.BufferPages, stats),
 		cat:   cat,
 		locks: lock.NewManager(),
+		txns:  txn.NewRegistry(),
 	}
 	if cfg.LockTimeout > 0 {
 		db.locks.SetLockTimeout(cfg.LockTimeout)
 	}
-	db.compiler = compile.NewPipeline(cat, db.OptimizerConfig(), cfg.Naive)
+	db.compiler = compile.NewPipeline(cat, db.OptimizerConfig(), cfg.Naive, !cfg.DisableSnapshotReads)
 	if cfg.PlanCacheSize >= 0 {
 		size := cfg.PlanCacheSize
 		if size == 0 {
@@ -281,18 +320,51 @@ func (db *DB) execText(ctx context.Context, cur *txn.Txn, text string) (res *Res
 		cur = db.beginTxn()
 		defer db.finishAuto(cur)
 	}
-	if err := cur.Locks.AcquireContext(ctx, compile.LockRequests(stmt)); err != nil {
+	if err := cur.Locks.AcquireContext(ctx, compile.LockRequests(stmt, !db.cfg.DisableSnapshotReads)); err != nil {
 		return nil, db.lockFailed(cur, explicit, err)
+	}
+	if !explicit {
+		// The statement snapshot is (re)captured after its locks are granted:
+		// a writer that waited behind a committing transaction must read the
+		// post-commit state, not conflict with it. Explicit transactions keep
+		// their BEGIN-time snapshot (repeatable reads) — there the conflict
+		// is the correct first-updater-wins outcome.
+		db.txns.Refresh(cur.Reg())
 	}
 	mark := cur.Mark()
 	res, err = db.execStmt(ctx, cur, norm, stmt)
 	if err != nil {
+		if errors.Is(err, txn.ErrWriteConflict) {
+			return nil, db.writeConflict(cur, explicit, err)
+		}
 		if uerr := cur.UndoTo(mark); uerr != nil {
 			err = errors.Join(err, uerr)
 		}
 		return nil, err
 	}
 	return res, nil
+}
+
+// writeConflict handles a first-updater-wins conflict: the statement's
+// snapshot is stale against a concurrently committed writer, so no statement
+// of this transaction can proceed on it — the whole transaction rolls back,
+// like a deadlock victim, and the caller retries from BEGIN. An explicit
+// transaction is left Aborted until the session acknowledges with ROLLBACK;
+// an autocommitted statement's deferred cleanup releases the rest.
+func (db *DB) writeConflict(cur *txn.Txn, explicit bool, err error) error {
+	if uerr := cur.UndoAll(); uerr != nil {
+		err = errors.Join(err, uerr)
+	}
+	if explicit {
+		cur.MarkAborted()
+		db.txns.Finish(cur.Reg())
+		cur.Locks.ReleaseAll()
+		db.activeTxns.Add(-1)
+		if m := db.metrics; m != nil {
+			m.txnRollbacks.Inc()
+		}
+	}
+	return &StatementError{Err: err}
 }
 
 // execCachedSelect is the plan-cache fast path. The peeked entry supplies
@@ -309,6 +381,9 @@ func (db *DB) execCachedSelect(ctx context.Context, cur *txn.Txn, norm string, e
 	if lerr := cur.Locks.AcquireContext(ctx, e.Locks); lerr != nil {
 		return nil, db.lockFailed(cur, explicit, lerr)
 	}
+	if !explicit {
+		db.txns.Refresh(cur.Reg()) // statement snapshot: see execText
+	}
 	gov := db.newGovernor(ctx)
 	defer func() {
 		if r := recover(); r != nil {
@@ -319,15 +394,18 @@ func (db *DB) execCachedSelect(ctx context.Context, cur *txn.Txn, norm string, e
 	if err != nil {
 		return nil, err
 	}
-	return db.runSelect(gov, cp)
+	return db.runSelect(gov, cur, cp)
 }
 
 // beginTxn creates a transaction over the engine's lock manager and disk,
-// carrying the installed mutation fault hook. Used both for explicit
-// transactions (Begin) and the ephemeral transaction backing each
-// autocommitted statement.
+// registered with the XID/snapshot registry and carrying the installed
+// mutation fault hook. Used both for explicit transactions (Begin) and the
+// ephemeral transaction backing each autocommitted statement — so an
+// explicit transaction reads under one snapshot for its whole life
+// (repeatable reads) while autocommit captures a fresh snapshot per
+// statement.
 func (db *DB) beginTxn() *txn.Txn {
-	t := txn.New(db.locks.Begin(), db.disk)
+	t := txn.New(db.locks.Begin(), db.disk, db.txns.Begin())
 	if f, ok := db.mutFault.Load().(txn.FaultFunc); ok && f != nil {
 		t.SetFault(f)
 	}
@@ -336,10 +414,16 @@ func (db *DB) beginTxn() *txn.Txn {
 
 // finishAuto ends an autocommitted statement's ephemeral transaction: any
 // failed statement already undid its mutations, so all that remains is to
-// release the statement's locks.
+// deregister its snapshot — before lock release, so the registry's commit
+// point stays inside the statement's exclusive-lock window — release the
+// statement's locks, and account a writing commit toward auto-vacuum.
 func (db *DB) finishAuto(t *txn.Txn) {
 	t.Finish()
+	db.txns.Finish(t.Reg())
 	t.Locks.ReleaseAll()
+	if t.Mutations() > 0 {
+		db.noteCommit()
+	}
 }
 
 // lockFailed handles a failed lock acquisition. A deadlock-victim or
@@ -354,6 +438,7 @@ func (db *DB) lockFailed(cur *txn.Txn, explicit bool, err error) error {
 			err = errors.Join(err, uerr)
 		}
 		cur.MarkAborted()
+		db.txns.Finish(cur.Reg())
 		cur.Locks.ReleaseAll()
 		db.activeTxns.Add(-1)
 		if m := db.metrics; m != nil {
@@ -515,18 +600,20 @@ func (db *DB) Pool() *storage.BufferPool { return db.pool }
 func (db *DB) Locks() *lock.Manager { return db.locks }
 
 // Runtime returns an ungoverned executor runtime bound to this database,
-// carrying its own fresh statement accumulator (single-statement tooling:
-// experiment drivers and tests).
-func (db *DB) Runtime() *exec.Runtime { return db.runtime(nil) }
+// carrying its own fresh statement accumulator and no snapshot — it reads
+// the latest committed versions (single-statement tooling: experiment
+// drivers and tests).
+func (db *DB) Runtime() *exec.Runtime { return db.runtime(nil, nil) }
 
-// runtime binds an executor runtime with the statement's governor budget and
-// the statement's own I/O accumulator, so every page access and RSI call of
-// the statement is measured on its own ledger — exact under concurrency —
-// while still aggregating into the pool's DB-global counters. The configured
-// batch size and the batch/parallel metric observers ride along.
-func (db *DB) runtime(g *governor.Budget) *exec.Runtime {
+// runtime binds an executor runtime with the statement's governor budget,
+// the MVCC snapshot its scans read under, and the statement's own I/O
+// accumulator, so every page access and RSI call of the statement is
+// measured on its own ledger — exact under concurrency — while still
+// aggregating into the pool's DB-global counters. The configured batch size
+// and the batch/parallel metric observers ride along.
+func (db *DB) runtime(g *governor.Budget, snap *storage.Snapshot) *exec.Runtime {
 	rt := &exec.Runtime{Pool: db.pool, Disk: db.disk, Budget: g, IO: g.IO(),
-		BatchSize: db.cfg.ExecBatchSize}
+		BatchSize: db.cfg.ExecBatchSize, Snap: snap}
 	if m := db.metrics; m != nil {
 		rt.OnBatch = func(rows int) { m.execBatchRows.Observe(float64(rows)) }
 		rt.OnParallel = func(workers int) { m.parallelDegree.Observe(float64(workers)) }
@@ -558,7 +645,71 @@ func (db *DB) OptimizerConfig() core.Config {
 		MergeOnly:                db.cfg.MergeOnly,
 		DisableHashJoin:          db.cfg.DisableHashJoin,
 		DegreeOfParallelism:      db.cfg.DegreeOfParallelism,
+		ParallelMinPages:         db.cfg.ParallelMinPages,
 	}
+}
+
+// noteCommit accounts one committed writing transaction toward the
+// auto-vacuum trigger and runs a vacuum pass every Config.VacuumEvery
+// commits. Called after the transaction released its locks.
+func (db *DB) noteCommit() {
+	if db.cfg.VacuumEvery <= 0 {
+		return
+	}
+	if db.commits.Add(1)%int64(db.cfg.VacuumEvery) == 0 {
+		db.Vacuum()
+	}
+}
+
+// Vacuum reclaims dead row versions: every version whose deleting
+// transaction is older than the oldest snapshot any live transaction or
+// cursor could still read under is physically removed, along with its index
+// entries. Each table is vacuumed under a briefly-held exclusive lock,
+// acquired without waiting — tables locked by concurrent writers are simply
+// skipped until the next pass, so vacuum never blocks or deadlocks user
+// work. It returns the number of versions reclaimed. Runs automatically
+// every Config.VacuumEvery committed writes; call it directly for immediate
+// reclamation (tests, maintenance windows).
+func (db *DB) Vacuum() int {
+	if !db.vacuuming.CompareAndSwap(false, true) {
+		return 0
+	}
+	defer db.vacuuming.Store(false)
+	horizon := db.txns.Horizon()
+	var onChain func(int)
+	if m := db.metrics; m != nil {
+		m.vacuumRuns.Inc()
+		onChain = func(length int) { m.versionChainLen.Observe(float64(length)) }
+	}
+	total := 0
+	for _, t := range db.cat.Tables() {
+		if t.System {
+			continue
+		}
+		n, err := db.vacuumTable(t, horizon, onChain)
+		total += n
+		if err != nil {
+			break
+		}
+	}
+	if m := db.metrics; m != nil {
+		m.vacuumReclaimed.Add(float64(total))
+	}
+	return total
+}
+
+// vacuumTable vacuums one table under a non-blocking exclusive lock. A table
+// locked by a concurrent writer is skipped until the next pass: (0, nil).
+func (db *DB) vacuumTable(t *catalog.Table, horizon storage.XID, onChain func(int)) (int, error) {
+	held := db.locks.TryAcquire([]lock.Request{
+		{Table: compile.CatalogLock, Mode: lock.Shared},
+		{Table: t.Name, Mode: lock.Exclusive},
+	})
+	if held == nil {
+		return 0, nil
+	}
+	defer held.Release()
+	return rss.VacuumTable(t, db.disk, horizon, onChain)
 }
 
 // PlanSelect analyzes and optimizes a SELECT without executing it
@@ -675,9 +826,9 @@ func (db *DB) execStmt(ctx context.Context, cur *txn.Txn, norm string, stmt sql.
 	case *sql.InsertStmt:
 		return db.execInsert(gov, cur, st)
 	case *sql.SelectStmt:
-		return db.execSelect(gov, norm, st)
+		return db.execSelect(gov, cur, norm, st)
 	case *sql.ExplainStmt:
-		return db.execExplain(gov, norm, st)
+		return db.execExplain(gov, cur, norm, st)
 	case *sql.DeleteStmt:
 		return db.execDelete(gov, cur, st)
 	case *sql.UpdateStmt:
@@ -782,7 +933,7 @@ func (db *DB) execInsert(gov *governor.Budget, cur *txn.Txn, st *sql.InsertStmt)
 			}
 			row[i] = v
 		}
-		if _, err := cur.Insert(t, row); err != nil {
+		if _, err := cur.Insert(t, row, storage.NoPrevTID); err != nil {
 			return nil, err
 		}
 		n++
@@ -792,19 +943,20 @@ func (db *DB) execInsert(gov *governor.Budget, cur *txn.Txn, st *sql.InsertStmt)
 
 // execSelect is the cold (cache-miss or cache-disabled) SELECT path: resolve
 // a plan — which caches the freshly compiled plan for next time — then run it.
-func (db *DB) execSelect(gov *governor.Budget, norm string, sel *sql.SelectStmt) (*Result, error) {
+func (db *DB) execSelect(gov *governor.Budget, cur *txn.Txn, norm string, sel *sql.SelectStmt) (*Result, error) {
 	cp, _, err := db.resolveSelect(gov, norm, "", sel)
 	if err != nil {
 		return nil, err
 	}
-	return db.runSelect(gov, cp)
+	return db.runSelect(gov, cur, cp)
 }
 
 // runSelect executes a compiled plan under the statement's governor and
-// materializes the result. The plan itself is never mutated — all execution
-// state lives in the run — so cached plans execute concurrently.
-func (db *DB) runSelect(gov *governor.Budget, cp *compile.CompiledPlan) (*Result, error) {
-	rows, stats, err := exec.RunQuery(db.runtime(gov), cp.Query)
+// transaction snapshot, and materializes the result. The plan itself is
+// never mutated — all execution state lives in the run — so cached plans
+// execute concurrently.
+func (db *DB) runSelect(gov *governor.Budget, cur *txn.Txn, cp *compile.CompiledPlan) (*Result, error) {
+	rows, stats, err := exec.RunQuery(db.runtime(gov, cur.Snapshot()), cp.Query)
 	es := execStatsFrom(stats)
 	db.setLast(es)
 	if err != nil {
@@ -834,7 +986,7 @@ func selectNorm(norm string) string {
 // exactly like a plain SELECT. EXPLAIN of a SELECT goes through the plan
 // cache — sharing the plain SELECT's slot — and annotates the plan with a
 // note when it was served from cache.
-func (db *DB) execExplain(gov *governor.Budget, norm string, st *sql.ExplainStmt) (*Result, error) {
+func (db *DB) execExplain(gov *governor.Budget, cur *txn.Txn, norm string, st *sql.ExplainStmt) (*Result, error) {
 	if err := gov.Check(); err != nil {
 		return nil, wrapGovErr(err, ExecStats{})
 	}
@@ -872,7 +1024,7 @@ func (db *DB) execExplain(gov *governor.Budget, norm string, st *sql.ExplainStmt
 	if !st.Analyze {
 		return &Result{Plan: q.Explain() + cacheNote}, nil
 	}
-	_, stats, analysis, err := exec.RunQueryAnalyze(db.runtime(gov), q, nil)
+	_, stats, analysis, err := exec.RunQueryAnalyze(db.runtime(gov, cur.Snapshot()), q, nil)
 	es := execStatsFrom(stats)
 	db.setLast(es)
 	if err != nil {
@@ -883,13 +1035,14 @@ func (db *DB) execExplain(gov *governor.Budget, norm string, st *sql.ExplainStmt
 
 // collectMatches locates the tuples a DELETE/UPDATE affects through the
 // optimizer's chosen access path (the paper: "retrieval for data
-// manipulation is treated similarly").
-func (db *DB) collectMatches(gov *governor.Budget, blk *sem.Block) ([]storage.TID, []value.Row, error) {
+// manipulation is treated similarly"). The scan runs under the statement's
+// snapshot: the tuples a writer modifies are exactly the tuples it sees.
+func (db *DB) collectMatches(gov *governor.Budget, cur *txn.Txn, blk *sem.Block) ([]storage.TID, []value.Row, error) {
 	q, err := db.planBlock(gov, blk)
 	if err != nil {
 		return nil, nil, err
 	}
-	tids, rows, err := exec.CollectTIDs(db.runtime(gov), q)
+	tids, rows, err := exec.CollectTIDs(db.runtime(gov, cur.Snapshot()), q)
 	if err != nil {
 		return nil, nil, wrapGovErr(err, ExecStats{Rows: int(gov.RowsScanned())})
 	}
@@ -904,7 +1057,7 @@ func (db *DB) execDelete(gov *governor.Budget, cur *txn.Txn, st *sql.DeleteStmt)
 	if blk.Rels[0].Table.System {
 		return nil, fmt.Errorf("systemr: %s is a read-only system catalog", blk.Rels[0].Table.Name)
 	}
-	tids, rows, err := db.collectMatches(gov, blk)
+	tids, rows, err := db.collectMatches(gov, cur, blk)
 	if err != nil {
 		return nil, err
 	}
@@ -928,7 +1081,7 @@ func (db *DB) execUpdate(gov *governor.Budget, cur *txn.Txn, st *sql.UpdateStmt)
 	if blk.Rels[0].Table.System {
 		return nil, fmt.Errorf("systemr: %s is a read-only system catalog", blk.Rels[0].Table.Name)
 	}
-	tids, rows, err := db.collectMatches(gov, blk)
+	tids, rows, err := db.collectMatches(gov, cur, blk)
 	if err != nil {
 		return nil, err
 	}
@@ -936,7 +1089,7 @@ func (db *DB) execUpdate(gov *governor.Budget, cur *txn.Txn, st *sql.UpdateStmt)
 	if err != nil {
 		return nil, err
 	}
-	pc := exec.NewPredContext(db.runtime(gov), q)
+	pc := exec.NewPredContext(db.runtime(gov, cur.Snapshot()), q)
 	t := blk.Rels[0].Table
 	for i, tid := range tids {
 		if err := gov.Tick(); err != nil {
@@ -950,12 +1103,14 @@ func (db *DB) execUpdate(gov *governor.Budget, cur *txn.Txn, st *sql.UpdateStmt)
 			}
 			newRow[set.Col] = v
 		}
-		// UPDATE is delete+insert per row: undo reverses both halves —
-		// deleting the new tuple and restoring the old byte-exactly.
+		// UPDATE is mark+insert per row: the old version is delete-marked in
+		// place (older snapshots keep seeing it) and the new version links
+		// back to it. Undo reverses both halves — removing the new version
+		// and clearing the old one's mark.
 		if err := cur.Delete(t, tid, rows[i]); err != nil {
 			return nil, err
 		}
-		if _, err := cur.Insert(t, newRow); err != nil {
+		if _, err := cur.Insert(t, newRow, tid); err != nil {
 			return nil, err
 		}
 	}

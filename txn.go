@@ -92,10 +92,17 @@ func (x *Txn) Commit() error {
 		return fmt.Errorf("systemr: cannot commit: %w", ErrTxnAborted)
 	}
 	x.t.Finish()
+	// Deregister before releasing locks: the transaction's exclusive locks
+	// still exclude writers at the instant its versions become "committed"
+	// to the registry, so snapshot order matches lock-serialization order.
+	x.db.txns.Finish(x.t.Reg())
 	x.t.Locks.ReleaseAll()
 	x.db.activeTxns.Add(-1)
 	if m := x.db.metrics; m != nil {
 		m.txnCommits.Inc()
+	}
+	if x.t.Mutations() > 0 {
+		x.db.noteCommit()
 	}
 	return nil
 }
@@ -114,6 +121,9 @@ func (x *Txn) Rollback() error {
 	}
 	err := x.t.UndoAll()
 	x.t.Finish()
+	// Deregister only after the undo completed: mid-rollback, this
+	// transaction's XID must still read as active to every snapshot.
+	x.db.txns.Finish(x.t.Reg())
 	x.t.Locks.ReleaseAll()
 	x.db.activeTxns.Add(-1)
 	if m := x.db.metrics; m != nil {

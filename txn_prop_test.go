@@ -1,12 +1,17 @@
 package systemr_test
 
 // Differential property test: randomized transactions run concurrently
-// against one database, retrying on deadlock; every committed transaction's
-// serialization position is captured through a shared ORDERLOG table whose
-// exclusive lock totally orders commits under strict 2PL. Replaying the
-// committed transactions serially on a fresh database in that order must
-// produce a byte-identical SQL dump — two-phase locking really did
-// serialize, and rollback really did erase every aborted attempt.
+// against one database, retrying on deadlock and on first-updater-wins
+// write conflicts; every committed transaction's serialization position is
+// captured through a shared ORDERLOG table whose exclusive lock totally
+// orders commits. Replaying the committed transactions serially on a fresh
+// database in that order must produce a byte-identical SQL dump — writer
+// 2PL plus snapshot write-conflict detection really did serialize, and
+// rollback really did erase every aborted attempt. Concurrent snapshot
+// readers ride along: every aggregate they observe must equal the state
+// after some prefix of the serialization order, because a snapshot's
+// committed set is always a commit-order prefix (transactions deregister
+// from the XID registry inside their exclusive-lock window).
 
 import (
 	"errors"
@@ -83,6 +88,33 @@ func TestConcurrentTxnsMatchSerialOracle(t *testing.T) {
 	var mu sync.Mutex
 	var order []propTxn
 
+	// Snapshot readers: aggregate T0 lock-free while the writers run. Each
+	// observation is asserted below against the set of serial-prefix states.
+	const readers = 3
+	var robs [readers][][2]int64
+	stop := make(chan struct{})
+	var rwg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		rwg.Add(1)
+		go func(r int) {
+			defer rwg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res, err := db.Query("SELECT COUNT(*), SUM(V) FROM T0")
+				if err != nil {
+					t.Errorf("snapshot reader: %v", err)
+					return
+				}
+				robs[r] = append(robs[r], aggPair(res))
+				time.Sleep(2 * time.Millisecond)
+			}
+		}(r)
+	}
+
 	var wg sync.WaitGroup
 	for g := 0; g < goroutines; g++ {
 		wg.Add(1)
@@ -96,6 +128,8 @@ func TestConcurrentTxnsMatchSerialOracle(t *testing.T) {
 		}()
 	}
 	wg.Wait()
+	close(stop)
+	rwg.Wait()
 	if t.Failed() {
 		return
 	}
@@ -107,6 +141,15 @@ func TestConcurrentTxnsMatchSerialOracle(t *testing.T) {
 	// Serial oracle: replay the committed transactions in serialization
 	// order on a fresh database.
 	oracle := newPropDB()
+	prefixes := make(map[[2]int64]bool)
+	snapState := func() {
+		res, err := oracle.Query("SELECT COUNT(*), SUM(V) FROM T0")
+		if err != nil {
+			t.Fatalf("oracle aggregate: %v", err)
+		}
+		prefixes[aggPair(res)] = true
+	}
+	snapState() // the empty prefix: the seed state
 	for _, pt := range order {
 		conn := oracle.Conn()
 		for _, s := range append([]string{"BEGIN"}, pt.stmts...) {
@@ -121,13 +164,37 @@ func TestConcurrentTxnsMatchSerialOracle(t *testing.T) {
 		if _, err := conn.Exec("COMMIT"); err != nil {
 			t.Fatal(err)
 		}
+		snapState()
+	}
+	for r := range robs {
+		for i, ob := range robs[r] {
+			if !prefixes[ob] {
+				t.Errorf("reader %d observation %d = (count=%d sum=%d) matches no serial prefix", r, i, ob[0], ob[1])
+			}
+		}
 	}
 	want, got := dumpSQL(t, oracle), dumpSQL(t, db)
 	if want != got {
 		t.Fatalf("concurrent result diverges from serial oracle:\n--- oracle ---\n%s--- concurrent ---\n%s", want, got)
 	}
 	m := sampleMap(db)
-	t.Logf("deadlocks resolved during the run: %g", m["systemr_deadlocks_total"].Value)
+	nobs := 0
+	for r := range robs {
+		nobs += len(robs[r])
+	}
+	t.Logf("deadlocks: %g, write conflicts: %g, reader observations checked: %d",
+		m["systemr_deadlocks_total"].Value, m["systemr_write_conflicts_total"].Value, nobs)
+}
+
+// aggPair extracts (COUNT, SUM) from a one-row aggregate result; a NULL sum
+// (empty input) maps to -1.
+func aggPair(res *systemr.Result) [2]int64 {
+	cnt, _ := res.Rows[0][0].(int64)
+	sum := int64(-1)
+	if v, ok := res.Rows[0][1].(int64); ok {
+		sum = v
+	}
+	return [2]int64{cnt, sum}
 }
 
 // runPropTxn executes one generated transaction, retrying from scratch when
@@ -147,7 +214,8 @@ func runPropTxn(t *testing.T, db *systemr.DB, pt propTxn, mu *sync.Mutex, order 
 				time.Sleep(200 * time.Microsecond)
 			}
 			if _, err := tx.Exec(s); err != nil {
-				if errors.Is(err, systemr.ErrDeadlock) || errors.Is(err, systemr.ErrTxnAborted) {
+				if errors.Is(err, systemr.ErrDeadlock) || errors.Is(err, systemr.ErrTxnAborted) ||
+					errors.Is(err, systemr.ErrWriteConflict) {
 					aborted = true
 					break
 				}
@@ -158,7 +226,8 @@ func runPropTxn(t *testing.T, db *systemr.DB, pt propTxn, mu *sync.Mutex, order 
 		if !aborted {
 			if _, err := tx.Exec(fmt.Sprintf(
 				"INSERT INTO ORDERLOG VALUES (%d, %d)", pt.g, pt.i)); err != nil {
-				if !errors.Is(err, systemr.ErrDeadlock) && !errors.Is(err, systemr.ErrTxnAborted) {
+				if !errors.Is(err, systemr.ErrDeadlock) && !errors.Is(err, systemr.ErrTxnAborted) &&
+					!errors.Is(err, systemr.ErrWriteConflict) {
 					t.Errorf("txn (%d,%d) orderlog: %v", pt.g, pt.i, err)
 					return false
 				}
