@@ -18,7 +18,6 @@ import (
 
 	"systemr"
 	"systemr/internal/core"
-	"systemr/internal/exec"
 	"systemr/internal/plan"
 	"systemr/internal/sem"
 	"systemr/internal/sql"
@@ -94,7 +93,7 @@ func measurePlanned(db *systemr.DB, q *plan.Query) (systemr.ExecStats, error) {
 	db.Pool().Flush()
 	db.Pool().Stats().Reset()
 	before := db.Pool().Stats().Snapshot()
-	_, st, err := exec.RunQuery(db.Runtime(), q)
+	_, st, err := db.RunPlanned(q)
 	if err != nil {
 		return systemr.ExecStats{}, err
 	}

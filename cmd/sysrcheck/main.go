@@ -3,23 +3,31 @@
 //
 //	go run ./cmd/sysrcheck ./...
 //
-// It loads and type-checks the matched packages (standard library only —
-// no module proxy needed), applies every analyzer in the suite, prints the
-// surviving diagnostics in file/line order, and exits non-zero when any
-// remain. CI runs it as a hard gate; //sysrcheck:ignore directives (with a
-// mandatory reason) are the only way past a finding.
+// It loads and type-checks the matched packages exactly once (standard
+// library only — no module proxy needed), runs every analyzer in the suite
+// in parallel over the shared load, prints the surviving diagnostics in
+// file/line order, and exits non-zero when any remain. CI runs it as a
+// hard gate; //sysrcheck:ignore directives (with a mandatory reason) are
+// the only way past a finding.
 //
 // Flags:
 //
 //	-checks a,b   run only the named analyzers
 //	-list         print the suite and exit
+//	-json         write the findings and per-analyzer timings as JSON
+//	-sarif        write the findings as a SARIF 2.1.0 log (CI artifact)
+//	-timings      print per-analyzer wall-clock times to stderr
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"strings"
+	"time"
 
 	"systemr/internal/analysis"
 )
@@ -27,6 +35,9 @@ import (
 func main() {
 	checks := flag.String("checks", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	jsonOut := flag.Bool("json", false, "write findings and timings as JSON to stdout")
+	sarifOut := flag.Bool("sarif", false, "write findings as SARIF 2.1.0 to stdout")
+	timings := flag.Bool("timings", false, "print per-analyzer wall-clock times to stderr")
 	flag.Parse()
 
 	if *list {
@@ -34,6 +45,10 @@ func main() {
 			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
 		}
 		return
+	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(os.Stderr, "sysrcheck: -json and -sarif are mutually exclusive")
+		os.Exit(2)
 	}
 
 	suite, err := selectAnalyzers(*checks)
@@ -56,23 +71,90 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sysrcheck:", err)
 		os.Exit(2)
 	}
+	loadStart := time.Now()
 	pkgs, err := analysis.Load(root, patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sysrcheck:", err)
 		os.Exit(2)
 	}
-	diags, err := analysis.Run(pkgs, suite)
+	loadTime := time.Since(loadStart)
+	res, err := analysis.RunSuite(pkgs, suite)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sysrcheck:", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+
+	if *timings {
+		fmt.Fprintf(os.Stderr, "load+typecheck: %d pkgs in %v (shared by all analyzers)\n", len(pkgs), loadTime.Round(time.Millisecond))
+		sorted := append([]analysis.AnalyzerTiming(nil), res.Timings...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Duration > sorted[j].Duration })
+		for _, tm := range sorted {
+			fmt.Fprintf(os.Stderr, "%-12s %v\n", tm.Name, tm.Duration.Round(time.Microsecond))
+		}
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "sysrcheck: %d finding(s)\n", len(diags))
+
+	switch {
+	case *jsonOut:
+		if err := writeJSON(os.Stdout, root, res); err != nil {
+			fmt.Fprintln(os.Stderr, "sysrcheck:", err)
+			os.Exit(2)
+		}
+	case *sarifOut:
+		if err := writeSARIF(os.Stdout, root, suite, res.Diags); err != nil {
+			fmt.Fprintln(os.Stderr, "sysrcheck:", err)
+			os.Exit(2)
+		}
+	default:
+		for _, d := range res.Diags {
+			fmt.Println(d)
+		}
+	}
+	if len(res.Diags) > 0 {
+		fmt.Fprintf(os.Stderr, "sysrcheck: %d finding(s)\n", len(res.Diags))
 		os.Exit(1)
 	}
+}
+
+// jsonReport is the -json output shape: one object per finding plus the
+// per-analyzer wall-clock times, for scripting against the gate.
+type jsonReport struct {
+	Findings []jsonFinding `json:"findings"`
+	Timings  []jsonTiming  `json:"timings"`
+}
+
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+type jsonTiming struct {
+	Analyzer string  `json:"analyzer"`
+	Millis   float64 `json:"millis"`
+}
+
+func writeJSON(w io.Writer, root string, res *analysis.Result) error {
+	rep := jsonReport{Findings: []jsonFinding{}, Timings: []jsonTiming{}}
+	for _, d := range res.Diags {
+		rep.Findings = append(rep.Findings, jsonFinding{
+			File:     relativeURI(root, d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	for _, tm := range res.Timings {
+		rep.Timings = append(rep.Timings, jsonTiming{
+			Analyzer: tm.Name,
+			Millis:   float64(tm.Duration.Microseconds()) / 1000,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
 }
 
 func selectAnalyzers(names string) ([]*analysis.Analyzer, error) {

@@ -1,0 +1,130 @@
+package main
+
+// SARIF 2.1.0 output. The subset below is what code-scanning consumers
+// (GitHub's SARIF upload, VS Code SARIF viewers) require: one run, one
+// tool driver carrying the analyzer set as rules, and one result per
+// diagnostic with a physical location relative to the module root.
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+
+	"systemr/internal/analysis"
+)
+
+type sarifLog struct {
+	Version string     `json:"version"`
+	Schema  string     `json:"$schema"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId,omitempty"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// writeSARIF renders the run as a SARIF 2.1.0 log. root anchors the
+// artifact URIs: diagnostics inside the module get module-relative
+// forward-slash paths, anything else keeps its absolute path.
+func writeSARIF(w io.Writer, root string, suite []*analysis.Analyzer, diags []analysis.Diagnostic) error {
+	driver := sarifDriver{
+		Name:  "sysrcheck",
+		Rules: make([]sarifRule, 0, len(suite)+1),
+	}
+	for _, a := range suite {
+		driver.Rules = append(driver.Rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifMessage{Text: a.Doc},
+		})
+	}
+	// Directive misuse (malformed or unused //sysrcheck:ignore) is reported
+	// under the driver's own name.
+	driver.Rules = append(driver.Rules, sarifRule{
+		ID:               "sysrcheck",
+		ShortDescription: sarifMessage{Text: "ignore directives must be well-formed, reasoned, and in use"},
+	})
+
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		results = append(results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{
+						URI:       relativeURI(root, d.Pos.Filename),
+						URIBaseID: "SRCROOT",
+					},
+					Region: sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+				},
+			}},
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sarifLog{
+		Version: "2.1.0",
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: driver}, Results: results}},
+	})
+}
+
+// relativeURI converts an absolute diagnostic path to a module-relative
+// forward-slash URI, falling back to the path unchanged when it lies
+// outside root.
+func relativeURI(root, path string) string {
+	rel, err := filepath.Rel(root, path)
+	if err != nil || rel == ".." || filepath.IsAbs(rel) ||
+		(len(rel) >= 3 && rel[:3] == ".."+string(filepath.Separator)) {
+		return filepath.ToSlash(path)
+	}
+	return filepath.ToSlash(rel)
+}

@@ -1,7 +1,9 @@
 // Package analysis is sysrcheck: a project-specific static-analysis suite
 // that enforces this codebase's load-bearing invariants at build time —
-// the ones the governor (PR 1), the operator contract (PR 2), and the
-// selectivity clamp (PR 3) introduced but nothing enforced:
+// the ones the governor (PR 1), the operator contract (PR 2), the
+// selectivity clamp (PR 3), the I/O attribution split (PR 5), the
+// transaction layer (PR 6/8), and the lock hierarchy introduced but nothing
+// enforced:
 //
 //   - rsiclose: RSI scans, lock grants, and opened operator trees are
 //     closed/released on every path out of the acquiring function.
@@ -26,14 +28,38 @@
 //     boundary (ReadVersioned + Snapshot.Visible) — raw Page.Record /
 //     DecodeRow / ParseVersionHeader in exec or txn would resurrect
 //     delete-marked or uncommitted versions (PR 8).
+//   - lockrank: mutexes and table locks are acquired in the declared rank
+//     order, program-wide — no lock.Manager acquisition while holding a
+//     buffer-pool, registry, or page mutex (the deadlock shapes the runtime
+//     wait-for-graph detector can only observe, caught at build time).
+//   - atomicfield: a struct field accessed through sync/atomic anywhere is
+//     accessed only through sync/atomic everywhere — static race detection
+//     for the IOStats/metrics/governor counter style.
+//   - snappin: every call chain that reaches the MVCC read boundary
+//     (Page.ReadVersioned / Snapshot.Visible) originates from a function
+//     that captured and pinned a snapshot (txn.Registry.Begin), and the pin
+//     is released (Registry.Finish) on every return path.
+//   - govprop: interprocedural govtick — a row-producing loop anywhere in
+//     the engine either ticks the governor locally or is only reachable
+//     from ticking callers.
 //
 // The suite mirrors the shape of golang.org/x/tools/go/analysis (Analyzer /
-// Pass / Diagnostic, a multichecker driver in cmd/sysrcheck, want-annotated
-// fixtures) but is built on the standard library alone: the container this
-// repository builds in has no module proxy access, so the x/tools dependency
-// is gated off and the small subset sysrcheck needs is implemented here.
-// Should x/tools become available, each Analyzer converts mechanically (the
-// Run signature is the same modulo package types).
+// Pass / Diagnostic / Fact, a multichecker driver in cmd/sysrcheck,
+// want-annotated fixtures) but is built on the standard library alone: the
+// container this repository builds in has no module proxy access, so the
+// x/tools dependency is gated off and the subset sysrcheck needs is
+// implemented here. Should x/tools become available, each Analyzer converts
+// mechanically (the Run signature is the same modulo package types).
+//
+// Since PR 9 the framework is interprocedural: every Run loads and
+// type-checks each package exactly once, shared by all analyzers; a
+// whole-program call graph (static calls plus class-hierarchy-resolved
+// interface dispatch) is built once over the load; analyzers export typed
+// Facts on functions, fields, and types while walking packages in
+// dependency order and consume them across package boundaries; and an
+// optional RunProgram pass runs after all packages with the full graph in
+// view. Analyzers execute in parallel — each one owns its fact namespace,
+// and the loaded packages and call graph are read-only by then.
 package analysis
 
 import (
@@ -43,6 +69,8 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 )
 
 // Analyzer is one named invariant check, same shape as
@@ -54,19 +82,26 @@ type Analyzer struct {
 	// Doc is the one-line invariant statement.
 	Doc string
 	// Run inspects one package and reports diagnostics through the pass.
+	// Packages arrive in dependency order, so facts exported while
+	// analyzing an imported package are visible here. Optional when
+	// RunProgram is set.
 	Run func(*Pass) error
+	// RunProgram, when set, runs once after every package's Run, with the
+	// whole program — all packages, the call graph, and the facts this
+	// analyzer exported — in view. The interprocedural analyzers live here.
+	RunProgram func(*ProgramPass) error
 }
 
 // Pass carries one analyzer's view of one package.
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
-	// Facts is shared across every package of one Run, in dependency
-	// order: an analyzer can record properties of a package's functions
-	// (e.g. "contains a governor checkpoint") and read them when analyzing
-	// the packages that import it.
-	Facts *Facts
+	// Prog is the whole loaded program (all packages and the call graph).
+	// The packages after this one in dependency order are present but
+	// should be treated as opaque until RunProgram.
+	Prog *Program
 
+	facts  *factSet
 	report func(Diagnostic)
 }
 
@@ -79,6 +114,79 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ExportObjectFact attaches a fact to obj in this analyzer's namespace;
+// later packages and the program pass can read it back.
+func (p *Pass) ExportObjectFact(obj types.Object, f Fact) { p.facts.exportObject(obj, f) }
+
+// ImportObjectFact copies the fact of f's type attached to obj into f,
+// reporting whether one was found.
+func (p *Pass) ImportObjectFact(obj types.Object, f Fact) bool { return p.facts.importObject(obj, f) }
+
+// ExportPackageFact attaches a fact to the package being analyzed.
+func (p *Pass) ExportPackageFact(f Fact) { p.facts.exportPackage(p.Pkg.Types, f) }
+
+// ImportPackageFact copies the fact of f's type attached to pkg into f.
+func (p *Pass) ImportPackageFact(pkg *types.Package, f Fact) bool {
+	return p.facts.importPackage(pkg, f)
+}
+
+// ProgramPass is one analyzer's whole-program view, handed to RunProgram
+// after every package has been visited.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+
+	facts  *factSet
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos (resolved through the program's
+// shared file set).
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Prog.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ImportObjectFact copies the fact of f's type attached to obj into f.
+func (p *ProgramPass) ImportObjectFact(obj types.Object, f Fact) bool {
+	return p.facts.importObject(obj, f)
+}
+
+// ObjectsWithFact returns every object the analyzer attached a fact of f's
+// concrete type to.
+func (p *ProgramPass) ObjectsWithFact(f Fact) []types.Object { return p.facts.objectsWith(f) }
+
+// Program is one loaded, type-checked program: every package of a Run in
+// dependency order, the shared file set, and the call graph built once over
+// all of them.
+type Program struct {
+	Pkgs      []*Package
+	Fset      *token.FileSet
+	CallGraph *CallGraph
+
+	pkgOf map[*types.Package]*Package
+}
+
+// NewProgram assembles the program view over pkgs (dependency order, as
+// Load returns them) and builds the call graph.
+func NewProgram(pkgs []*Package) *Program {
+	prog := &Program{Pkgs: pkgs, pkgOf: make(map[*types.Package]*Package, len(pkgs))}
+	if len(pkgs) > 0 {
+		prog.Fset = pkgs[0].Fset
+	}
+	for _, p := range pkgs {
+		prog.pkgOf[p.Types] = p
+	}
+	prog.CallGraph = buildCallGraph(pkgs)
+	return prog
+}
+
+// PackageOf returns the loaded package wrapping tp, or nil.
+func (prog *Program) PackageOf(tp *types.Package) *Package { return prog.pkgOf[tp] }
+
 // Diagnostic is one reported invariant violation.
 type Diagnostic struct {
 	Pos      token.Position
@@ -88,21 +196,6 @@ type Diagnostic struct {
 
 func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
-}
-
-// Facts is the cross-package store for one Run. Objects are shared between
-// packages because every package of a Run is type-checked in one universe,
-// so a map keyed by types.Object resolves references across package
-// boundaries.
-type Facts struct {
-	// Governed marks functions whose body (transitively) contains a
-	// statement-governor checkpoint; computed by govtick.
-	Governed map[types.Object]bool
-}
-
-// NewFacts creates an empty fact store.
-func NewFacts() *Facts {
-	return &Facts{Governed: make(map[types.Object]bool)}
 }
 
 // Suite is the full sysrcheck analyzer set, the order diagnostics sort in.
@@ -117,36 +210,117 @@ var Suite = []*Analyzer{
 	TxnUndo,
 	GovBatch,
 	MVCCVis,
+	LockRank,
+	AtomicField,
+	SnapPin,
+	GovProp,
+}
+
+// AnalyzerTiming records how long one analyzer took over the whole program.
+type AnalyzerTiming struct {
+	Name     string
+	Duration time.Duration
+}
+
+// Result is one suite run's outcome: the surviving diagnostics in
+// file/line order and per-analyzer wall-clock timings.
+type Result struct {
+	Diags   []Diagnostic
+	Timings []AnalyzerTiming
 }
 
 // Run applies the analyzers to every package (which must be in dependency
 // order, as Load returns them) and returns the surviving diagnostics sorted
 // by position. //sysrcheck:ignore directives suppress matching diagnostics;
-// a directive without a reason is itself a diagnostic.
+// a directive without a reason — or one that suppresses nothing — is itself
+// a diagnostic.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
-	facts := NewFacts()
+	res, err := RunSuite(pkgs, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	return res.Diags, nil
+}
+
+// RunSuite is Run with per-analyzer timings. The package set is loaded and
+// type-checked exactly once (by the caller, through Load) and shared by
+// every analyzer; the call graph is built once; analyzers then execute in
+// parallel, each against its own fact namespace and diagnostic buffer.
+func RunSuite(pkgs []*Package, analyzers []*Analyzer) (*Result, error) {
+	prog := NewProgram(pkgs)
+	dirs := collectDirectives(pkgs)
+
+	type analyzerOut struct {
+		diags  []Diagnostic
+		timing AnalyzerTiming
+		err    error
+	}
+	outs := make([]analyzerOut, len(analyzers))
+	var wg sync.WaitGroup
+	for i, a := range analyzers {
+		wg.Add(1)
+		go func(i int, a *Analyzer) {
+			defer wg.Done()
+			out := &outs[i]
+			defer func() {
+				if r := recover(); r != nil {
+					out.err = fmt.Errorf("%s panicked: %v", a.Name, r)
+				}
+			}()
+			start := time.Now()
+			facts := newFactSet()
+			report := func(d Diagnostic) { out.diags = append(out.diags, d) }
+			for _, pkg := range pkgs {
+				if a.Run == nil {
+					break
+				}
+				pass := &Pass{Analyzer: a, Pkg: pkg, Prog: prog, facts: facts, report: report}
+				if err := a.Run(pass); err != nil {
+					out.err = fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
+					return
+				}
+			}
+			if a.RunProgram != nil {
+				pp := &ProgramPass{Analyzer: a, Prog: prog, facts: facts, report: report}
+				if err := a.RunProgram(pp); err != nil {
+					out.err = fmt.Errorf("%s (program pass): %w", a.Name, err)
+					return
+				}
+			}
+			out.timing = AnalyzerTiming{Name: a.Name, Duration: time.Since(start)}
+		}(i, a)
+	}
+	wg.Wait()
+
+	res := &Result{}
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		dirs := collectDirectives(pkg)
-		for _, d := range dirs.malformed {
-			diags = append(diags, d)
+	for _, out := range outs {
+		if out.err != nil {
+			return nil, out.err
 		}
-		for _, a := range analyzers {
-			pass := &Pass{
-				Analyzer: a,
-				Pkg:      pkg,
-				Facts:    facts,
-				report: func(d Diagnostic) {
-					if !dirs.suppresses(d) {
-						diags = append(diags, d)
-					}
-				},
-			}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
-			}
+		diags = append(diags, out.diags...)
+		res.Timings = append(res.Timings, out.timing)
+	}
+
+	// Directive filtering happens once, over the merged set: suppressed
+	// diagnostics are dropped (marking their directive used), malformed
+	// directives are findings, and a well-formed directive for an analyzer
+	// in this run that suppressed nothing is a finding too — the escape
+	// hatch must not outlive the condition it excused.
+	running := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		running[a.Name] = true
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if !dirs.suppresses(d) {
+			kept = append(kept, d)
 		}
 	}
+	diags = kept
+	diags = append(diags, dirs.malformed...)
+	diags = append(diags, dirs.unused(running)...)
+
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -158,9 +332,14 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	return diags, nil
+	sort.Slice(res.Timings, func(i, j int) bool { return res.Timings[i].Name < res.Timings[j].Name })
+	res.Diags = diags
+	return res, nil
 }
 
 // ---- shared helpers used by several analyzers ----
@@ -264,4 +443,17 @@ func walkWithStack(root ast.Node, visit func(n ast.Node, stack []ast.Node) bool)
 		stack = append(stack, n)
 		return true
 	})
+}
+
+// funcDisplayName renders fn as pkgtail.Name or pkgtail.Recv.Name for
+// diagnostics.
+func funcDisplayName(fn *types.Func) string {
+	name := fn.Name()
+	if n := recvNamed(fn); n != nil {
+		name = n.Obj().Name() + "." + name
+	}
+	if p := fn.Pkg(); p != nil {
+		return pathTail(p.Path()) + "." + name
+	}
+	return name
 }

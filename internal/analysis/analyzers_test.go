@@ -31,3 +31,11 @@ func TestTxnUndoFixture(t *testing.T) { runFixture(t, TxnUndo, "txnundo") }
 func TestGovBatchFixture(t *testing.T) { runFixture(t, GovBatch, "govbatch") }
 
 func TestMVCCVisFixture(t *testing.T) { runFixture(t, MVCCVis, "mvccvis") }
+
+func TestLockRankFixture(t *testing.T) { runFixture(t, LockRank, "lockrank") }
+
+func TestAtomicFieldFixture(t *testing.T) { runFixture(t, AtomicField, "atomicfield") }
+
+func TestSnapPinFixture(t *testing.T) { runFixture(t, SnapPin, "snappin") }
+
+func TestGovPropFixture(t *testing.T) { runFixture(t, GovProp, "govprop") }

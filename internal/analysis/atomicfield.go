@@ -1,0 +1,186 @@
+package analysis
+
+// atomicfield is static race detection for the counter style the engine
+// uses everywhere (IOStats, metrics instruments, governor budgets): a
+// struct field that is accessed through sync/atomic anywhere in the program
+// must be accessed through sync/atomic everywhere. A single plain read or
+// write of such a field — in any package — is a data race waiting for the
+// scheduler to expose it, and -race only catches it when two goroutines
+// actually collide under test.
+//
+// Mechanics: while walking each package (dependency order), the analyzer
+// exports an atomicUseFact on every field whose address is taken by a
+// sync/atomic call (`atomic.AddInt64(&s.n, 1)`); the program pass then
+// sweeps every package again and reports each plain selector access of a
+// marked field. The address-taken argument of an atomic call is the one
+// sanctioned access form. Composite-literal initialization is exempt: a
+// struct under construction is not yet shared, and zero-value init is how
+// the atomic types themselves are born. Fields of the sync/atomic wrapper
+// types (atomic.Int64 & co.) cannot be accessed non-atomically at all, so
+// they need no checking — the analyzer exists for the plain-int fields the
+// function-form API operates on.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// AtomicField is the atomic-discipline analyzer.
+var AtomicField = &Analyzer{
+	Name:       "atomicfield",
+	Doc:        "a struct field accessed via sync/atomic anywhere must be accessed only via sync/atomic everywhere",
+	Run:        runAtomicFieldPkg,
+	RunProgram: runAtomicFieldProgram,
+}
+
+// atomicUseFact marks a field as atomically accessed; Pos is one example
+// site for the diagnostic.
+type atomicUseFact struct {
+	Pos token.Position
+}
+
+func (*atomicUseFact) AFact() {}
+
+// runAtomicFieldPkg records every field whose address flows into a
+// sync/atomic call in this package.
+func runAtomicFieldPkg(pass *Pass) error {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !isAtomicFnCall(info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if fv := addressedField(info, arg); fv != nil {
+					if !pass.ImportObjectFact(fv, &atomicUseFact{}) {
+						pass.ExportObjectFact(fv, &atomicUseFact{Pos: pass.Pkg.Fset.Position(call.Pos())})
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// runAtomicFieldProgram sweeps every package for plain accesses of the
+// marked fields.
+func runAtomicFieldProgram(pass *ProgramPass) error {
+	marked := make(map[types.Object]token.Position)
+	for _, obj := range pass.ObjectsWithFact(&atomicUseFact{}) {
+		var f atomicUseFact
+		pass.ImportObjectFact(obj, &f)
+		marked[obj] = f.Pos
+	}
+	if len(marked) == 0 {
+		return nil
+	}
+
+	type finding struct {
+		pos   token.Pos
+		field *types.Var
+		where token.Position
+	}
+	var finds []finding
+	for _, pkg := range pass.Prog.Pkgs {
+		info := pkg.Info
+		for _, f := range pkg.Files {
+			walkWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				v, _ := info.Uses[sel.Sel].(*types.Var)
+				if v == nil || !v.IsField() {
+					return true
+				}
+				where, markedField := marked[v]
+				if !markedField {
+					return true
+				}
+				if sanctionedAtomicAccess(info, stack) {
+					return true
+				}
+				finds = append(finds, finding{pos: sel.Sel.Pos(), field: v, where: where})
+				return true
+			})
+		}
+	}
+	sort.Slice(finds, func(i, j int) bool { return finds[i].pos < finds[j].pos })
+	for _, fd := range finds {
+		owner := "?"
+		if fd.field.Pkg() != nil {
+			owner = pathTail(fd.field.Pkg().Path())
+		}
+		pass.Reportf(fd.pos,
+			"non-atomic access of %s.%s, which is accessed with sync/atomic at %s:%d: mixing plain and atomic access races",
+			owner, fd.field.Name(), fd.where.Filename, fd.where.Line)
+	}
+	return nil
+}
+
+// isAtomicFnCall matches the function-form sync/atomic API
+// (atomic.AddInt64, atomic.LoadUint32, ...).
+func isAtomicFnCall(info *types.Info, call *ast.CallExpr) bool {
+	f := calleeFunc(info, call)
+	return f != nil && f.Pkg() != nil && f.Pkg().Path() == "sync/atomic" && f.Type().(*types.Signature).Recv() == nil
+}
+
+// addressedField resolves `&x.f` to the field variable f, or nil.
+func addressedField(info *types.Info, arg ast.Expr) *types.Var {
+	un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return nil
+	}
+	sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	v, _ := info.Uses[sel.Sel].(*types.Var)
+	if v == nil || !v.IsField() {
+		return nil
+	}
+	return v
+}
+
+// sanctionedAtomicAccess reports whether the selector at the top of stack
+// is the address-taken argument of a sync/atomic call: the ancestor chain
+// must run selector ← & ← (parens) ← atomic call.
+func sanctionedAtomicAccess(info *types.Info, stack []ast.Node) bool {
+	// stack is root..parent; scan the nearest ancestors.
+	i := len(stack) - 1
+	// Allow parens around the selector.
+	for i >= 0 {
+		if _, ok := stack[i].(*ast.ParenExpr); ok {
+			i--
+			continue
+		}
+		break
+	}
+	if i < 0 {
+		return false
+	}
+	un, ok := stack[i].(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return false
+	}
+	i--
+	for i >= 0 {
+		if _, ok := stack[i].(*ast.ParenExpr); ok {
+			i--
+			continue
+		}
+		break
+	}
+	if i < 0 {
+		return false
+	}
+	call, ok := stack[i].(*ast.CallExpr)
+	return ok && isAtomicFnCall(info, call)
+}

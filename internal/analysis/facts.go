@@ -1,0 +1,116 @@
+package analysis
+
+// The fact mechanism, mirroring golang.org/x/tools/go/analysis.Fact: an
+// analyzer can attach typed facts to functions, fields, and types while it
+// analyzes one package, and read them back while analyzing any later package
+// (packages are processed in dependency order) or during its whole-program
+// pass. Because every package of one Run is type-checked into a single
+// universe, a types.Object is one identity program-wide and the store is a
+// plain map — no export-data serialization layer is needed.
+//
+// Facts are namespaced per analyzer: two analyzers never see each other's
+// facts, which is what makes running the suite's analyzers in parallel safe
+// (each goroutine owns its analyzer's namespace; the loaded packages and the
+// call graph are read-only by then).
+
+import (
+	"fmt"
+	"go/types"
+	"reflect"
+	"sync"
+)
+
+// Fact is a marker interface for analyzer facts, as in x/tools: implement it
+// with a pointer type and an AFact method.
+type Fact interface {
+	AFact()
+}
+
+// factKey identifies one fact slot: the object (nil for package facts keyed
+// separately) and the concrete fact type.
+type factKey struct {
+	obj types.Object
+	typ reflect.Type
+}
+
+type pkgFactKey struct {
+	pkg *types.Package
+	typ reflect.Type
+}
+
+// factSet is one analyzer's namespace.
+type factSet struct {
+	mu      sync.Mutex
+	objects map[factKey]Fact
+	pkgs    map[pkgFactKey]Fact
+}
+
+func newFactSet() *factSet {
+	return &factSet{objects: make(map[factKey]Fact), pkgs: make(map[pkgFactKey]Fact)}
+}
+
+func factType(f Fact) reflect.Type {
+	t := reflect.TypeOf(f)
+	if t == nil || t.Kind() != reflect.Pointer {
+		//sysrcheck:ignore nakedpanic analyzer-author API misuse (a non-pointer fact type), caught the first time the analyzer runs in development — not a runtime condition
+		panic(fmt.Sprintf("analysis: fact %T must be a pointer type", f))
+	}
+	return t
+}
+
+func (fs *factSet) exportObject(obj types.Object, f Fact) {
+	if obj == nil {
+		//sysrcheck:ignore nakedpanic analyzer-author API misuse, caught the first time the analyzer runs in development — not a runtime condition
+		panic("analysis: ExportObjectFact on nil object")
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.objects[factKey{obj, factType(f)}] = f
+}
+
+func (fs *factSet) importObject(obj types.Object, f Fact) bool {
+	if obj == nil {
+		return false
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	got, ok := fs.objects[factKey{obj, factType(f)}]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(f).Elem().Set(reflect.ValueOf(got).Elem())
+	return true
+}
+
+func (fs *factSet) exportPackage(pkg *types.Package, f Fact) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.pkgs[pkgFactKey{pkg, factType(f)}] = f
+}
+
+func (fs *factSet) importPackage(pkg *types.Package, f Fact) bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	got, ok := fs.pkgs[pkgFactKey{pkg, factType(f)}]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(f).Elem().Set(reflect.ValueOf(got).Elem())
+	return true
+}
+
+// objectsWith returns every object carrying a fact of f's concrete type, in
+// no particular order. Program passes use it to sweep a fact species (e.g.
+// "every field ever touched atomically") without re-walking the sources.
+func (fs *factSet) objectsWith(f Fact) []types.Object {
+	t := factType(f)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var out []types.Object
+	for k := range fs.objects {
+		if k.typ == t {
+			out = append(out, k.obj)
+		}
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+package analysis
+
+// govprop is the interprocedural closure of govtick. govtick's rule is
+// local: a producing loop in exec/rss/xsort must tick the statement
+// governor or drive only governed producers. That leaves a gap the
+// per-package analyzer cannot see: a helper whose loop relies on *its
+// caller* having ticked is fine when every caller ticks — and silently
+// ungoverned when some new entry point starts calling it without a budget
+// on the stack. govprop closes the gap over the whole-program call graph:
+// for every row-producing loop anywhere in the module (not just the three
+// govtick packages), either the loop ticks locally, or every call-graph
+// path from an entry point to the enclosing function passes through a
+// function that ticks.
+//
+// "Ticks" means the function body contains a direct *governor.Budget
+// method call. The analyzer BFSes from every non-ticking entry point
+// (call-graph root), refusing to descend into ticking functions: anything
+// it still reaches is running with no budget anywhere on the stack. A
+// producing loop (per govtick's producer classification, in its own fact
+// namespace) without a local checkpoint in such a function is reported,
+// with the unticked chain from the entry point as evidence.
+//
+// cmd packages are exempt as loop *sites* (drivers print and loop over
+// results at the top level, outside any statement) but still participate
+// as entry points: a cmd main that reaches a producing loop deep in the
+// engine without anyone ticking is exactly the bug this analyzer exists
+// to catch.
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// GovProp is the interprocedural governor-propagation analyzer.
+var GovProp = &Analyzer{
+	Name:       "govprop",
+	Doc:        "row-producing loops must tick the governor locally or be reachable only through ticking callers",
+	Run:        runGovPropPkg,
+	RunProgram: runGovPropProgram,
+}
+
+// runGovPropPkg computes governed facts into govprop's own namespace so the
+// program pass can reuse govtick's producer classification.
+func runGovPropPkg(pass *Pass) error {
+	computeGovernedFacts(pass)
+	return nil
+}
+
+func runGovPropProgram(pass *ProgramPass) error {
+	g := pass.Prog.CallGraph
+	nodes := g.SortedNodes()
+
+	// Which functions tick the budget directly?
+	ticks := make(map[*CallNode]bool, len(nodes))
+	for _, n := range nodes {
+		if containsBudgetCall(n.Pkg.Info, n.Decl.Body) {
+			ticks[n] = true
+		}
+	}
+
+	// BFS from non-ticking roots; ticking functions are a frontier we do
+	// not cross (everything below them runs under a budget).
+	parent := make(map[*CallNode]*CallNode)
+	unticked := make(map[*CallNode]bool)
+	var queue []*CallNode
+	for _, r := range g.Roots() {
+		if !ticks[r] {
+			queue = append(queue, r)
+			unticked[r] = true
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range n.Out {
+			c := e.Callee
+			if ticks[c] || unticked[c] {
+				continue
+			}
+			parent[c] = n
+			unticked[c] = true
+			queue = append(queue, c)
+		}
+	}
+
+	for _, n := range nodes {
+		if !unticked[n] || ticks[n] || inCmd(n.Pkg.Path) {
+			continue
+		}
+		info := n.Pkg.Info
+		ast.Inspect(n.Decl.Body, func(nd ast.Node) bool {
+			var body *ast.BlockStmt
+			switch loop := nd.(type) {
+			case *ast.ForStmt:
+				body = loop.Body
+			case *ast.RangeStmt:
+				body = loop.Body
+			default:
+				return true
+			}
+			if containsBudgetCall(info, body) {
+				return true
+			}
+			var offending *ast.CallExpr
+			ast.Inspect(body, func(inner ast.Node) bool {
+				if offending != nil {
+					return false
+				}
+				if call, ok := inner.(*ast.CallExpr); ok {
+					if kind, governed := classifyProducer(pass, info, call); kind != "" && !governed {
+						offending = call
+					}
+				}
+				return true
+			})
+			if offending != nil {
+				pass.Reportf(nd.Pos(),
+					"loop drives %s with no governor anywhere on the call stack: %s never ticks — add a Budget check here or in a caller",
+					describeCall(offending), govChain(parent, n))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// govChain renders the unticked BFS path entrypoint → … → n.
+func govChain(parent map[*CallNode]*CallNode, n *CallNode) string {
+	var names []string
+	for at := n; at != nil; at = parent[at] {
+		names = append(names, funcDisplayName(at.Fn))
+		if len(names) > 6 {
+			names = append(names, "…")
+			break
+		}
+	}
+	for i, j := 0, len(names)-1; i < j; i, j = i+1, j-1 {
+		names[i], names[j] = names[j], names[i]
+	}
+	return strings.Join(names, " → ")
+}

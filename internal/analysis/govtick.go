@@ -37,6 +37,29 @@ var GovTick = &Analyzer{
 // storage) are visible.
 var govtickPackages = map[string]bool{"exec": true, "rss": true, "xsort": true}
 
+// governedFact marks a function whose body (transitively) reaches a
+// statement-governor checkpoint. Exported per function object by
+// computeGovernedFacts; any analyzer that needs the property computes it
+// into its own namespace (fact namespaces are per-analyzer so the suite can
+// run in parallel).
+type governedFact struct{}
+
+func (*governedFact) AFact() {}
+
+// isGoverned reports whether fn carries a governed fact in this analyzer's
+// namespace.
+func isGoverned(facts factReader, fn *types.Func) bool {
+	if fn == nil {
+		return false
+	}
+	return facts.ImportObjectFact(fn, &governedFact{})
+}
+
+// factReader is the read surface shared by Pass and ProgramPass.
+type factReader interface {
+	ImportObjectFact(obj types.Object, f Fact) bool
+}
+
 func runGovTick(pass *Pass) error {
 	computeGovernedFacts(pass)
 	if !govtickPackages[pathTail(pass.Pkg.Path)] {
@@ -89,16 +112,16 @@ func checkGovLoop(pass *Pass, info *types.Info, loop ast.Node, body *ast.BlockSt
 
 // classifyProducer reports whether call produces tuples or pages, and if
 // so whether the callee is known to contain its own governor checkpoint.
-func classifyProducer(pass *Pass, info *types.Info, call *ast.CallExpr) (kind string, governed bool) {
+func classifyProducer(facts factReader, info *types.Info, call *ast.CallExpr) (kind string, governed bool) {
 	if f := calleeFunc(info, call); f != nil {
 		if (f.Name() == "Next" || f.Name() == "next") && producerShape(f.Type().(*types.Signature)) {
-			return "Next", pass.Facts.Governed[f]
+			return "Next", isGoverned(facts, f)
 		}
 		if isMethodOn(f, "Fetch", "storage", "BufferPool") {
-			return "page fetch", pass.Facts.Governed[f]
+			return "page fetch", isGoverned(facts, f)
 		}
 		if isMethodOn(f, "Insert", "storage", "Segment") {
-			return "page insert", pass.Facts.Governed[f]
+			return "page insert", isGoverned(facts, f)
 		}
 		return "", false
 	}
@@ -157,12 +180,13 @@ func containsBudgetCall(info *types.Info, n ast.Node) bool {
 }
 
 // computeGovernedFacts marks this package's functions that (transitively)
-// reach a governor checkpoint. Packages are analyzed in dependency order,
-// so facts about imported packages are already present.
+// reach a governor checkpoint, exporting a governedFact per function into
+// the calling analyzer's namespace. Packages are analyzed in dependency
+// order, so facts about imported packages are already present.
 func computeGovernedFacts(pass *Pass) {
 	info := pass.Pkg.Info
 	type fn struct {
-		obj  types.Object
+		obj  *types.Func
 		body *ast.BlockStmt
 	}
 	var fns []fn
@@ -172,8 +196,8 @@ func computeGovernedFacts(pass *Pass) {
 			if !ok || fd.Body == nil {
 				continue
 			}
-			obj := info.Defs[fd.Name]
-			if obj == nil {
+			obj, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
 				continue
 			}
 			fns = append(fns, fn{obj: obj, body: fd.Body})
@@ -182,25 +206,25 @@ func computeGovernedFacts(pass *Pass) {
 	for changed := true; changed; {
 		changed = false
 		for _, f := range fns {
-			if pass.Facts.Governed[f.obj] {
+			if isGoverned(pass, f.obj) {
 				continue
 			}
 			if containsBudgetCall(info, f.body) || callsGovernedFunc(pass, info, f.body) {
-				pass.Facts.Governed[f.obj] = true
+				pass.ExportObjectFact(f.obj, &governedFact{})
 				changed = true
 			}
 		}
 	}
 }
 
-func callsGovernedFunc(pass *Pass, info *types.Info, body *ast.BlockStmt) bool {
+func callsGovernedFunc(facts factReader, info *types.Info, body *ast.BlockStmt) bool {
 	found := false
 	ast.Inspect(body, func(n ast.Node) bool {
 		if found {
 			return false
 		}
 		if call, ok := n.(*ast.CallExpr); ok {
-			if f := calleeFunc(info, call); f != nil && pass.Facts.Governed[f] {
+			if f := calleeFunc(info, call); f != nil && isGoverned(facts, f) {
 				found = true
 				return false
 			}

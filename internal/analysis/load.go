@@ -24,7 +24,35 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 )
+
+// Loads share one process-wide file set and one standard-library source
+// importer: the importer caches each std package after its first
+// type-check, so a test binary that loads a dozen fixture trees (plus the
+// whole module for TestTreeIsClean) pays the GOROOT source type-checking
+// cost once instead of once per load. Module and fixture packages never
+// enter this cache — moduleImporter resolves them per load, so two
+// fixtures both declaring "fixture/rss" cannot collide. The mutex makes
+// the shared cache safe under `go test -race` even if callers ever load
+// concurrently.
+var (
+	sharedMu   sync.Mutex
+	sharedFset = token.NewFileSet()
+	sharedStd  types.Importer
+)
+
+// stdImporter returns the shared GOROOT source importer, creating it on
+// first use. Callers must resolve module-local paths themselves before
+// delegating here.
+func stdImporter() types.Importer {
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	if sharedStd == nil {
+		sharedStd = importer.ForCompiler(sharedFset, "source", nil)
+	}
+	return sharedStd
+}
 
 // Package is one loaded, type-checked package.
 type Package struct {
@@ -122,7 +150,7 @@ func LoadFixture(root string) ([]*Package, error) {
 		return nil, err
 	}
 	// Imports are discovered by parsing; fill them before sorting.
-	fset := token.NewFileSet()
+	fset := sharedFset
 	parsed := make(map[string][]*ast.File)
 	for ip, lp := range byPath {
 		sort.Strings(lp.GoFiles)
@@ -191,7 +219,7 @@ func toposort(byPath map[string]*listedPackage) ([]string, error) {
 }
 
 func typecheck(order []string, byPath map[string]*listedPackage, sources func(*listedPackage) ([]string, error)) ([]*Package, error) {
-	fset := token.NewFileSet()
+	fset := sharedFset
 	parsed := make(map[string][]*ast.File)
 	for _, ip := range order {
 		paths, err := sources(byPath[ip])
@@ -221,12 +249,14 @@ func (im *moduleImporter) Import(path string) (*types.Package, error) {
 	if p, ok := im.pkgs[path]; ok {
 		return p, nil
 	}
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
 	return im.std.Import(path)
 }
 
 func typecheckParsed(order []string, byPath map[string]*listedPackage, fset *token.FileSet, parsed map[string][]*ast.File) ([]*Package, error) {
 	im := &moduleImporter{
-		std:  importer.ForCompiler(fset, "source", nil),
+		std:  stdImporter(),
 		pkgs: make(map[string]*types.Package, len(order)),
 	}
 	var pkgs []*Package

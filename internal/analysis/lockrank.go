@@ -1,0 +1,578 @@
+package analysis
+
+// lockrank enforces a declared lock-acquisition order across the whole
+// program. The engine's runtime deadlock detector (PR 6) can only observe a
+// cycle among table locks once it happens; lockrank makes the hierarchy
+// above and below the table locks a build-time property: every mutex the
+// engine owns has a rank, and a function may only acquire locks of strictly
+// greater rank than anything it already holds — directly or through any
+// call chain (static calls plus interface dispatch, via the program call
+// graph's per-function summaries).
+//
+// The declared order, outermost first (see DESIGN.md §14 for the rationale
+// of each edge):
+//
+//	rank  lock
+//	  10  lock table locks (Manager.Acquire*/TryAcquire, Txn.AcquireContext)
+//	  20  systemr.DB.mu            (last-statement stats)
+//	  30  catalog.Catalog.mu       (schema/statistics)
+//	  40  txn.Registry.mu          (XID allocation, snapshot capture)
+//	  50  compile.Cache.mu         (plan cache)
+//	  55  metrics.Registry.mu      (instrument registration/scrape)
+//	  60  lock.Manager.mu          (lock-manager internal state)
+//	  80  storage.BufferPool.mu    (LRU structural lock)
+//	  90  storage.Disk.mu          (page-table growth)
+//	 100  storage.Page.mu          (per-page latch; innermost leaf)
+//
+// In particular: no lock.Manager call while holding a buffer-pool, page,
+// or registry mutex — a blocked table-lock wait would then hold a leaf
+// mutex indefinitely, stalling every reader of that structure in a shape
+// the wait-for-graph cannot see (it only tracks table locks).
+//
+// Mechanics: each function gets a summary — the set of ranks it may acquire
+// while executing, propagated to a fixpoint over the call graph. Then every
+// function body is walked in source order tracking the set of ranked
+// mutexes currently held (mu.Lock()/RLock() add, mu.Unlock()/RUnlock()
+// remove, deferred unlocks hold to function end); at each acquisition —
+// direct or summarized through a call — a held rank >= the acquired rank is
+// reported. Function literals are walked as their own scopes (they run with
+// their own held set) but their acquisitions still count toward the
+// enclosing function's summary, conservatively.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// LockRank is the lock-ordering analyzer.
+var LockRank = &Analyzer{
+	Name:       "lockrank",
+	Doc:        "mutexes and table locks must be acquired in the declared rank order on every call path",
+	RunProgram: runLockRank,
+}
+
+// rankTableLock is the rank of a lock.Manager table-lock acquisition — the
+// outermost tier: it can block indefinitely, so nothing may be held across
+// it.
+const rankTableLock = 10
+
+// lockRanks maps "pkgtail.Type.field" mutex identities to their rank.
+// Unlisted mutexes are unranked and exempt (local mutexes, fixture types
+// outside the table) — the table is the declaration of the engine's
+// hierarchy, mirrored in DESIGN.md §14.
+var lockRanks = map[string]int{
+	"systemr.DB.mu":         20,
+	"catalog.Catalog.mu":    30,
+	"txn.Registry.mu":       40,
+	"compile.Cache.mu":      50,
+	"metrics.Registry.mu":   55,
+	"lock.Manager.mu":       60,
+	"storage.BufferPool.mu": 80,
+	"storage.Disk.mu":       90,
+	"storage.Page.mu":       100,
+}
+
+// lockRankName renders a rank for diagnostics.
+func lockRankName(rank int) string {
+	if rank == rankTableLock {
+		return "lock.Manager table locks"
+	}
+	for key, r := range lockRanks {
+		if r == rank {
+			return key
+		}
+	}
+	return "?"
+}
+
+// acquireSummary is one function's may-acquire set: rank → one example
+// position (the acquisition site, for the diagnostic chain).
+type acquireSummary map[int]token.Pos
+
+func runLockRank(pass *ProgramPass) error {
+	g := pass.Prog.CallGraph
+	nodes := g.SortedNodes()
+
+	// Per-function direct acquisitions (locks taken anywhere in the body,
+	// closures included — a closure runs on some goroutine while the
+	// program is in this function's dynamic extent or later; conservative).
+	direct := make(map[*CallNode]acquireSummary, len(nodes))
+	for _, n := range nodes {
+		s := acquireSummary{}
+		ast.Inspect(n.Decl.Body, func(nd ast.Node) bool {
+			call, ok := nd.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if rank, ok := rankedAcquisition(n.Pkg.Info, call); ok {
+				if _, have := s[rank]; !have {
+					s[rank] = call.Pos()
+				}
+			}
+			return true
+		})
+		direct[n] = s
+	}
+
+	// Propagate to a fixpoint: a function may acquire everything its
+	// callees may acquire.
+	summary := make(map[*CallNode]acquireSummary, len(nodes))
+	for _, n := range nodes {
+		s := acquireSummary{}
+		for r, p := range direct[n] {
+			s[r] = p
+		}
+		summary[n] = s
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range nodes {
+			s := summary[n]
+			for _, e := range n.Out {
+				for r, p := range summary[e.Callee] {
+					if _, have := s[r]; !have {
+						s[r] = p
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Walk each function with held-set tracking.
+	for _, n := range nodes {
+		w := &rankWalker{pass: pass, node: n, summary: summary}
+		w.walkBody(n.Decl.Body)
+	}
+	return nil
+}
+
+// rankedAcquisition classifies call as a ranked lock acquisition: a
+// Lock/RLock on a mutex field in the rank table, or a lock.Manager
+// table-lock grant.
+func rankedAcquisition(info *types.Info, call *ast.CallExpr) (rank int, ok bool) {
+	f := calleeFunc(info, call)
+	if f == nil {
+		return 0, false
+	}
+	switch f.Name() {
+	case "Acquire", "AcquireContext", "TryAcquire":
+		if n := recvNamed(f); n != nil {
+			tn := n.Obj()
+			if tn.Pkg() != nil && pathTail(tn.Pkg().Path()) == "lock" &&
+				(tn.Name() == "Manager" || tn.Name() == "Txn") {
+				return rankTableLock, true
+			}
+		}
+		return 0, false
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		key, ok := mutexKey(info, call)
+		if !ok {
+			return 0, false
+		}
+		r, ranked := lockRanks[key]
+		return r, ranked
+	}
+	return 0, false
+}
+
+// mutexLockOp classifies a mutex method call as acquire (+1), release (-1),
+// or neither, plus the ranked identity it operates on.
+func mutexLockOp(info *types.Info, call *ast.CallExpr) (key string, rank, op int, ok bool) {
+	f := calleeFunc(info, call)
+	if f == nil {
+		return "", 0, 0, false
+	}
+	switch f.Name() {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		op = +1
+	case "Unlock", "RUnlock":
+		op = -1
+	default:
+		return "", 0, 0, false
+	}
+	key, keyOK := mutexKey(info, call)
+	if !keyOK {
+		return "", 0, 0, false
+	}
+	rank, ranked := lockRanks[key]
+	if !ranked {
+		return "", 0, 0, false
+	}
+	return key, rank, op, true
+}
+
+// mutexKey resolves the receiver of a sync.(RW)Mutex method call of the
+// form `x.mu.Lock()` to its "pkgtail.Type.field" identity.
+func mutexKey(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	// The method must come from sync.
+	f, _ := info.Uses[sel.Sel].(*types.Func)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != "sync" {
+		return "", false
+	}
+	field, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	v, _ := info.Uses[field.Sel].(*types.Var)
+	if v == nil || !v.IsField() {
+		return "", false
+	}
+	s, ok := info.Selections[field]
+	if !ok {
+		return "", false
+	}
+	t := s.Recv()
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	tn := named.Obj()
+	if tn.Pkg() == nil {
+		return "", false
+	}
+	return pathTail(tn.Pkg().Path()) + "." + tn.Name() + "." + v.Name(), true
+}
+
+// rankWalker tracks the held ranked mutexes through one function body.
+// Statements are interpreted structurally: branches (if/switch/select) are
+// each walked from the state at entry and merged by per-rank minimum over
+// the branches that fall through — so the `mu.Unlock(); select { case:
+// mu.Lock(); return }; mu.Lock()` hand-off pattern in the lock manager is
+// tracked correctly rather than counted cumulatively.
+type rankWalker struct {
+	pass    *ProgramPass
+	node    *CallNode
+	summary map[*CallNode]acquireSummary
+	// held maps rank → hold count (re-entrant tracking keeps unbalanced
+	// branch walks from going negative).
+	held map[int]int
+	// heldName maps rank → the identity string for diagnostics.
+	heldName map[int]string
+}
+
+func (w *rankWalker) walkBody(body *ast.BlockStmt) {
+	w.held = map[int]int{}
+	w.heldName = map[int]string{}
+	var lits []*ast.FuncLit
+	w.walkStmts(body.List, &lits)
+	// Each function literal runs with its own held set (it executes later,
+	// from some other dynamic context).
+	for _, lit := range lits {
+		sub := &rankWalker{pass: w.pass, node: w.node, summary: w.summary}
+		sub.walkBody(lit.Body)
+	}
+}
+
+// walkStmts walks a statement list, reporting whether it always terminates
+// the enclosing path (return/branch reached).
+func (w *rankWalker) walkStmts(stmts []ast.Stmt, lits *[]*ast.FuncLit) bool {
+	term := false
+	for _, s := range stmts {
+		if w.walkStmt(s, lits) {
+			term = true
+		}
+	}
+	return term
+}
+
+// branchOut captures the held state at the end of one branch.
+type branchOut struct {
+	held  map[int]int
+	names map[int]string
+}
+
+// walkBranch walks stmts from a copy of the current state and returns the
+// resulting state without disturbing the walker; terminated branches return
+// a nil state (they contribute nothing to the merge).
+func (w *rankWalker) walkBranch(stmts []ast.Stmt, lits *[]*ast.FuncLit) *branchOut {
+	saveH, saveN := w.held, w.heldName
+	w.held, w.heldName = copyRankCounts(saveH), copyRankNames(saveN)
+	term := w.walkStmts(stmts, lits)
+	out := &branchOut{held: w.held, names: w.heldName}
+	w.held, w.heldName = saveH, saveN
+	if term {
+		return nil
+	}
+	return out
+}
+
+// mergeBranches sets the walker state to the per-rank minimum across the
+// non-terminated branches. No surviving branch leaves the state at entry
+// (everything after is unreachable; entry is the conservative stand-in).
+func (w *rankWalker) mergeBranches(outs []*branchOut) {
+	var live []*branchOut
+	for _, o := range outs {
+		if o != nil {
+			live = append(live, o)
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+	merged := map[int]int{}
+	names := map[int]string{}
+	for r := range live[0].held {
+		min := live[0].held[r]
+		for _, o := range live[1:] {
+			if o.held[r] < min {
+				min = o.held[r]
+			}
+		}
+		if min > 0 {
+			merged[r] = min
+		}
+	}
+	for _, o := range live {
+		for r, name := range o.names {
+			names[r] = name
+		}
+	}
+	w.held, w.heldName = merged, names
+}
+
+func copyRankCounts(m map[int]int) map[int]int {
+	c := make(map[int]int, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
+func copyRankNames(m map[int]string) map[int]string {
+	c := make(map[int]string, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
+func (w *rankWalker) walkStmt(s ast.Stmt, lits *[]*ast.FuncLit) bool {
+	info := w.node.Pkg.Info
+	switch st := s.(type) {
+	case nil:
+		return false
+
+	case *ast.BlockStmt:
+		return w.walkStmts(st.List, lits)
+
+	case *ast.ReturnStmt:
+		for _, r := range st.Results {
+			w.walkExpr(r, lits)
+		}
+		return true
+
+	case *ast.BranchStmt:
+		// break/continue/goto leave the construct; treat as terminating the
+		// current straight-line path.
+		return true
+
+	case *ast.DeferStmt:
+		// A deferred unlock releases at return — the mutex stays held for
+		// the remainder of the walk, which is exactly the tracking we want.
+		// A deferred ranked *acquisition* (rare) is checked at the defer
+		// site, conservatively.
+		if _, _, op, ok := mutexLockOp(info, st.Call); ok && op < 0 {
+			return false
+		}
+		w.walkExpr(st.Call, lits)
+		return false
+
+	case *ast.GoStmt:
+		// The goroutine runs on its own stack with its own held set; only
+		// collect its literals for separate analysis.
+		ast.Inspect(st.Call, func(nd ast.Node) bool {
+			if lit, ok := nd.(*ast.FuncLit); ok {
+				*lits = append(*lits, lit)
+				return false
+			}
+			return true
+		})
+		return false
+
+	case *ast.IfStmt:
+		w.walkStmt(st.Init, lits)
+		w.walkExpr(st.Cond, lits)
+		thenOut := w.walkBranch(st.Body.List, lits)
+		var elseOut *branchOut
+		elseTerm := false
+		switch e := st.Else.(type) {
+		case *ast.BlockStmt:
+			elseOut = w.walkBranch(e.List, lits)
+			elseTerm = elseOut == nil
+		case *ast.IfStmt:
+			elseOut = w.walkBranch([]ast.Stmt{e}, lits)
+			elseTerm = elseOut == nil
+		case nil:
+			// No else: entry state falls through.
+			elseOut = &branchOut{held: w.held, names: w.heldName}
+		}
+		w.mergeBranches([]*branchOut{thenOut, elseOut})
+		return thenOut == nil && elseTerm
+
+	case *ast.ForStmt:
+		w.walkStmt(st.Init, lits)
+		w.walkExpr(st.Cond, lits)
+		body := append([]ast.Stmt{}, st.Body.List...)
+		if st.Post != nil {
+			body = append(body, st.Post)
+		}
+		w.walkBranch(body, lits) // reports inside; loop may run zero times
+		return false
+
+	case *ast.RangeStmt:
+		w.walkExpr(st.X, lits)
+		w.walkBranch(st.Body.List, lits)
+		return false
+
+	case *ast.SwitchStmt:
+		w.walkStmt(st.Init, lits)
+		w.walkExpr(st.Tag, lits)
+		return w.walkClauses(st.Body, lits, true)
+
+	case *ast.TypeSwitchStmt:
+		w.walkStmt(st.Init, lits)
+		return w.walkClauses(st.Body, lits, true)
+
+	case *ast.SelectStmt:
+		return w.walkClauses(st.Body, lits, false)
+
+	case *ast.LabeledStmt:
+		return w.walkStmt(st.Stmt, lits)
+
+	default:
+		w.walkExpr(s, lits)
+		return false
+	}
+}
+
+// walkClauses merges switch/select clause bodies. withEntry includes the
+// entry state in the merge (a switch without a matching case falls through
+// unchanged; a select always takes some case, but including entry only
+// lowers counts — conservative toward silence).
+func (w *rankWalker) walkClauses(body *ast.BlockStmt, lits *[]*ast.FuncLit, withEntry bool) bool {
+	var outs []*branchOut
+	for _, c := range body.List {
+		var stmts []ast.Stmt
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range cc.List {
+				w.walkExpr(e, lits)
+			}
+			stmts = cc.Body
+		case *ast.CommClause:
+			if cc.Comm != nil {
+				w.walkStmt(cc.Comm, lits)
+			}
+			stmts = cc.Body
+		}
+		outs = append(outs, w.walkBranch(stmts, lits))
+	}
+	allTerm := true
+	for _, o := range outs {
+		if o != nil {
+			allTerm = false
+		}
+	}
+	if withEntry || len(outs) == 0 {
+		outs = append(outs, &branchOut{held: w.held, names: w.heldName})
+		allTerm = false
+	}
+	w.mergeBranches(outs)
+	return allTerm && len(body.List) > 0
+}
+
+// walkExpr visits an expression (or simple statement) in source order,
+// checking calls and collecting function literals without entering them.
+func (w *rankWalker) walkExpr(n ast.Node, lits *[]*ast.FuncLit) {
+	if n == nil {
+		return
+	}
+	info := w.node.Pkg.Info
+	ast.Inspect(n, func(nd ast.Node) bool {
+		switch x := nd.(type) {
+		case *ast.FuncLit:
+			*lits = append(*lits, x)
+			return false
+		case *ast.CallExpr:
+			w.checkCall(info, x)
+		}
+		return true
+	})
+}
+
+// checkCall updates the held set and reports out-of-rank acquisitions.
+func (w *rankWalker) checkCall(info *types.Info, call *ast.CallExpr) {
+	// Mutex operation on a ranked mutex?
+	if key, rank, op, ok := mutexLockOp(info, call); ok {
+		if op > 0 {
+			w.reportIfHeldConflicts(call.Pos(), rank, key, nil)
+			w.held[rank]++
+			w.heldName[rank] = key
+		} else {
+			if w.held[rank] > 0 {
+				w.held[rank]--
+			}
+		}
+		return
+	}
+	// Table-lock acquisition?
+	if rank, ok := rankedAcquisition(info, call); ok && rank == rankTableLock {
+		w.reportIfHeldConflicts(call.Pos(), rankTableLock, "lock.Manager table locks", nil)
+		return
+	}
+	// A call with a summary: everything the callee may acquire is checked
+	// against what we hold here.
+	f := calleeFunc(info, call)
+	if f == nil {
+		return
+	}
+	callee := w.pass.Prog.CallGraph.FuncOf(f)
+	if callee == nil {
+		return
+	}
+	s := w.summary[callee]
+	ranks := make([]int, 0, len(s))
+	for r := range s {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	for _, r := range ranks {
+		w.reportIfHeldConflicts(call.Pos(), r, lockRankName(r), callee)
+	}
+}
+
+// reportIfHeldConflicts reports when a held rank forbids acquiring rank at
+// pos; via names the callee the acquisition is reached through, when
+// indirect.
+func (w *rankWalker) reportIfHeldConflicts(pos token.Pos, rank int, what string, via *CallNode) {
+	for heldRank, count := range w.held {
+		if count <= 0 || heldRank < rank {
+			continue
+		}
+		if heldRank == rank && via == nil {
+			// Direct re-acquisition of the same ranked mutex: self-deadlock
+			// with sync.Mutex. Report it as its own shape.
+			w.pass.Reportf(pos, "reacquires %s already held by this function (self-deadlock)", w.heldName[heldRank])
+			continue
+		}
+		if via != nil {
+			w.pass.Reportf(pos,
+				"call to %s may acquire %s (rank %d) while holding %s (rank %d): declared lock order requires %s before %s",
+				funcDisplayName(via.Fn), what, rank, w.heldName[heldRank], heldRank, what, w.heldName[heldRank])
+		} else {
+			w.pass.Reportf(pos,
+				"acquires %s (rank %d) while holding %s (rank %d): declared lock order requires %s before %s",
+				what, rank, w.heldName[heldRank], heldRank, what, w.heldName[heldRank])
+		}
+	}
+}

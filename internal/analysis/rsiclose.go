@@ -458,6 +458,18 @@ func (w *leakWalker) isCloseCall(e ast.Expr) bool {
 	if !ok {
 		return false
 	}
+	if w.a.closeName == "Finish" {
+		// Release-by-argument form (snappin): x.Finish(v) releases v.
+		if sel.Sel.Name != "Finish" {
+			return false
+		}
+		for _, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok && w.isTracked(id) {
+				return true
+			}
+		}
+		return false
+	}
 	if sel.Sel.Name != "Close" && sel.Sel.Name != "Release" {
 		return false
 	}

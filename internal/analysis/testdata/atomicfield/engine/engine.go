@@ -1,0 +1,31 @@
+// Package engine accesses the counter from across the package boundary:
+// the atomic-use fact travels with the field object, so the mixed read here
+// is caught even though the atomic writes live in storage.
+package engine
+
+import (
+	"sync/atomic"
+
+	"fixture/storage"
+)
+
+// Report mixes a plain read of a field storage touches atomically.
+func Report(s *storage.IOStats) int64 {
+	return s.Fetches // want "non-atomic access of storage.Fetches"
+}
+
+// ReportAtomic is the sanctioned form.
+func ReportAtomic(s *storage.IOStats) int64 {
+	return atomic.LoadInt64(&s.Fetches)
+}
+
+// Fresh constructs the struct: composite-literal initialization is exempt —
+// a value under construction is not yet shared.
+func Fresh() *storage.IOStats {
+	return &storage.IOStats{Fetches: 0}
+}
+
+// Plain reads of the undisciplined field are fine anywhere.
+func Misses(s *storage.IOStats) int64 {
+	return s.Misses
+}

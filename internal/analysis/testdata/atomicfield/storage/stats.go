@@ -1,0 +1,31 @@
+// Package storage declares the counter the atomic discipline protects:
+// Fetches is touched through sync/atomic here, which marks the field for
+// the whole program.
+package storage
+
+import "sync/atomic"
+
+type IOStats struct {
+	Fetches int64
+	Misses  int64
+}
+
+// Record and Snapshot are the sanctioned access forms.
+func (s *IOStats) Record() {
+	atomic.AddInt64(&s.Fetches, 1)
+}
+
+func (s *IOStats) Snapshot() int64 {
+	return atomic.LoadInt64(&s.Fetches)
+}
+
+// reset mixes a plain write into the same package.
+func (s *IOStats) reset() {
+	s.Fetches = 0 // want "non-atomic access of storage.Fetches"
+}
+
+// Miss only ever touches Misses plainly, so that field is outside the
+// discipline entirely.
+func (s *IOStats) Miss() {
+	s.Misses++
+}

@@ -1,0 +1,41 @@
+// Package lib exercises the //sysrcheck:ignore escape hatch end to end:
+// both comment forms, comma-separated analyzer lists, malformed shapes,
+// and the unused-directive accounting. Every genuine finding in this file
+// is excused by a directive, so a surviving nakedpanic or noprint
+// diagnostic means suppression broke.
+package lib
+
+import "errors"
+
+var errBad = errors.New("bad")
+
+// LineForm's panic is excused by a reasoned line directive directly above.
+func LineForm(x int) error {
+	if x < 0 {
+		//sysrcheck:ignore nakedpanic fixture: excused by a line directive
+		panic("negative")
+	}
+	return errBad
+}
+
+// BlockForm's panic is excused by a single-line block comment.
+func BlockForm() {
+	/* sysrcheck:ignore nakedpanic fixture: excused by a block directive */
+	panic("boom")
+}
+
+// MultiLineBlock's panic is excused by a directive on the last line of a
+// multi-line block comment: the effective position is the line the
+// directive text sits on, which is directly above the panic.
+func MultiLineBlock() {
+	/* this crash is load-bearing for the fixture:
+	sysrcheck:ignore nakedpanic fixture: directive inside a block body */
+	panic("boom")
+}
+
+// MultiAnalyzer carries one comma-list directive that silences a noprint
+// finding on its own line and a nakedpanic finding on the line below.
+func MultiAnalyzer() {
+	println("x") //sysrcheck:ignore noprint,nakedpanic fixture: one directive, two analyzers
+	panic("y")
+}

@@ -1,0 +1,57 @@
+// Package engine supplies the entry points whose ticking (or not)
+// determines the helpers' fate.
+package engine
+
+import (
+	"fixture/governor"
+	"fixture/mid"
+	"fixture/rss"
+)
+
+// RunTicking ticks before delegating: everything below runs under a
+// budget, so PumpCovered's loop is clean.
+func RunTicking(b *governor.Budget, s *rss.Scan) error {
+	if err := b.Tick(); err != nil {
+		return err
+	}
+	return mid.PumpCovered(s)
+}
+
+// RunBare never ticks: PumpExposed's loop is reported with this chain.
+func RunBare(s *rss.Scan) error {
+	return mid.PumpExposed(s)
+}
+
+// DrainLocal drives the producer straight from an unticking entry point.
+func DrainLocal(s *rss.Scan) error {
+	for { // want "no governor anywhere on the call stack"
+		_, ok, err := s.Next()
+		if err != nil || !ok {
+			return err
+		}
+	}
+}
+
+// DrainGoverned drives a producer that ticks internally: clean even from
+// an unticking entry point.
+func DrainGoverned(s *rss.GovScan) error {
+	for {
+		_, ok, err := s.Next()
+		if err != nil || !ok {
+			return err
+		}
+	}
+}
+
+// DrainTickingLoop ticks inside the loop body: clean the local way.
+func DrainTickingLoop(b *governor.Budget, s *rss.Scan) error {
+	for {
+		if err := b.Tick(); err != nil {
+			return err
+		}
+		_, ok, err := s.Next()
+		if err != nil || !ok {
+			return err
+		}
+	}
+}

@@ -1,0 +1,9 @@
+// Package governor mirrors the real statement governor's Budget for the
+// govtick fixtures: any method call on it counts as a checkpoint.
+package governor
+
+type Budget struct{ used int }
+
+func (b *Budget) Tick() error { b.used++; return nil }
+
+func (b *Budget) Check() error { return nil }

@@ -1,0 +1,27 @@
+// Package mid holds helpers whose loops rely on the caller ticking: clean
+// when every entry point above them ticks, flagged when one does not. The
+// per-package govtick rule cannot see this — only the call graph can.
+package mid
+
+import "fixture/rss"
+
+// PumpCovered is only reached from ticking callers (engine.RunTicking), so
+// its loop runs under a budget on every path.
+func PumpCovered(s *rss.Scan) error {
+	for {
+		_, ok, err := s.Next()
+		if err != nil || !ok {
+			return err
+		}
+	}
+}
+
+// PumpExposed is also reached from an entry point that never ticks.
+func PumpExposed(s *rss.Scan) error {
+	for { // want "no governor anywhere on the call stack"
+		_, ok, err := s.Next()
+		if err != nil || !ok {
+			return err
+		}
+	}
+}

@@ -1,0 +1,38 @@
+// Package rss supplies one ungoverned and one governed producer for the
+// interprocedural propagation cases.
+package rss
+
+import "fixture/governor"
+
+type Row []int
+
+type Scan struct{ rows []Row }
+
+// Next is an ungoverned producer: loops driving it need a budget somewhere
+// on the call stack.
+func (s *Scan) Next() (Row, bool, error) {
+	if len(s.rows) == 0 {
+		return nil, false, nil
+	}
+	r := s.rows[0]
+	s.rows = s.rows[1:]
+	return r, true, nil
+}
+
+type GovScan struct {
+	b    *governor.Budget
+	rows []Row
+}
+
+// Next ticks internally, so it is governed wherever it is driven from.
+func (s *GovScan) Next() (Row, bool, error) {
+	if err := s.b.Tick(); err != nil {
+		return nil, false, err
+	}
+	if len(s.rows) == 0 {
+		return nil, false, nil
+	}
+	r := s.rows[0]
+	s.rows = s.rows[1:]
+	return r, true, nil
+}

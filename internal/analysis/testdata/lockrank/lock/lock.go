@@ -1,0 +1,38 @@
+// Package lock mirrors the real lock manager for the lockrank fixtures:
+// Acquire is the rank-10 table-lock tier (nothing ranked may be held across
+// it), and Manager.mu is the rank-60 internal mutex.
+package lock
+
+import "sync"
+
+type Manager struct {
+	mu   sync.Mutex
+	wake chan struct{}
+}
+
+// Acquire takes m.mu; the unlock-wait-relock hand-off below must not read
+// as a self-deadlock — each select branch relocks on its own path.
+func (m *Manager) Acquire(table string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for m.wake != nil {
+		wake := m.wake
+		m.mu.Unlock()
+		select {
+		case <-wake:
+			m.mu.Lock()
+		default:
+			m.mu.Lock()
+			return nil
+		}
+	}
+	return nil
+}
+
+// reacquire really is a self-deadlock: sync.Mutex is not re-entrant.
+func (m *Manager) reacquire() {
+	m.mu.Lock()
+	m.mu.Lock() // want "reacquires lock.Manager.mu already held"
+	m.mu.Unlock()
+	m.mu.Unlock()
+}

@@ -1,0 +1,65 @@
+// Package storage mirrors the pool/page mutex tiers: BufferPool.mu is rank
+// 80 and Page.mu rank 100 — the innermost leaves of the hierarchy, so
+// almost nothing may be acquired while they are held.
+package storage
+
+import (
+	"sync"
+
+	"fixture/lock"
+)
+
+type Page struct {
+	mu sync.RWMutex
+}
+
+type BufferPool struct {
+	mu    sync.Mutex
+	locks *lock.Manager
+}
+
+// Fetch is the clean shape: the structural lock guards only the map work.
+func (p *BufferPool) Fetch(id int) *Page {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return &Page{}
+}
+
+// helper exists to prove summaries propagate two levels: its own summary
+// inherits Fetch's rank-80 acquisition.
+func (p *BufferPool) helper() *Page {
+	return p.Fetch(2)
+}
+
+// evictThenLock acquires a table lock while holding the structural mutex:
+// a blocked table-lock wait would hold the pool lock indefinitely.
+func (p *BufferPool) evictThenLock() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.locks.Acquire("emp") // want "while holding storage.BufferPool.mu"
+}
+
+// latchThenPool takes the pool lock while holding a page latch: rank 80
+// under rank 100, directly.
+func (p *BufferPool) latchThenPool(pg *Page) {
+	pg.mu.RLock()
+	defer pg.mu.RUnlock()
+	p.mu.Lock() // want "while holding storage.Page.mu"
+	p.mu.Unlock()
+}
+
+// latchThenFetch reaches the same inversion through two calls: helper's
+// summary carries Fetch's acquisition.
+func (p *BufferPool) latchThenFetch(pg *Page) {
+	pg.mu.RLock()
+	defer pg.mu.RUnlock()
+	p.helper() // want "call to storage.BufferPool.helper may acquire"
+}
+
+// sequential is clean: the page latch is released before the pool lock.
+func (p *BufferPool) sequential(pg *Page) {
+	pg.mu.RLock()
+	pg.mu.RUnlock()
+	p.mu.Lock()
+	p.mu.Unlock()
+}

@@ -1,0 +1,23 @@
+// Package systemr mirrors the engine facade: DB.mu is rank 20, near the
+// top of the hierarchy, so work below it may take any leaf mutex — the
+// cross-package clean path.
+package systemr
+
+import (
+	"sync"
+
+	"fixture/storage"
+)
+
+type DB struct {
+	mu   sync.Mutex
+	pool *storage.BufferPool
+}
+
+// statsUnderLock is clean: Fetch's rank-80 acquisition nests inside the
+// rank-20 facade lock.
+func (db *DB) statsUnderLock() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.pool.Fetch(7)
+}

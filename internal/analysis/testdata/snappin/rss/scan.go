@@ -1,0 +1,22 @@
+// Package rss holds the scan that reads versions. Its Next is reached both
+// from a pinned chain (clean) and from an unpinned entry point — the
+// findings land on the sink calls here, naming the unpinned chain.
+package rss
+
+import "fixture/storage"
+
+type Scan struct {
+	Snap *storage.Snapshot
+	Page *storage.Page
+}
+
+func (s *Scan) Next() (storage.XID, bool) {
+	x, ok := s.Page.ReadVersioned(0) // want "without a pinned snapshot"
+	if !ok {
+		return 0, false
+	}
+	if !s.Snap.Visible(x) { // want "without a pinned snapshot"
+		return 0, false
+	}
+	return x, true
+}

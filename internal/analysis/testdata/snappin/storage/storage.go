@@ -1,0 +1,22 @@
+// Package storage mirrors the MVCC read surface: ReadVersioned and Visible
+// are the sinks every call chain must reach under a pinned snapshot.
+package storage
+
+type XID uint64
+
+type Snapshot struct {
+	xmin XID
+}
+
+func (s *Snapshot) Visible(x XID) bool { return x < s.xmin }
+
+type Page struct {
+	slots []XID
+}
+
+func (p *Page) ReadVersioned(slot int) (XID, bool) {
+	if slot < len(p.slots) {
+		return p.slots[slot], true
+	}
+	return 0, false
+}

@@ -1,0 +1,28 @@
+// Package txn mirrors the registry: Begin pins the vacuum horizon, Finish
+// releases it, and Reg is the registration pin carriers hold.
+package txn
+
+import "fixture/storage"
+
+type Reg struct {
+	Snap *storage.Snapshot
+}
+
+type Registry struct {
+	regs []*Reg
+}
+
+func (r *Registry) Begin() *Reg {
+	reg := &Reg{Snap: &storage.Snapshot{}}
+	r.regs = append(r.regs, reg)
+	return reg
+}
+
+func (r *Registry) Finish(reg *Reg) {
+	for i, q := range r.regs {
+		if q == reg {
+			r.regs = append(r.regs[:i], r.regs[i+1:]...)
+			return
+		}
+	}
+}

@@ -605,6 +605,17 @@ func (db *DB) Locks() *lock.Manager { return db.locks }
 // drivers and tests).
 func (db *DB) Runtime() *exec.Runtime { return db.runtime(nil, nil) }
 
+// RunPlanned executes an already-built plan ungoverned, under a freshly
+// pinned snapshot that is released when it returns, and reports the raw
+// executor statistics. Experiment drivers measure alternative plans through
+// this instead of exec.RunQuery(db.Runtime(), …) so their reads are
+// snapshot-consistent and the vacuum horizon is held for exactly the run.
+func (db *DB) RunPlanned(q *plan.Query) ([]value.Row, *exec.Stats, error) {
+	reg := db.txns.Begin()
+	defer db.txns.Finish(reg)
+	return exec.RunQuery(db.runtime(nil, reg.Snap), q)
+}
+
 // runtime binds an executor runtime with the statement's governor budget,
 // the MVCC snapshot its scans read under, and the statement's own I/O
 // accumulator, so every page access and RSI call of the statement is
