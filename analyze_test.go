@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"systemr"
 	"systemr/internal/exec"
 	"systemr/internal/testutil"
 )
@@ -28,19 +29,20 @@ func TestExplainAnalyzeGolden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// The golden shows a real Selinger-model miss: the join-column defaults
-	// estimate 30 rows out of the joins, but CLERK covers a quarter of EMP
-	// and the actuals are 75 — visible on every line above the scans. With no
-	// ORDER BY there is no interesting order to exploit, so the hash join
-	// (est 6.7) beats the sort-both-sides merge plan — and wins on
-	// actuals too (8 fetches / 106 RSI calls). The hash line
-	// reports the build side its table was pre-sized from.
+	// With histograms the estimates land exactly on the actuals: TITLE has 4
+	// distinct values, so TITLE = 'CLERK' estimates 1/4 (one JOB row, 75 EMP
+	// matches through the joins) where the Table 1 default of 1/10 used to
+	// yield est 30 vs act 75 on every line above the scans. With no ORDER BY
+	// there is no interesting order to exploit, so the hash join beats the
+	// sort-both-sides merge plan — and wins on actuals too (8 fetches / 106
+	// RSI calls). The hash line reports the build side its table was
+	// pre-sized from.
 	want := strings.Join([]string{
 		"QUERY BLOCK (main)",
-		"  PROJECT E.NAME, D.DNAME, J.TITLE  {est rows=30.0 cost=6.7 | act rows=75 fetches=0 time=X}",
-		"    HASHJOIN build inner[1.0] probe outer[0.1]  {est rows=30.0 cost=6.7 | act rows=75 fetches=0 time=X} [build: est rows=30.0 act rows=30 mem=1290B]",
-		"      NLJOIN bind: $3=outer[2.0]  {est rows=30.0 cost=2.7 | act rows=75 fetches=0 time=X}",
-		"        SEGSCAN J (JOB) sarg: (c1 = 'CLERK')  {est rows=0.4 cost=1.0 | act rows=1 fetches=1 time=X}",
+		"  PROJECT E.NAME, D.DNAME, J.TITLE  {est rows=75.0 cost=10.7 | act rows=75 fetches=0 time=X}",
+		"    HASHJOIN build inner[1.0] probe outer[0.1]  {est rows=75.0 cost=10.7 | act rows=75 fetches=0 time=X} [build: est rows=30.0 act rows=30 mem=1290B]",
+		"      NLJOIN bind: $3=outer[2.0]  {est rows=75.0 cost=5.3 | act rows=75 fetches=0 time=X}",
+		"        SEGSCAN J (JOB) sarg: (c1 = 'CLERK')  {est rows=1.0 cost=1.0 | act rows=1 fetches=1 time=X}",
 		"        INDEXSCAN E via EMP_JOB(JOB) key:[$3 .. $3] sarg: (c2 = $3)  {est rows=75.0 cost=4.2 | act rows=75 fetches=6 time=X}",
 		"      SEGSCAN D (DEPT)  {est rows=30.0 cost=2.0 | act rows=30 fetches=1 time=X}",
 		"statement: fetches=8 writes=0 rsi=106 cost=11.5 (W=0.033)",
@@ -119,7 +121,10 @@ func TestExplainAnalyzeRowConsistency(t *testing.T) {
 // selectivity the Table 1 defaults get wrong shows up as an estimate-vs-
 // actual gap on the scan's own line.
 func TestExplainAnalyzeEstimateVsActual(t *testing.T) {
-	db := newEmpDeptJobDB(t)
+	// Histograms are disabled so the paper's uniform model is what gets
+	// measured: with them on, SAL > 10 estimates exactly 300 (see the golden
+	// test) and there is no gap to display.
+	db := newEmpDeptJobDBCfg(t, systemr.Config{DisableHistograms: true})
 	// SAL > 10 matches every employee, but the paper's open-range default
 	// estimates 1/3 — the scan line must show the divergence.
 	got, err := db.ExplainAnalyze("SELECT NAME FROM EMP WHERE SAL > 10.0")

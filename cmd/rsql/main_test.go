@@ -80,11 +80,16 @@ func TestShellTiming(t *testing.T) {
 }
 
 // TestShellCache runs a SELECT twice and checks \cache reports the repeat as
-// a hit, plus a catalog version that moved past 1 with the DDL.
+// a hit, plus a catalog version that moved past 1 with the DDL. Statistics
+// are refreshed first so the cached plan's estimate is accurate — on a
+// never-analyzed table the default NCARD of 100 misses the 1-row actual by
+// 100× and the estimation feedback loop would recompile the repeat instead
+// of serving it.
 func TestShellCache(t *testing.T) {
 	out := script(t,
 		"CREATE TABLE T (A INTEGER);",
 		"INSERT INTO T VALUES (1);",
+		"UPDATE STATISTICS;",
 		"SELECT A FROM T;",
 		"SELECT A FROM T;",
 		"\\cache",
@@ -93,7 +98,7 @@ func TestShellCache(t *testing.T) {
 	if !strings.Contains(out, "hits: 1") || !strings.Contains(out, "misses: 1") {
 		t.Fatalf("\\cache counters:\n%s", out)
 	}
-	if !strings.Contains(out, "catalog version: 2") { // CREATE TABLE bumped 1 -> 2
+	if !strings.Contains(out, "catalog version: 3") { // CREATE TABLE bumped 1 -> 2, UPDATE STATISTICS 2 -> 3
 		t.Fatalf("\\cache catalog version:\n%s", out)
 	}
 }

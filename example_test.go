@@ -43,8 +43,8 @@ func ExampleDB_Explain() {
 	fmt.Print(plan)
 	// Output:
 	// QUERY BLOCK (main)
-	//   PROJECT EMP.NAME  {cost: pages=0.7 rsi=1.3, rows=1.3}
-	//     INDEXSCAN EMP via EMP_DNO(DNO) key:[51 .. 51] sarg: (c1 = 51)  {cost: pages=0.7 rsi=1.3, rows=1.3}
+	//   PROJECT EMP.NAME  {cost: pages=0.5 rsi=1.0, rows=1.0}
+	//     INDEXSCAN EMP via EMP_DNO(DNO) key:[51 .. 51] sarg: (c1 = 51)  {cost: pages=0.5 rsi=1.0, rows=1.0}
 }
 
 func ExampleStmt_Open() {

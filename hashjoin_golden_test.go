@@ -14,10 +14,11 @@ import (
 
 // TestExplainGoldenHashJoinWins pins the plan where hash wins on cost: no
 // ORDER BY, so no interesting order reaches the root and the cheapest
-// unordered plan takes it. The hash plan (est cost 6.6 with W=0.033) beats
-// the merge alternative (26.6), which would sort both 75-row inputs for
-// nothing. TestExplainAnalyzeGolden in analyze_test.go pins the same query's
-// measured actuals.
+// unordered plan takes it. The hash plan beats the merge alternative, which
+// would sort both 75-row inputs for nothing. The histogram makes the TITLE =
+// 'CLERK' estimate exact (1/4 of JOB's 4 titles, so 75 rows out of the
+// joins, not the old 1/10 default's 30). TestExplainAnalyzeGolden in
+// analyze_test.go pins the same query's measured actuals.
 func TestExplainGoldenHashJoinWins(t *testing.T) {
 	db := newEmpDeptJobDB(t)
 	got, err := db.Explain("SELECT E.NAME, D.DNAME, J.TITLE FROM EMP E, DEPT D, JOB J " +
@@ -27,10 +28,10 @@ func TestExplainGoldenHashJoinWins(t *testing.T) {
 	}
 	want := strings.Join([]string{
 		"QUERY BLOCK (main)",
-		"  PROJECT E.NAME, D.DNAME, J.TITLE  {cost: pages=2.7 rsi=120.4, rows=30.0}",
-		"    HASHJOIN build inner[1.0] probe outer[0.1]  {cost: pages=2.7 rsi=120.4, rows=30.0}",
-		"      NLJOIN bind: $3=outer[2.0]  {cost: pages=1.7 rsi=30.4, rows=30.0}",
-		"        SEGSCAN J (JOB) sarg: (c1 = 'CLERK')  {cost: pages=1.0 rsi=0.4, rows=0.4}",
+		"  PROJECT E.NAME, D.DNAME, J.TITLE  {cost: pages=3.8 rsi=211.0, rows=75.0}",
+		"    HASHJOIN build inner[1.0] probe outer[0.1]  {cost: pages=3.8 rsi=211.0, rows=75.0}",
+		"      NLJOIN bind: $3=outer[2.0]  {cost: pages=2.8 rsi=76.0, rows=75.0}",
+		"        SEGSCAN J (JOB) sarg: (c1 = 'CLERK')  {cost: pages=1.0 rsi=1.0, rows=1.0}",
 		"        INDEXSCAN E via EMP_JOB(JOB) key:[$3 .. $3] sarg: (c2 = $3)  {cost: pages=1.8 rsi=75.0, rows=75.0}",
 		"      SEGSCAN D (DEPT)  {cost: pages=1.0 rsi=30.0, rows=30.0}",
 		"",

@@ -17,8 +17,10 @@ package analysis
 //     would fork the entry point the invariant hangs on.
 //
 // A name is selectivity-ish when one of its camelCase words is exactly
-// "f", "sel", or "selectivity" — so matchSel and selSarg match while
-// baseline and selfFetches do not. Wrapping the arithmetic in clamp01 (or
+// "f", "sel", "selectivity", "frac", or "fraction" — so matchSel, selSarg,
+// and bucketFrac match while baseline and selfFetches do not. ("frac" joined
+// with the histogram work: bucket-fraction estimates are selectivities by
+// another name and need the same clamp.) Wrapping the arithmetic in clamp01 (or
 // any call — calls are audited at their own return sites) satisfies the
 // check. Constant declarations are exempt: their values are visible at the
 // declaration and cannot drift at runtime.
@@ -182,11 +184,11 @@ func isClampName(name string) bool {
 }
 
 // selName reports whether one of the identifier's camelCase words is
-// exactly "f", "sel", or "selectivity".
+// exactly "f", "sel", "selectivity", "frac", or "fraction".
 func selName(name string) bool {
 	for _, w := range camelWords(name) {
 		switch w {
-		case "f", "sel", "selectivity":
+		case "f", "sel", "selectivity", "frac", "fraction":
 			return true
 		}
 	}

@@ -46,6 +46,17 @@ func notSelNames(xs []float64) float64 {
 	return sumFloat
 }
 
+// Bucket-fraction names are selectivities by another name: "frac" and
+// "fraction" words are in scope, camelCase-split like the rest.
+func bucketFraction(rows, total float64) float64 {
+	frac := rows / total             // want "unclamped value assigned to selectivity frac"
+	keyFrac := clamp01(rows / total) // ok: wrapped
+	_ = keyFrac
+	fracture := rows / total // ok: "fracture" is one word, not "frac"
+	_ = fracture
+	return frac
+}
+
 type estimate struct {
 	F     float64
 	QCard float64

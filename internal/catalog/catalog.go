@@ -130,6 +130,10 @@ type Table struct {
 	Segment *storage.Segment
 	Indexes []*Index
 	Stats   RelStats
+	// ColStats holds per-column histogram statistics, parallel to Columns;
+	// empty until UPDATE STATISTICS runs. Like Stats it is replaced
+	// wholesale under the exclusive catalog lock, never mutated in place.
+	ColStats []ColStats
 	// System marks the read-only system catalog relations.
 	System bool
 }
@@ -502,8 +506,12 @@ func (c *Catalog) updateStatistics(only string) {
 		}
 		// NCARD counts live (latest-committed) rows: delete-marked versions
 		// awaiting vacuum occupy pages (they still shape TCARD) but are not
-		// tuples the optimizer's cardinality model should see.
+		// tuples the optimizer's cardinality model should see. The same pass
+		// collects every live row's column values for the per-column
+		// equi-depth histograms.
 		ncard := 0
+		colVals := make([][]value.Value, len(t.Columns))
+		decodable := true
 		for _, pid := range t.Segment.Pages() {
 			page := c.disk.Page(pid)
 			for s := uint16(0); s < page.NumSlots(); s++ {
@@ -511,8 +519,21 @@ func (c *Catalog) updateStatistics(only string) {
 				if !ok || rel != t.ID {
 					continue
 				}
-				if h, _, err := storage.ParseVersionHeader(rec); err == nil && h.Xmax == 0 {
-					ncard++
+				h, body, err := storage.ParseVersionHeader(rec)
+				if err != nil || h.Xmax != 0 {
+					continue
+				}
+				ncard++
+				if !decodable {
+					continue
+				}
+				row, err := storage.DecodeRow(body)
+				if err != nil || len(row) != len(t.Columns) {
+					decodable = false
+					continue
+				}
+				for ci := range colVals {
+					colVals[ci] = append(colVals[ci], row[ci])
 				}
 			}
 		}
@@ -523,6 +544,15 @@ func (c *Catalog) updateStatistics(only string) {
 			p = float64(tcard) / float64(nonEmpty)
 		}
 		t.Stats = RelStats{HasStats: true, NCard: ncard, TCard: tcard, P: p}
+		if decodable {
+			colStats := make([]ColStats, len(t.Columns))
+			for ci := range colStats {
+				colStats[ci] = buildColStats(colVals[ci], MaxHistBuckets)
+			}
+			t.ColStats = colStats
+		} else {
+			t.ColStats = nil
+		}
 		for _, ix := range t.Indexes {
 			icard, icardLead, nindx, low, high := ix.Tree.Stats()
 			ix.Stats = IndexStats{HasStats: true, ICard: icard, ICardLead: icardLead, NIndx: nindx, Low: low, High: high}

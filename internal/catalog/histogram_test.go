@@ -1,0 +1,143 @@
+package catalog
+
+import (
+	"testing"
+
+	"systemr/internal/value"
+)
+
+func ints(ns ...int64) []value.Value {
+	vs := make([]value.Value, len(ns))
+	for i, n := range ns {
+		vs[i] = value.NewInt(n)
+	}
+	return vs
+}
+
+func TestBuildColStatsCounts(t *testing.T) {
+	vals := append(ints(3, 1, 2, 2, 3, 3), value.Value{}) // one NULL
+	cs := buildColStats(vals, 64)
+	if !cs.HasStats || cs.NDistinct != 3 || cs.NullCount != 1 {
+		t.Fatalf("stats: %+v", cs)
+	}
+	if cs.Hist == nil || cs.Hist.NRows != 6 {
+		t.Fatalf("histogram rows: %+v", cs.Hist)
+	}
+	if cs.EffNDistinct() != 3 {
+		t.Fatalf("EffNDistinct: %v", cs.EffNDistinct())
+	}
+}
+
+func TestBuildColStatsEmptyAndAllNull(t *testing.T) {
+	empty := buildColStats(nil, 64)
+	if !empty.HasStats || empty.Hist != nil || empty.EffNDistinct() != 1 {
+		t.Fatalf("empty column: %+v", empty)
+	}
+	nulls := buildColStats([]value.Value{{}, {}}, 64)
+	if nulls.NullCount != 2 || nulls.NDistinct != 0 || nulls.Hist != nil {
+		t.Fatalf("all-null column: %+v", nulls)
+	}
+}
+
+// TestHistogramEquiDepth checks bucket packing: 1000 uniform values into 64
+// buckets of roughly equal depth, with every group on a bucket boundary.
+func TestHistogramEquiDepth(t *testing.T) {
+	var vals []value.Value
+	for i := int64(0); i < 1000; i++ {
+		vals = append(vals, value.NewInt(i%100)) // 100 keys × 10 rows
+	}
+	cs := buildColStats(vals, 64)
+	h := cs.Hist
+	if cs.NDistinct != 100 {
+		t.Fatalf("NDistinct = %d", cs.NDistinct)
+	}
+	if len(h.Buckets) > 64 {
+		t.Fatalf("bucket count %d exceeds the cap", len(h.Buckets))
+	}
+	total, distinct := int64(0), int64(0)
+	for _, b := range h.Buckets {
+		total += b.Rows
+		distinct += b.Distinct
+	}
+	if total != 1000 || distinct != 100 {
+		t.Fatalf("bucket sums: rows=%d distinct=%d", total, distinct)
+	}
+	// Uniform data: every key estimates its exact 10 rows.
+	rows, ok := h.EqRows(value.NewInt(42))
+	if !ok || rows != 10 {
+		t.Fatalf("EqRows(42) = %v, %v", rows, ok)
+	}
+}
+
+// TestHistogramHeavyHitterIsolation: a value group at least one bucket deep
+// gets its own singleton bucket, so the hottest key's count survives exactly.
+func TestHistogramHeavyHitterIsolation(t *testing.T) {
+	var vals []value.Value
+	for i := int64(0); i < 500; i++ {
+		vals = append(vals, value.NewInt(7)) // heavy hitter: half the rows
+	}
+	for i := int64(0); i < 500; i++ {
+		vals = append(vals, value.NewInt(1000+i))
+	}
+	cs := buildColStats(vals, 64)
+	rows, ok := cs.Hist.EqRows(value.NewInt(7))
+	if !ok || rows != 500 {
+		t.Fatalf("heavy hitter EqRows = %v, %v (want exactly 500)", rows, ok)
+	}
+	// A singleton bucket contributes nothing strictly below its key.
+	if lt := cs.Hist.LtRows(value.NewInt(7)); lt != 0 {
+		t.Fatalf("LtRows(7) = %v, want 0 (7 is the smallest value)", lt)
+	}
+	// Tail keys estimate their per-key average, not the hitter's.
+	rows, ok = cs.Hist.EqRows(value.NewInt(1250))
+	if !ok || rows > 20 {
+		t.Fatalf("tail EqRows = %v, %v (want a per-key average near 1)", rows, ok)
+	}
+}
+
+func TestHistogramRangeCounts(t *testing.T) {
+	var vals []value.Value
+	for i := int64(0); i < 1000; i++ {
+		vals = append(vals, value.NewInt(i))
+	}
+	cs := buildColStats(vals, 64)
+	h := cs.Hist
+	if lt := h.LtRows(value.NewInt(500)); lt < 450 || lt > 550 {
+		t.Fatalf("LtRows(500) = %v, want ≈500", lt)
+	}
+	if le := h.LeRows(value.NewInt(999)); le != 1000 {
+		t.Fatalf("LeRows(max) = %v, want 1000", le)
+	}
+	if lt := h.LtRows(value.NewInt(0)); lt != 0 {
+		t.Fatalf("LtRows(min) = %v, want 0", lt)
+	}
+	if lt := h.LtRows(value.NewInt(5000)); lt != 1000 {
+		t.Fatalf("LtRows beyond max = %v, want all rows", lt)
+	}
+	if _, ok := h.EqRows(value.NewInt(5000)); ok {
+		t.Fatal("EqRows beyond the key range must report ok=false")
+	}
+	if _, ok := h.EqRows(value.NewInt(-3)); ok {
+		t.Fatal("EqRows below the key range must report ok=false")
+	}
+}
+
+// TestHistogramStrings: no distance metric, so intra-bucket interpolation
+// falls back to half the bucket, and exact boundary keys still count exactly.
+func TestHistogramStrings(t *testing.T) {
+	var vals []value.Value
+	for _, s := range []string{"APPLE", "BANANA", "CHERRY", "DATE"} {
+		for i := 0; i < 10; i++ {
+			vals = append(vals, value.NewString(s))
+		}
+	}
+	cs := buildColStats(vals, 2)
+	rows, ok := cs.Hist.EqRows(value.NewString("BANANA"))
+	if !ok || rows != 10 {
+		t.Fatalf("EqRows(BANANA) = %v, %v", rows, ok)
+	}
+	lt := cs.Hist.LtRows(value.NewString("CHERRY"))
+	if lt < 10 || lt > 30 {
+		t.Fatalf("LtRows(CHERRY) = %v, want within a bucket of the true 20", lt)
+	}
+}

@@ -2,15 +2,18 @@ package catalog
 
 // System catalogs as relations. System R stored its catalogs as ordinary
 // tables that could be queried through SQL ("the OPTIMIZER ... looks them up
-// in the System R catalogs"); we do the same: three read-only relations —
+// in the System R catalogs"); we do the same: five read-only relations —
 //
-//	SYSTABLES  (TNAME, NCARD, TCARD, PFRAC)
-//	SYSCOLUMNS (TNAME, CNAME, COLNO, COLTYPE)
-//	SYSINDEXES (INAME, TNAME, COLNAMES, UNIQUEFLAG, CLUSTERFLAG, ICARD, NINDX)
+//	SYSTABLES   (TNAME, NCARD, TCARD, PFRAC)
+//	SYSCOLUMNS  (TNAME, CNAME, COLNO, COLTYPE)
+//	SYSINDEXES  (INAME, TNAME, COLNAMES, UNIQUEFLAG, CLUSTERFLAG, ICARD, NINDX)
+//	SYSCOLSTATS (TNAME, CNAME, NDISTINCT, NULLS, NROWS, NBUCKETS)
+//	SYSHIST     (TNAME, CNAME, BUCKETNO, HIKEY, NROWS, NDISTINCT)
 //
 // rebuilt by UPDATE STATISTICS (the same command that refreshes the
-// statistics they publish). They live in a private segment and are
-// themselves listed in SYSTABLES, as in System R.
+// statistics they publish). SYSCOLSTATS and SYSHIST publish the per-column
+// histogram statistics (histogram.go), one SYSHIST row per bucket. They live
+// in private segments and are themselves listed in SYSTABLES, as in System R.
 
 import (
 	"sort"
@@ -22,15 +25,17 @@ import (
 
 // System catalog table names.
 const (
-	SysTables  = "SYSTABLES"
-	SysColumns = "SYSCOLUMNS"
-	SysIndexes = "SYSINDEXES"
+	SysTables   = "SYSTABLES"
+	SysColumns  = "SYSCOLUMNS"
+	SysIndexes  = "SYSINDEXES"
+	SysColStats = "SYSCOLSTATS"
+	SysHist     = "SYSHIST"
 )
 
 // IsSystemTable reports whether name is one of the system catalogs.
 func IsSystemTable(name string) bool {
 	switch strings.ToUpper(name) {
-	case SysTables, SysColumns, SysIndexes:
+	case SysTables, SysColumns, SysIndexes, SysColStats, SysHist:
 		return true
 	}
 	return false
@@ -65,7 +70,7 @@ func (c *Catalog) ensureSystemCatalogsLocked() error {
 	}); err != nil {
 		return err
 	}
-	return mk(SysIndexes, []Column{
+	if err := mk(SysIndexes, []Column{
 		{Name: "INAME", Type: value.KindString},
 		{Name: "TNAME", Type: value.KindString},
 		{Name: "COLNAMES", Type: value.KindString},
@@ -73,6 +78,26 @@ func (c *Catalog) ensureSystemCatalogsLocked() error {
 		{Name: "CLUSTERFLAG", Type: value.KindInt},
 		{Name: "ICARD", Type: value.KindInt},
 		{Name: "NINDX", Type: value.KindInt},
+	}); err != nil {
+		return err
+	}
+	if err := mk(SysColStats, []Column{
+		{Name: "TNAME", Type: value.KindString},
+		{Name: "CNAME", Type: value.KindString},
+		{Name: "NDISTINCT", Type: value.KindInt},
+		{Name: "NULLS", Type: value.KindInt},
+		{Name: "NROWS", Type: value.KindInt},
+		{Name: "NBUCKETS", Type: value.KindInt},
+	}); err != nil {
+		return err
+	}
+	return mk(SysHist, []Column{
+		{Name: "TNAME", Type: value.KindString},
+		{Name: "CNAME", Type: value.KindString},
+		{Name: "BUCKETNO", Type: value.KindInt},
+		{Name: "HIKEY", Type: value.KindString},
+		{Name: "NROWS", Type: value.KindInt},
+		{Name: "NDISTINCT", Type: value.KindInt},
 	})
 }
 
@@ -97,9 +122,13 @@ func (c *Catalog) refreshSystemCatalogsLocked() error {
 	st := c.tables[SysTables]
 	sc := c.tables[SysColumns]
 	si := c.tables[SysIndexes]
+	scs := c.tables[SysColStats]
+	sh := c.tables[SysHist]
 	clear(st)
 	clear(sc)
 	clear(si)
+	clear(scs)
+	clear(sh)
 
 	// Catalog rows are frozen: created by XID 0 ("always committed"), so
 	// they are visible to every snapshot without registry traffic.
@@ -145,6 +174,40 @@ func (c *Catalog) refreshSystemCatalogsLocked() error {
 				value.NewInt(int64(ix.Stats.NIndx)),
 			}); err != nil {
 				return err
+			}
+		}
+		for ci, cs := range t.ColStats {
+			if !cs.HasStats {
+				continue
+			}
+			nrows, nbuckets := int64(0), 0
+			if cs.Hist != nil {
+				nrows, nbuckets = cs.Hist.NRows, len(cs.Hist.Buckets)
+			}
+			if err := insert(scs, value.Row{
+				value.NewString(t.Name),
+				value.NewString(t.Columns[ci].Name),
+				value.NewInt(int64(cs.NDistinct)),
+				value.NewInt(int64(cs.NullCount)),
+				value.NewInt(nrows),
+				value.NewInt(int64(nbuckets)),
+			}); err != nil {
+				return err
+			}
+			if cs.Hist == nil {
+				continue
+			}
+			for bi, b := range cs.Hist.Buckets {
+				if err := insert(sh, value.Row{
+					value.NewString(t.Name),
+					value.NewString(t.Columns[ci].Name),
+					value.NewInt(int64(bi)),
+					value.NewString(b.Hi.String()),
+					value.NewInt(b.Rows),
+					value.NewInt(b.Distinct),
+				}); err != nil {
+					return err
+				}
 			}
 		}
 	}

@@ -17,6 +17,7 @@ package compile
 
 import (
 	"fmt"
+	"math"
 	"sync/atomic"
 
 	"systemr/internal/catalog"
@@ -81,6 +82,62 @@ type CompiledPlan struct {
 	// Locks is the statement's lock set (derived from the text, stable
 	// across recompiles): acquire these before validating Version.
 	Locks []lock.Request
+	// Reads lists the tables the statement reads — the tables whose
+	// statistics a feedback-triggered refresh recollects.
+	Reads []string
+
+	// worstMiss is the largest misestimation q-error observed across
+	// executions of this plan, as math.Float64bits (atomics hold integers).
+	// recompile is set once worstMiss crosses the engine's recompile
+	// threshold; the next execution's single winner takes it and refreshes
+	// statistics, after which the catalog version bump retires the plan
+	// through the ordinary staleness path.
+	worstMiss atomic.Uint64
+	recompile atomic.Bool
+}
+
+// MissFactor is the symmetric misestimation q-error max(est,act)/min(est,act),
+// always >= 1, with both sides floored at one row so empty results stay
+// finite. A factor of 1 is a perfect estimate; 10 means the optimizer was an
+// order of magnitude off in either direction.
+func MissFactor(estimated, actual float64) float64 {
+	est, act := math.Max(estimated, 1), math.Max(actual, 1)
+	if est > act {
+		return est / act
+	}
+	return act / est
+}
+
+// NoteMiss records one execution's misestimation factor, keeping the worst
+// seen. Safe for concurrent executions of the same plan.
+func (cp *CompiledPlan) NoteMiss(factor float64) {
+	for {
+		old := cp.worstMiss.Load()
+		if factor <= math.Float64frombits(old) {
+			return
+		}
+		if cp.worstMiss.CompareAndSwap(old, math.Float64bits(factor)) {
+			return
+		}
+	}
+}
+
+// WorstMissFactor returns the largest misestimation factor recorded so far
+// (0 when no execution has reported).
+func (cp *CompiledPlan) WorstMissFactor() float64 {
+	return math.Float64frombits(cp.worstMiss.Load())
+}
+
+// MarkRecompile flags the plan for statistics refresh + recompilation.
+func (cp *CompiledPlan) MarkRecompile() { cp.recompile.Store(true) }
+
+// NeedsRecompile reports whether the plan has been marked.
+func (cp *CompiledPlan) NeedsRecompile() bool { return cp.recompile.Load() }
+
+// TakeRecompile claims the recompile flag; exactly one concurrent caller
+// wins, so one statistics refresh runs per marked plan.
+func (cp *CompiledPlan) TakeRecompile() bool {
+	return cp.recompile.CompareAndSwap(true, false)
 }
 
 // Pipeline compiles statements against one catalog with one optimizer
@@ -139,11 +196,13 @@ func (p *Pipeline) CompileSelect(gov *governor.Budget, sel *sql.SelectStmt, norm
 	if err != nil {
 		return nil, err
 	}
+	reads, _ := sql.TablesReferenced(sel)
 	return &CompiledPlan{
 		Norm:    norm,
 		Version: version,
 		Query:   q,
 		Locks:   LockRequests(sel, p.snapshotReads),
+		Reads:   reads,
 	}, nil
 }
 

@@ -55,6 +55,10 @@ type Config struct {
 	// DisableHashJoin removes the hash-join method from enumeration,
 	// restoring the paper's original two-method search space.
 	DisableHashJoin bool
+	// DisableHistograms ignores per-column histogram statistics so every
+	// selectivity estimate comes from Table 1 and index ICARDs alone — the
+	// paper's original behavior, kept for experiments and comparison runs.
+	DisableHistograms bool
 
 	// DegreeOfParallelism > 1 lets the optimizer plant Parallel exchange
 	// operators over eligible segment scans of the main query block,

@@ -147,12 +147,14 @@ func TestCardOfAndWidths(t *testing.T) {
 	s12 = s1.Set(1)
 	c1 := o.cardOf(s1)
 	c12 := o.cardOf(s12)
-	// T1 filtered by V=5 (1/10 default, no index on V): 100×0.1 = 10.
-	if math.Abs(c1-10) > 1e-9 {
+	// T1 filtered by V=5: V is unique per row, so the histogram estimates
+	// 1/NDISTINCT = 1/100 exactly — 100×0.01 = 1 (the Table 1 default would
+	// have guessed 1/10; see TestTable1EqualPredicates for those pins).
+	if math.Abs(c1-1) > 1e-9 {
 		t.Fatalf("card(T1) = %v", c1)
 	}
-	// Join selectivity 1/icard(K)=1/20 over 100×100×0.1.
-	if math.Abs(c12-10*100/20) > 1e-9 {
+	// Join selectivity 1/ndistinct(K)=1/20 over 100×100×0.01.
+	if math.Abs(c12-1*100/20) > 1e-9 {
 		t.Fatalf("card(T1⋈T2) = %v", c12)
 	}
 	if o.setWidth(s12) <= o.setWidth(s1) {

@@ -81,21 +81,35 @@ func clamp01(f float64) float64 {
 	return f
 }
 
-// colStats finds statistics for a column: the first analyzed index whose
-// leading key column is the given column.
+// colStats finds index statistics for a column: an analyzed index whose
+// leading key column is the given column, preferring analyzed over
+// unanalyzed — with two indexes on the same leading column, only one of
+// which has statistics, the analyzed one must win or 1/ICARD silently
+// degrades to the 1/10 default.
 func (o *Optimizer) colStats(id sem.ColumnID) *catalog.IndexStats {
 	t := o.blk.Rels[id.Rel].Table
+	var first *catalog.IndexStats
 	for _, ix := range t.Indexes {
-		if ix.ColIdxs[0] == id.Col {
+		if ix.ColIdxs[0] != id.Col {
+			continue
+		}
+		if ix.Stats.HasStats {
 			return &ix.Stats
 		}
+		if first == nil {
+			first = &ix.Stats
+		}
 	}
-	return nil
+	return first
 }
 
-// icardOf returns the distinct-value count for a column if an index supplies
-// one, else 0.
+// icardOf returns the distinct-value count for a column — the histogram's
+// NDistinct when present (it covers every column, indexed or not), else an
+// index's leading-column ICARD, else 0.
 func (o *Optimizer) icardOf(id sem.ColumnID) float64 {
+	if cs := o.histStats(id); cs != nil {
+		return cs.EffNDistinct()
+	}
 	if st := o.colStats(id); st != nil && st.HasStats {
 		return st.EffICardLead()
 	}
@@ -177,42 +191,50 @@ func (o *Optimizer) colColSel(op sem.BinOp, l, r *sem.Col) float64 {
 }
 
 // colValueSel covers "column op value" where value is a constant, parameter,
-// or subquery result.
+// or subquery result. Estimation precedence: histogram → index statistics →
+// Table 1 default (see histsel.go).
 func (o *Optimizer) colValueSel(op sem.BinOp, col *sem.Col, other sem.Expr) float64 {
-	st := o.colStats(col.ID)
 	switch op {
 	case sem.OpEq:
-		// F = 1/ICARD(column index) if there is an index on column — "assumes
-		// an even distribution of tuples among the index key values".
-		if st != nil && st.HasStats {
-			return clamp01(1 / st.EffICardLead())
-		}
-		return defEq
+		// Histogram: bucket-weighted 1/d. Index: F = 1/ICARD(column index) —
+		// "assumes an even distribution of tuples among the index key
+		// values". Otherwise 1/10.
+		return o.eqSel(col, other)
 	case sem.OpNe:
-		if st != nil && st.HasStats {
-			return clamp01(1 - 1/st.EffICardLead())
-		}
-		return clamp01(1 - defEq)
+		return clamp01(1 - o.eqSel(col, other))
 	default:
-		// Open-ended comparison: linear interpolation when the column is
-		// arithmetic and the value is known at access path selection time.
-		c, isConst := other.(*sem.Const)
-		if !isConst || st == nil || !st.HasStats {
+		// Open-ended comparison with a known value: bucket-fraction
+		// interpolation from the histogram, else linear interpolation
+		// between the index's low and high keys (arithmetic columns only).
+		v, known := constOperand(other)
+		if known {
+			if cs := o.histStats(col.ID); cs != nil {
+				if sel, ok := o.histRangeSel(cs, op, v); ok {
+					return sel
+				}
+			}
+		}
+		st := o.colStats(col.ID)
+		if !known || st == nil || !st.HasStats {
 			return defRange
 		}
-		if !col.Typ.Arithmetic() || !c.Val.Kind.Arithmetic() {
+		if !col.Typ.Arithmetic() || !v.Kind.Arithmetic() {
 			return defRange
 		}
 		high, low := st.High.AsFloat(), st.Low.AsFloat()
 		if !st.High.Kind.Arithmetic() || !st.Low.Kind.Arithmetic() || high <= low {
 			return defRange
 		}
-		v := c.Val.AsFloat()
+		// Interpolated estimates are floored at one key's worth of rows:
+		// a constant outside [low, high] — always possible once statistics
+		// go stale — must clamp to the floor, not to zero.
+		floor := clamp01(1 / st.EffICardLead())
+		vf := v.AsFloat()
 		switch op {
 		case sem.OpGt, sem.OpGe:
-			return clamp01((high - v) / (high - low))
+			return clamp01(math.Max((high-vf)/(high-low), floor))
 		default: // OpLt, OpLe
-			return clamp01((v - low) / (high - low))
+			return clamp01(math.Max((vf-low)/(high-low), floor))
 		}
 	}
 }
@@ -221,25 +243,40 @@ func (o *Optimizer) colValueSel(op sem.BinOp, col *sem.Col, other sem.Expr) floa
 //
 //	F = (value2 - value1) / (high key - low key)
 //
-// when the column is arithmetic and both values are known, else 1/4.
+// when the column is arithmetic and both values are known, else 1/4. A
+// histogram, when present, answers first with the bucket-fraction difference
+// LeRows(hi) - LtRows(lo).
 func (o *Optimizer) betweenSel(x *sem.Between) float64 {
 	f := func() float64 {
 		col, ok := x.E.(*sem.Col)
 		if !ok {
 			return defBetween
 		}
-		lo, loOK := x.Lo.(*sem.Const)
-		hi, hiOK := x.Hi.(*sem.Const)
+		loV, loOK := constOperand(x.Lo)
+		hiV, hiOK := constOperand(x.Hi)
+		if loOK && hiOK {
+			if cs := o.histStats(col.ID); cs != nil {
+				if sel, ok := o.histBetweenSel(cs, loV, hiV); ok {
+					return sel
+				}
+			}
+		}
 		st := o.colStats(col.ID)
 		if !loOK || !hiOK || st == nil || !st.HasStats ||
-			!col.Typ.Arithmetic() || !lo.Val.Kind.Arithmetic() || !hi.Val.Kind.Arithmetic() {
+			!col.Typ.Arithmetic() || !loV.Kind.Arithmetic() || !hiV.Kind.Arithmetic() {
 			return defBetween
 		}
 		high, low := st.High.AsFloat(), st.Low.AsFloat()
 		if !st.High.Kind.Arithmetic() || !st.Low.Kind.Arithmetic() || high <= low {
 			return defBetween
 		}
-		return clamp01((hi.Val.AsFloat() - lo.Val.AsFloat()) / (high - low))
+		// Only the window's overlap with the analyzed [low, high] key range
+		// counts — a window hanging past either end (or entirely outside)
+		// must not inflate the ratio. Floored like open-ended ranges: a
+		// window beyond stale statistics estimates one key's rows, not zero.
+		floor := clamp01(1 / st.EffICardLead())
+		overlap := math.Min(hiV.AsFloat(), high) - math.Max(loV.AsFloat(), low)
+		return clamp01(math.Max(overlap/(high-low), floor))
 	}()
 	if x.Negated {
 		return clamp01(1 - f)
@@ -251,19 +288,27 @@ func (o *Optimizer) betweenSel(x *sem.Between) float64 {
 //
 //	F = (number of items in list) * (selectivity factor for column = value),
 //
-// allowed to be no more than 1/2.
+// allowed to be no more than 1/2. With a histogram each list item gets its
+// own per-item estimate (the items need not be equally common), summed.
+//
+// The 1/2 cap applies only to the positive form: it encodes "an IN list
+// rarely matches more than half the table", which says nothing about NOT IN.
+// The negated form is computed from the uncapped sum (clamped to [0, 1]) —
+// capping first would floor every NOT IN at 1/2 no matter how wide the list.
 func (o *Optimizer) inListSel(x *sem.InList) float64 {
-	eq := defEq
+	var sum float64
 	if col, ok := x.E.(*sem.Col); ok {
-		if st := o.colStats(col.ID); st != nil && st.HasStats {
-			eq = 1 / st.EffICardLead()
+		for _, item := range x.List {
+			sum += o.eqSel(col, item)
 		}
+	} else {
+		sum = float64(len(x.List)) * defEq
 	}
-	f := math.Min(float64(len(x.List))*eq, inListCap)
+	sum = clamp01(sum)
 	if x.Negated {
-		return clamp01(1 - f)
+		return clamp01(1 - sum)
 	}
-	return clamp01(f)
+	return clamp01(math.Min(sum, inListCap))
 }
 
 // inSubSel: "columnA IN subquery":

@@ -72,7 +72,15 @@ func testDB(t testing.TB) *catalog.Catalog {
 
 // factorSel analyzes "SELECT A FROM R[, S] WHERE <pred>" and returns the
 // selectivity the optimizer assigns to the (single) boolean factor.
+// Histograms are disabled so these tests pin the paper's Table 1 factors
+// exactly; histogram-based estimation has its own tests in histsel_test.go.
 func factorSel(t testing.TB, cat *catalog.Catalog, from, pred string) float64 {
+	t.Helper()
+	return factorSelCfg(t, cat, from, pred, Config{DisableHistograms: true})
+}
+
+// factorSelCfg is factorSel under an explicit optimizer configuration.
+func factorSelCfg(t testing.TB, cat *catalog.Catalog, from, pred string, cfg Config) float64 {
 	t.Helper()
 	st, err := sql.Parse("SELECT R.A FROM " + from + " WHERE " + pred)
 	if err != nil {
@@ -82,7 +90,7 @@ func factorSel(t testing.TB, cat *catalog.Catalog, from, pred string) float64 {
 	if err != nil {
 		t.Fatalf("analyze %q: %v", pred, err)
 	}
-	o := New(cat, Config{})
+	o := New(cat, cfg)
 	// Planning initializes factor selectivities (including subquery stats).
 	if _, err := o.Optimize(blk); err != nil {
 		t.Fatalf("optimize %q: %v", pred, err)

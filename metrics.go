@@ -45,6 +45,11 @@ type dbMetrics struct {
 	execBatchRows  *metrics.Histogram
 	parallelDegree *metrics.Histogram
 
+	// Estimation feedback.
+	estMissFactor     *metrics.Histogram
+	feedbackMarks     *metrics.Counter
+	feedbackRefreshes *metrics.Counter
+
 	// MVCC.
 	writeConflicts  *metrics.Counter
 	vacuumRuns      *metrics.Counter
@@ -97,6 +102,13 @@ func newDBMetrics(db *DB) *dbMetrics {
 		parallelDegree: reg.NewHistogram("systemr_parallel_workers",
 			"Worker count of each parallel exchange opened",
 			[]float64{1, 2, 4, 8, 16}),
+		estMissFactor: reg.NewHistogram("systemr_estimate_miss_factor",
+			"Misestimation q-error max(est,act)/min(est,act) of each executed SELECT's result cardinality",
+			[]float64{1, 2, 5, 10, 100, 1000}),
+		feedbackMarks: reg.NewCounter("systemr_feedback_marks_total",
+			"Cached plans marked for recompilation after missing estimates by the configured ratio"),
+		feedbackRefreshes: reg.NewCounter("systemr_feedback_refreshes_total",
+			"Feedback-triggered statistics refreshes (UPDATE STATISTICS on a marked plan's tables)"),
 		writeConflicts: reg.NewCounter("systemr_write_conflicts_total",
 			"Transactions aborted by first-updater-wins write conflicts"),
 		vacuumRuns: reg.NewCounter("systemr_vacuum_runs_total",

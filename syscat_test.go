@@ -44,6 +44,23 @@ func TestSystemCatalogs(t *testing.T) {
 		t.Fatalf("catalog self-join: %v", res.Rows)
 	}
 
+	// Per-column histogram statistics publish through SYSCOLSTATS (one row
+	// per analyzed column) and SYSHIST (one row per bucket).
+	res, err = db.Query("SELECT CNAME, NDISTINCT FROM SYSCOLSTATS WHERE TNAME = 'JOB' ORDER BY CNAME")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][1].(int64) != 4 || res.Rows[1][1].(int64) != 4 {
+		t.Fatalf("SYSCOLSTATS for JOB (4 distinct ids and titles): %v", res.Rows)
+	}
+	res, err = db.Query("SELECT BUCKETNO, NROWS FROM SYSHIST WHERE TNAME = 'JOB' AND CNAME = 'TITLE' ORDER BY BUCKETNO")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatalf("SYSHIST has no buckets for JOB.TITLE")
+	}
+
 	// Read-only: every mutation is rejected.
 	for _, stmt := range []string{
 		"INSERT INTO SYSTABLES VALUES ('X', 1, 1, 1.0)",

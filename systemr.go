@@ -69,6 +69,10 @@ type Config struct {
 	// DisableHashJoin removes the hash-join method from enumeration,
 	// restoring the paper's original two-method search space.
 	DisableHashJoin bool
+	// DisableHistograms ignores the per-column equi-depth histograms UPDATE
+	// STATISTICS builds, reverting every selectivity estimate to Table 1
+	// defaults and index ICARDs — the paper's original estimation model.
+	DisableHistograms bool
 	// Naive bypasses access path selection entirely: segment scans,
 	// FROM-order nested loops, no search arguments — the no-optimizer
 	// baseline of the evaluation harness.
@@ -107,6 +111,16 @@ type Config struct {
 	// parse/sem/optimize entirely. 0 means the default (256); negative
 	// disables caching, recompiling every statement as the seed engine did.
 	PlanCacheSize int
+
+	// RecompileMissRatio closes the estimation feedback loop: after every
+	// execution of a cached plan, the engine compares the optimizer's
+	// estimated result rows with the measured actual rows, and once the
+	// symmetric miss factor max(est,act)/min(est,act) reaches this ratio the
+	// plan is marked; the next execution refreshes statistics on the tables
+	// the plan reads (non-blocking — skipped under catalog contention) and
+	// recompiles against them. 0 means the default (10); negative disables
+	// feedback entirely.
+	RecompileMissRatio float64
 
 	// Execution governor knobs (0 = unlimited). Violations surface as a
 	// *StatementError wrapping ErrBudgetExceeded, with the partial ExecStats
@@ -173,6 +187,11 @@ const DefaultParallelMinPages = 8
 // Config.VacuumEvery is zero.
 const DefaultVacuumEvery = 512
 
+// DefaultRecompileMissRatio is the misestimation factor that marks a cached
+// plan for statistics refresh + recompilation when Config.RecompileMissRatio
+// is zero: an order of magnitude off in either direction.
+const DefaultRecompileMissRatio = 10
+
 // Result is the outcome of a statement.
 type Result struct {
 	// Columns are the output column names (empty for non-queries).
@@ -224,6 +243,9 @@ func Open(cfg Config) *DB {
 	}
 	if cfg.VacuumEvery == 0 {
 		cfg.VacuumEvery = DefaultVacuumEvery
+	}
+	if cfg.RecompileMissRatio == 0 {
+		cfg.RecompileMissRatio = DefaultRecompileMissRatio
 	}
 	db := &DB{
 		cfg:   cfg,
@@ -373,6 +395,13 @@ func (db *DB) writeConflict(cur *txn.Txn, explicit bool, err error) error {
 // version), so a plan that went stale between the peek and the acquire is
 // recompiled, never executed.
 func (db *DB) execCachedSelect(ctx context.Context, cur *txn.Txn, norm string, e *compile.CompiledPlan) (res *Result, err error) {
+	// Feedback: a plan whose estimates missed by the configured ratio gets
+	// its statistics refreshed before this execution acquires any locks; the
+	// refresh bumps the catalog version, so resolveSelect below recompiles
+	// against the new statistics instead of serving the discredited plan.
+	if e.NeedsRecompile() {
+		db.refreshFeedbackStats(e)
+	}
 	explicit := cur != nil
 	if !explicit {
 		cur = db.beginTxn()
@@ -655,6 +684,7 @@ func (db *DB) OptimizerConfig() core.Config {
 		NestedLoopsOnly:          db.cfg.NestedLoopsOnly,
 		MergeOnly:                db.cfg.MergeOnly,
 		DisableHashJoin:          db.cfg.DisableHashJoin,
+		DisableHistograms:        db.cfg.DisableHistograms,
 		DegreeOfParallelism:      db.cfg.DegreeOfParallelism,
 		ParallelMinPages:         db.cfg.ParallelMinPages,
 	}
@@ -981,7 +1011,54 @@ func (db *DB) runSelect(gov *governor.Budget, cur *txn.Txn, cp *compile.Compiled
 	if cols == nil {
 		cols = []string{}
 	}
+	db.noteFeedback(cp, float64(len(rows)))
 	return &Result{Columns: cols, Rows: out}, nil
+}
+
+// noteFeedback compares a finished execution's actual result rows with the
+// plan's compile-time estimate and records the symmetric miss factor on the
+// plan. Crossing the configured ratio marks the plan: the next execution
+// refreshes statistics on the tables it reads and recompiles.
+func (db *DB) noteFeedback(cp *compile.CompiledPlan, actual float64) {
+	ratio := db.cfg.RecompileMissRatio
+	if ratio < 0 || cp.Query == nil || cp.Query.Root == nil {
+		return
+	}
+	miss := compile.MissFactor(cp.Query.Root.Est().Rows, actual)
+	cp.NoteMiss(miss)
+	if m := db.metrics; m != nil {
+		m.estMissFactor.Observe(miss)
+	}
+	if miss >= ratio && !cp.NeedsRecompile() {
+		cp.MarkRecompile()
+		if m := db.metrics; m != nil {
+			m.feedbackMarks.Inc()
+		}
+	}
+}
+
+// refreshFeedbackStats runs the statistics refresh a marked plan asked for:
+// UPDATE STATISTICS on each table the plan reads, under a non-blocking
+// exclusive catalog lock (the same discipline as the SQL statement). Exactly
+// one concurrent execution wins the mark; under catalog contention the
+// refresh is skipped and the mark restored, so a later execution retries —
+// feedback is advisory and must never block or deadlock a query.
+func (db *DB) refreshFeedbackStats(e *compile.CompiledPlan) {
+	if !e.TakeRecompile() {
+		return
+	}
+	held := db.locks.TryAcquire([]lock.Request{{Table: compile.CatalogLock, Mode: lock.Exclusive}})
+	if held == nil {
+		e.MarkRecompile()
+		return
+	}
+	defer held.Release()
+	for _, t := range e.Reads {
+		db.cat.UpdateStatisticsFor(t)
+	}
+	if m := db.metrics; m != nil {
+		m.feedbackRefreshes.Inc()
+	}
 }
 
 // selectNorm recovers a SELECT's normalized text from its EXPLAIN wrapper's,
@@ -1003,15 +1080,17 @@ func (db *DB) execExplain(gov *governor.Budget, cur *txn.Txn, norm string, st *s
 	}
 	var q *plan.Query
 	var cacheNote string
+	var cp *compile.CompiledPlan
 	switch inner := st.Stmt.(type) {
 	case *sql.SelectStmt:
-		cp, hit, err := db.resolveSelect(gov, selectNorm(norm), "", inner)
+		sel, hit, err := db.resolveSelect(gov, selectNorm(norm), "", inner)
 		if err != nil {
 			return nil, err
 		}
 		if hit {
-			cacheNote = fmt.Sprintf("plan cache: hit (compiled at catalog version %d)\n", cp.Version)
+			cacheNote = fmt.Sprintf("plan cache: hit (compiled at catalog version %d)\n", sel.Version)
 		}
+		cp = sel
 		q = cp.Query
 	case *sql.DeleteStmt:
 		blk, err := sem.AnalyzeDelete(inner, db.cat)
@@ -1035,11 +1114,15 @@ func (db *DB) execExplain(gov *governor.Budget, cur *txn.Txn, norm string, st *s
 	if !st.Analyze {
 		return &Result{Plan: q.Explain() + cacheNote}, nil
 	}
-	_, stats, analysis, err := exec.RunQueryAnalyze(db.runtime(gov, cur.Snapshot()), q, nil)
+	rows, stats, analysis, err := exec.RunQueryAnalyze(db.runtime(gov, cur.Snapshot()), q, nil)
 	es := execStatsFrom(stats)
 	db.setLast(es)
 	if err != nil {
 		return nil, wrapGovErr(err, es)
+	}
+	if cp != nil {
+		// EXPLAIN ANALYZE executions feed the estimation loop like any other.
+		db.noteFeedback(cp, float64(len(rows)))
 	}
 	return &Result{Plan: analysis.Format(db.cfg.W) + cacheNote}, nil
 }
